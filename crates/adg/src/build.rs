@@ -1,0 +1,958 @@
+//! Construction of the ADG from an array program.
+//!
+//! The construction follows Section 2.2 of the paper (and its companion ADG
+//! paper): it is essentially an SSA conversion of the array program where
+//!
+//! * every array operation becomes a node with one use port per operand and
+//!   one definition port for the result;
+//! * every assignment to a *section* of an array becomes a `SectionAssign`
+//!   node that consumes the old array value and the new section value and
+//!   defines the updated array;
+//! * loop headers get `Merge` nodes for loop-carried arrays, fed by a
+//!   loop-entry `Transformer` (from the pre-loop definition) and a loop-back
+//!   `Transformer` (from the end-of-body definition);
+//! * values flowing out of a loop pass through a loop-exit `Transformer`;
+//! * conditionals produce `Merge` nodes at the join and scale the control
+//!   weight of edges created inside the branches;
+//! * a final pass inserts `Fanout` nodes so every definition port feeds
+//!   exactly one edge.
+//!
+//! Edge *iteration spaces* record how often data flows: edges inside a loop
+//! body carry data once per iteration, the loop-entry edge once per execution
+//! of the surrounding context, and the edge from the entry transformer to the
+//! header merge only on the first iteration.
+
+use crate::graph::{Adg, NodeKind, PortId, TransformerRole};
+use align_ir::triplet::AffineTriplet;
+use align_ir::{
+    Affine, ArrayId, Expr, IterationSpace, Program, Section, SectionSpec, Stmt,
+};
+use std::collections::BTreeSet;
+
+/// Build the ADG for `program`. The returned graph has fanout nodes inserted
+/// and passes [`Adg::validate`].
+pub fn build_adg(program: &Program) -> Adg {
+    program
+        .validate()
+        .expect("cannot build an ADG for an ill-formed program");
+    let mut b = Builder {
+        program,
+        g: Adg::new(program.name.clone()),
+        defs: Vec::new(),
+        assigned: vec![false; program.arrays.len()],
+        control_weight: 1.0,
+    };
+    b.init_sources();
+    b.process_stmts(&program.body, &IterationSpace::scalar());
+    b.add_sinks();
+    let mut g = b.g;
+    g.insert_fanouts();
+    g.validate(true).expect("constructed ADG must be valid");
+    g
+}
+
+struct Builder<'p> {
+    program: &'p Program,
+    g: Adg,
+    /// Current definition port of each array.
+    defs: Vec<PortId>,
+    /// Arrays that have been assigned somewhere (get sinks at the end).
+    assigned: Vec<bool>,
+    /// Product of branch probabilities currently in scope.
+    control_weight: f64,
+}
+
+impl<'p> Builder<'p> {
+    fn init_sources(&mut self) {
+        for (i, decl) in self.program.arrays.iter().enumerate() {
+            let id = ArrayId(i);
+            let node = self
+                .g
+                .add_node(NodeKind::Source { array: id }, IterationSpace::scalar());
+            let extents: Vec<Affine> =
+                decl.extents.iter().map(|&e| Affine::constant(e)).collect();
+            let port = self.g.add_port(
+                node,
+                decl.rank(),
+                extents,
+                Some(id),
+                true,
+                format!("{}#0", decl.name),
+            );
+            self.defs.push(port);
+        }
+    }
+
+    fn add_sinks(&mut self) {
+        for (i, decl) in self.program.arrays.iter().enumerate() {
+            if !self.assigned[i] {
+                continue;
+            }
+            let id = ArrayId(i);
+            let node = self
+                .g
+                .add_node(NodeKind::Sink { array: id }, IterationSpace::scalar());
+            let extents: Vec<Affine> =
+                decl.extents.iter().map(|&e| Affine::constant(e)).collect();
+            let use_port = self.g.add_port(
+                node,
+                decl.rank(),
+                extents,
+                Some(id),
+                false,
+                format!("{}#final", decl.name),
+            );
+            let def = self.defs[i];
+            let weight = self.g.port(def).size();
+            self.g
+                .add_edge(def, use_port, weight, IterationSpace::scalar(), 1.0);
+        }
+    }
+
+    fn process_stmts(&mut self, stmts: &[Stmt], space: &IterationSpace) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign {
+                    array,
+                    section,
+                    rhs,
+                } => self.process_assign(*array, section, rhs, space),
+                Stmt::Loop { liv, range, body } => self.process_loop(*liv, range, body, space),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    prob_then,
+                } => self.process_if(then_body, else_body, *prob_then, space),
+            }
+        }
+    }
+
+    // ----- assignments and expressions -------------------------------------
+
+    fn process_assign(
+        &mut self,
+        array: ArrayId,
+        section: &Section,
+        rhs: &Expr,
+        space: &IterationSpace,
+    ) {
+        self.assigned[array.0] = true;
+        let decl = self.program.decl(array);
+        let rhs_port = self.build_expr(rhs, space);
+        if section.is_full(decl) {
+            // Whole-array assignment: the rhs value *is* the new definition.
+            // A bare copy (`A = B`) still gets its own identity node so the
+            // two program variables can be aligned independently.
+            let new_def = match rhs_port {
+                Some(p) if !matches!(rhs, Expr::Ref { .. }) => p,
+                Some(p) => {
+                    let node = self
+                        .g
+                        .add_node(NodeKind::Elementwise { op: "copy".into() }, space.clone());
+                    let (rank, extents) =
+                        (self.g.port(p).rank, self.g.port(p).extents.clone());
+                    let use_p = self.g.add_port(
+                        node,
+                        rank,
+                        extents.clone(),
+                        Some(array),
+                        false,
+                        format!("{}@copy", decl.name),
+                    );
+                    let def_p = self.g.add_port(
+                        node,
+                        rank,
+                        extents,
+                        Some(array),
+                        true,
+                        format!("{}'", decl.name),
+                    );
+                    self.edge(p, use_p, space);
+                    def_p
+                }
+                None => {
+                    // Assignment of a scalar literal: a generator node.
+                    let node = self
+                        .g
+                        .add_node(NodeKind::Elementwise { op: "fill".into() }, space.clone());
+                    let extents: Vec<Affine> =
+                        decl.extents.iter().map(|&e| Affine::constant(e)).collect();
+                    self.g.add_port(
+                        node,
+                        decl.rank(),
+                        extents,
+                        Some(array),
+                        true,
+                        format!("{}'", decl.name),
+                    )
+                }
+            };
+            // Re-tag the defining port: its value is now the current version
+            // of the assigned variable (used by the stride/axis search and by
+            // reports).
+            self.g.set_port_array(new_def, Some(array));
+            self.defs[array.0] = new_def;
+        } else {
+            // Partial assignment: SectionAssign consumes the old array and
+            // the new section value and defines the updated array.
+            let node = self.g.add_node(
+                NodeKind::SectionAssign {
+                    section: section.clone(),
+                },
+                space.clone(),
+            );
+            let decl_extents: Vec<Affine> =
+                decl.extents.iter().map(|&e| Affine::constant(e)).collect();
+            let old_use = self.g.add_port(
+                node,
+                decl.rank(),
+                decl_extents.clone(),
+                Some(array),
+                false,
+                format!("{}@assign-old", decl.name),
+            );
+            let sec_extents = section_extents(section, space);
+            let val_use = self.g.add_port(
+                node,
+                sec_extents.len(),
+                sec_extents,
+                Some(array),
+                false,
+                format!("{}@assign-val", decl.name),
+            );
+            let def = self.g.add_port(
+                node,
+                decl.rank(),
+                decl_extents,
+                Some(array),
+                true,
+                format!("{}'", decl.name),
+            );
+            let old_def = self.defs[array.0];
+            self.edge(old_def, old_use, space);
+            if let Some(p) = rhs_port {
+                self.edge(p, val_use, space);
+            }
+            self.defs[array.0] = def;
+        }
+    }
+
+    /// Create an edge from a definition port to a use port, with weight equal
+    /// to the size of the object at the definition and the given space.
+    fn edge(&mut self, src: PortId, dst: PortId, space: &IterationSpace) {
+        let weight = self.g.port(src).size();
+        self.g
+            .add_edge(src, dst, weight, space.clone(), self.control_weight);
+    }
+
+    /// Like [`Builder::edge`] but with an explicit iteration space different
+    /// from both ports (loop-entry / first-iteration edges).
+    fn edge_in_space(
+        &mut self,
+        src: PortId,
+        dst: PortId,
+        space: IterationSpace,
+    ) {
+        let weight = self.g.port(src).size();
+        self.g.add_edge(src, dst, weight, space, self.control_weight);
+    }
+
+    fn build_expr(&mut self, expr: &Expr, space: &IterationSpace) -> Option<PortId> {
+        match expr {
+            Expr::Lit(_) => None,
+            Expr::Ref { array, section } => {
+                let decl = self.program.decl(*array);
+                if section.is_full(decl) {
+                    return Some(self.defs[array.0]);
+                }
+                let node = self.g.add_node(
+                    NodeKind::Section {
+                        section: section.clone(),
+                    },
+                    space.clone(),
+                );
+                let decl_extents: Vec<Affine> =
+                    decl.extents.iter().map(|&e| Affine::constant(e)).collect();
+                let use_p = self.g.add_port(
+                    node,
+                    decl.rank(),
+                    decl_extents,
+                    Some(*array),
+                    false,
+                    format!("{}@section", decl.name),
+                );
+                let out_extents = section_extents(section, space);
+                let def_p = self.g.add_port(
+                    node,
+                    out_extents.len(),
+                    out_extents,
+                    Some(*array),
+                    true,
+                    format!("{}{}", decl.name, section),
+                );
+                let d = self.defs[array.0];
+                self.edge(d, use_p, space);
+                Some(def_p)
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let l = self.build_expr(lhs, space);
+                let r = self.build_expr(rhs, space);
+                let operands: Vec<PortId> = [l, r].into_iter().flatten().collect();
+                if operands.is_empty() {
+                    return None;
+                }
+                Some(self.elementwise(&format!("{op:?}"), &operands, space))
+            }
+            Expr::Unary { op, operand } => {
+                let p = self.build_expr(operand, space)?;
+                Some(self.elementwise(&format!("{op:?}"), &[p], space))
+            }
+            Expr::Spread {
+                operand,
+                dim,
+                ncopies,
+            } => {
+                let p = self.build_expr(operand, space)?;
+                let in_rank = self.g.port(p).rank;
+                let in_extents = self.g.port(p).extents.clone();
+                let array = self.g.port(p).array;
+                let node = self.g.add_node(
+                    NodeKind::Spread {
+                        dim: *dim,
+                        ncopies: ncopies.clone(),
+                    },
+                    space.clone(),
+                );
+                let use_p = self.g.add_port(
+                    node,
+                    in_rank,
+                    in_extents.clone(),
+                    array,
+                    false,
+                    "spread-in",
+                );
+                let mut out_extents = in_extents;
+                out_extents.insert((*dim).min(out_extents.len()), ncopies.clone());
+                let def_p = self.g.add_port(
+                    node,
+                    in_rank + 1,
+                    out_extents,
+                    array,
+                    true,
+                    "spread-out",
+                );
+                self.edge(p, use_p, space);
+                Some(def_p)
+            }
+            Expr::Transpose { operand } => {
+                let p = self.build_expr(operand, space)?;
+                let in_extents = self.g.port(p).extents.clone();
+                let array = self.g.port(p).array;
+                let node = self.g.add_node(NodeKind::Transpose, space.clone());
+                let use_p =
+                    self.g
+                        .add_port(node, in_extents.len(), in_extents.clone(), array, false, "T-in");
+                let mut out_extents = in_extents;
+                out_extents.reverse();
+                let def_p =
+                    self.g
+                        .add_port(node, out_extents.len(), out_extents, array, true, "T-out");
+                self.edge(p, use_p, space);
+                Some(def_p)
+            }
+            Expr::Reduce { operand, dim } => {
+                let p = self.build_expr(operand, space)?;
+                let in_extents = self.g.port(p).extents.clone();
+                let array = self.g.port(p).array;
+                let node = self.g.add_node(NodeKind::Reduce { dim: *dim }, space.clone());
+                let use_p = self.g.add_port(
+                    node,
+                    in_extents.len(),
+                    in_extents.clone(),
+                    array,
+                    false,
+                    "reduce-in",
+                );
+                let mut out_extents = in_extents;
+                if *dim < out_extents.len() {
+                    out_extents.remove(*dim);
+                }
+                let def_p =
+                    self.g
+                        .add_port(node, out_extents.len(), out_extents, array, true, "reduce-out");
+                self.edge(p, use_p, space);
+                Some(def_p)
+            }
+            Expr::Gather { table, index } => {
+                let idx_port = self.build_expr(index, space);
+                let tdecl = self.program.decl(*table);
+                let node = self.g.add_node(NodeKind::Gather, space.clone());
+                let t_extents: Vec<Affine> =
+                    tdecl.extents.iter().map(|&e| Affine::constant(e)).collect();
+                let t_use = self.g.add_port(
+                    node,
+                    tdecl.rank(),
+                    t_extents,
+                    Some(*table),
+                    false,
+                    format!("{}@gather-table", tdecl.name),
+                );
+                let (idx_rank, idx_extents, idx_array) = match idx_port {
+                    Some(p) => (
+                        self.g.port(p).rank,
+                        self.g.port(p).extents.clone(),
+                        self.g.port(p).array,
+                    ),
+                    None => (0, Vec::new(), None),
+                };
+                let i_use = self.g.add_port(
+                    node,
+                    idx_rank,
+                    idx_extents.clone(),
+                    idx_array,
+                    false,
+                    "gather-index",
+                );
+                let def_p = self.g.add_port(
+                    node,
+                    idx_rank,
+                    idx_extents,
+                    idx_array,
+                    true,
+                    "gather-out",
+                );
+                let td = self.defs[table.0];
+                self.edge(td, t_use, space);
+                if let Some(p) = idx_port {
+                    self.edge(p, i_use, space);
+                }
+                Some(def_p)
+            }
+        }
+    }
+
+    fn elementwise(&mut self, op: &str, operands: &[PortId], space: &IterationSpace) -> PortId {
+        let node = self
+            .g
+            .add_node(NodeKind::Elementwise { op: op.to_string() }, space.clone());
+        // Result rank/extents: those of the highest-rank operand.
+        let best = operands
+            .iter()
+            .max_by_key(|&&p| self.g.port(p).rank)
+            .copied()
+            .expect("elementwise needs at least one operand");
+        let (rank, extents, array) = (
+            self.g.port(best).rank,
+            self.g.port(best).extents.clone(),
+            self.g.port(best).array,
+        );
+        let mut use_ports = Vec::with_capacity(operands.len());
+        for (i, &p) in operands.iter().enumerate() {
+            let (r, e, a) = (
+                self.g.port(p).rank,
+                self.g.port(p).extents.clone(),
+                self.g.port(p).array,
+            );
+            let u = self
+                .g
+                .add_port(node, r, e, a, false, format!("{op}-in{i}"));
+            use_ports.push((p, u));
+        }
+        let def = self
+            .g
+            .add_port(node, rank, extents, array, true, format!("{op}-out"));
+        for (src, dst) in use_ports {
+            self.edge(src, dst, space);
+        }
+        def
+    }
+
+    // ----- loops ------------------------------------------------------------
+
+    fn process_loop(
+        &mut self,
+        liv: align_ir::LivId,
+        range: &AffineTriplet,
+        body: &[Stmt],
+        outer_space: &IterationSpace,
+    ) {
+        let inner_space = outer_space.enter_loop(liv, range.clone());
+        let used = arrays_read(body, self.program);
+        let defined = arrays_assigned(body);
+
+        // First-iteration-only space for the entry-to-merge edge.
+        let first_iter_space =
+            outer_space.enter_loop(liv, AffineTriplet::new(range.lo.clone(), range.lo.clone(), 1));
+
+        // Pending (array, merge second use port) connections for back edges.
+        let mut pending_back: Vec<(ArrayId, PortId)> = Vec::new();
+
+        for &array in &used {
+            let outer_def = self.defs[array.0];
+            let (rank, extents) = (
+                self.g.port(outer_def).rank,
+                self.g.port(outer_def).extents.clone(),
+            );
+            let name = &self.program.decl(array).name;
+            // Loop-entry transformer.
+            let entry = self.g.add_node(
+                NodeKind::Transformer {
+                    liv,
+                    range: range.clone(),
+                    role: TransformerRole::Entry,
+                },
+                inner_space.clone(),
+            );
+            let entry_in = self.g.add_port_with_space(
+                entry,
+                rank,
+                extents.clone(),
+                Some(array),
+                false,
+                format!("{name}@entry-in"),
+                outer_space.clone(),
+            );
+            let entry_out = self.g.add_port(
+                entry,
+                rank,
+                extents.clone(),
+                Some(array),
+                true,
+                format!("{name}@entry-out"),
+            );
+            self.edge_in_space(outer_def, entry_in, outer_space.clone());
+
+            if defined.contains(&array) {
+                // Loop-carried: merge at the header.
+                let merge = self.g.add_node(NodeKind::Merge, inner_space.clone());
+                let m_in1 = self.g.add_port(
+                    merge,
+                    rank,
+                    extents.clone(),
+                    Some(array),
+                    false,
+                    format!("{name}@merge-entry"),
+                );
+                let m_in2 = self.g.add_port(
+                    merge,
+                    rank,
+                    extents.clone(),
+                    Some(array),
+                    false,
+                    format!("{name}@merge-back"),
+                );
+                let m_def = self.g.add_port(
+                    merge,
+                    rank,
+                    extents.clone(),
+                    Some(array),
+                    true,
+                    format!("{name}@loop"),
+                );
+                self.edge_in_space(entry_out, m_in1, first_iter_space.clone());
+                pending_back.push((array, m_in2));
+                self.defs[array.0] = m_def;
+            } else {
+                // Read-only in the loop.
+                self.defs[array.0] = entry_out;
+            }
+        }
+
+        self.process_stmts(body, &inner_space);
+
+        for &array in &defined {
+            let body_def = self.defs[array.0];
+            let (rank, extents) = (
+                self.g.port(body_def).rank,
+                self.g.port(body_def).extents.clone(),
+            );
+            let name = &self.program.decl(array).name;
+            // Back transformer feeding the header merge (loop-carried only).
+            if let Some((_, m_in2)) = pending_back.iter().find(|(a, _)| *a == array) {
+                let back = self.g.add_node(
+                    NodeKind::Transformer {
+                        liv,
+                        range: range.clone(),
+                        role: TransformerRole::Back,
+                    },
+                    inner_space.clone(),
+                );
+                let back_in = self.g.add_port(
+                    back,
+                    rank,
+                    extents.clone(),
+                    Some(array),
+                    false,
+                    format!("{name}@back-in"),
+                );
+                let back_out = self.g.add_port(
+                    back,
+                    rank,
+                    extents.clone(),
+                    Some(array),
+                    true,
+                    format!("{name}@back-out"),
+                );
+                self.edge(body_def, back_in, &inner_space);
+                self.edge(back_out, *m_in2, &inner_space);
+            }
+            // Exit transformer carrying the final value out of the loop.
+            let exit = self.g.add_node(
+                NodeKind::Transformer {
+                    liv,
+                    range: range.clone(),
+                    role: TransformerRole::Exit,
+                },
+                inner_space.clone(),
+            );
+            let exit_in = self.g.add_port(
+                exit,
+                rank,
+                extents.clone(),
+                Some(array),
+                false,
+                format!("{name}@exit-in"),
+            );
+            let exit_out = self.g.add_port_with_space(
+                exit,
+                rank,
+                extents.clone(),
+                Some(array),
+                true,
+                format!("{name}@exit-out"),
+                outer_space.clone(),
+            );
+            self.edge_in_space(body_def, exit_in, outer_space.clone());
+            self.defs[array.0] = exit_out;
+        }
+    }
+
+    // ----- conditionals -----------------------------------------------------
+
+    fn process_if(
+        &mut self,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        prob_then: f64,
+        space: &IterationSpace,
+    ) {
+        let defs_before = self.defs.clone();
+        let saved_weight = self.control_weight;
+
+        self.control_weight = saved_weight * prob_then;
+        self.process_stmts(then_body, space);
+        let defs_then = self.defs.clone();
+
+        self.defs = defs_before.clone();
+        self.control_weight = saved_weight * (1.0 - prob_then);
+        self.process_stmts(else_body, space);
+        let defs_else = self.defs.clone();
+
+        self.control_weight = saved_weight;
+        self.defs = defs_before.clone();
+
+        for i in 0..self.defs.len() {
+            let (t, e) = (defs_then[i], defs_else[i]);
+            if t == defs_before[i] && e == defs_before[i] {
+                continue; // untouched by either branch
+            }
+            let array = ArrayId(i);
+            let name = &self.program.decl(array).name;
+            let rank = self.g.port(t).rank;
+            let extents = self.g.port(t).extents.clone();
+            let merge = self.g.add_node(NodeKind::Merge, space.clone());
+            let u1 = self.g.add_port(
+                merge,
+                rank,
+                extents.clone(),
+                Some(array),
+                false,
+                format!("{name}@if-then"),
+            );
+            let u2 = self.g.add_port(
+                merge,
+                rank,
+                extents.clone(),
+                Some(array),
+                false,
+                format!("{name}@if-else"),
+            );
+            let d = self.g.add_port(
+                merge,
+                rank,
+                extents,
+                Some(array),
+                true,
+                format!("{name}@if-join"),
+            );
+            let w1 = self.g.port(t).size();
+            let w2 = self.g.port(e).size();
+            self.g
+                .add_edge(t, u1, w1, space.clone(), saved_weight * prob_then);
+            self.g
+                .add_edge(e, u2, w2, space.clone(), saved_weight * (1.0 - prob_then));
+            self.defs[i] = d;
+        }
+    }
+}
+
+// ----- static helpers --------------------------------------------------------
+
+/// Extents (one per surviving axis) of a section's value, as affine forms.
+///
+/// Where the closed-form affine extent does not exist (e.g. `A(1:20*k:k)`),
+/// the extent is sampled over the iteration space; if it is constant across
+/// the sampled points that constant is used, otherwise the first point's
+/// value is used as an approximation (and the weight model treats the object
+/// as fixed-size, which is what Section 4.2 assumes anyway).
+fn section_extents(section: &Section, space: &IterationSpace) -> Vec<Affine> {
+    section
+        .specs
+        .iter()
+        .filter_map(|spec| match spec {
+            SectionSpec::Index(_) => None,
+            SectionSpec::Range(t) => Some(range_extent(t, space)),
+        })
+        .collect()
+}
+
+fn range_extent(t: &AffineTriplet, space: &IterationSpace) -> Affine {
+    if let Some(a) = t.extent_affine() {
+        return a;
+    }
+    let pts = space.points();
+    if pts.is_empty() {
+        return Affine::constant(0);
+    }
+    let counts: Vec<i64> = pts
+        .iter()
+        .take(64)
+        .map(|p| t.at(p).count())
+        .collect();
+    let first = counts[0];
+    Affine::constant(if counts.iter().all(|&c| c == first) {
+        first
+    } else {
+        first
+    })
+}
+
+/// Arrays assigned anywhere in a statement list (recursively).
+pub fn arrays_assigned(stmts: &[Stmt]) -> BTreeSet<ArrayId> {
+    let mut out = BTreeSet::new();
+    fn go(stmts: &[Stmt], out: &mut BTreeSet<ArrayId>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { array, .. } => {
+                    out.insert(*array);
+                }
+                Stmt::Loop { body, .. } => go(body, out),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    go(then_body, out);
+                    go(else_body, out);
+                }
+            }
+        }
+    }
+    go(stmts, &mut out);
+    out
+}
+
+/// Arrays read anywhere in a statement list: referenced in right-hand sides,
+/// gathered tables, or partially assigned (the old value is consumed).
+pub fn arrays_read(stmts: &[Stmt], program: &Program) -> BTreeSet<ArrayId> {
+    let mut out = BTreeSet::new();
+    fn go(stmts: &[Stmt], program: &Program, out: &mut BTreeSet<ArrayId>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign {
+                    array,
+                    section,
+                    rhs,
+                } => {
+                    let mut refs = Vec::new();
+                    rhs.referenced_arrays(&mut refs);
+                    out.extend(refs);
+                    if !section.is_full(program.decl(*array)) {
+                        out.insert(*array);
+                    }
+                }
+                Stmt::Loop { body, .. } => go(body, program, out),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    go(then_body, program, out);
+                    go(else_body, program, out);
+                }
+            }
+        }
+    }
+    go(stmts, program, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind as NK;
+    use align_ir::programs;
+
+    fn count(adg: &Adg, pred: impl Fn(&NK) -> bool) -> usize {
+        adg.count_kind(pred)
+    }
+
+    #[test]
+    fn figure1_adg_matches_figure2_inventory() {
+        // Figure 2 of the paper shows, for the Figure 1 fragment: a fanout
+        // for A, a section node, a section-assign node, a "+" node, and loop
+        // transformer nodes, plus merge nodes at the loop header.
+        let p = programs::figure1(100);
+        let adg = build_adg(&p);
+        assert!(count(&adg, |k| matches!(k, NK::Section { .. })) >= 2); // A(k,1:100) and V(k:k+99)
+        assert_eq!(count(&adg, |k| matches!(k, NK::SectionAssign { .. })), 1);
+        assert!(count(&adg, |k| matches!(k, NK::Elementwise { .. })) >= 1);
+        assert!(count(&adg, |k| matches!(k, NK::Merge)) >= 1); // A is loop-carried
+        assert!(count(&adg, |k| matches!(
+            k,
+            NK::Transformer {
+                role: TransformerRole::Entry,
+                ..
+            }
+        )) >= 2); // A and V enter the loop
+        assert!(count(&adg, |k| matches!(
+            k,
+            NK::Transformer {
+                role: TransformerRole::Back,
+                ..
+            }
+        )) >= 1);
+        assert!(count(&adg, |k| matches!(
+            k,
+            NK::Transformer {
+                role: TransformerRole::Exit,
+                ..
+            }
+        )) >= 1);
+        assert!(count(&adg, |k| matches!(k, NK::Fanout)) >= 1);
+        adg.validate(true).unwrap();
+    }
+
+    #[test]
+    fn figure4_adg_has_spread_and_loop_carried_t() {
+        let p = programs::figure4_default();
+        let adg = build_adg(&p);
+        assert_eq!(count(&adg, |k| matches!(k, NK::Spread { .. })), 1);
+        // t and B are both loop-carried -> two merges.
+        assert_eq!(count(&adg, |k| matches!(k, NK::Merge)), 2);
+        adg.validate(true).unwrap();
+    }
+
+    #[test]
+    fn example3_adg_has_transpose() {
+        let adg = build_adg(&programs::example3(64));
+        assert_eq!(count(&adg, |k| matches!(k, NK::Transpose)), 1);
+    }
+
+    #[test]
+    fn straight_line_example1_has_no_transformers() {
+        let adg = build_adg(&programs::example1(100));
+        assert_eq!(count(&adg, |k| matches!(k, NK::Transformer { .. })), 0);
+        assert_eq!(count(&adg, |k| matches!(k, NK::Merge)), 0);
+        adg.validate(true).unwrap();
+    }
+
+    #[test]
+    fn lookup_table_has_gather_node() {
+        let adg = build_adg(&programs::lookup_table(256, 64, 10));
+        assert_eq!(count(&adg, |k| matches!(k, NK::Gather)), 1);
+    }
+
+    #[test]
+    fn read_only_array_gets_entry_transformer_but_no_merge() {
+        // In example5, A is read-only inside the loop; V and B are carried.
+        let adg = build_adg(&programs::example5_default());
+        assert_eq!(count(&adg, |k| matches!(k, NK::Merge)), 2); // V, B
+        let entries = count(&adg, |k| {
+            matches!(
+                k,
+                NK::Transformer {
+                    role: TransformerRole::Entry,
+                    ..
+                }
+            )
+        });
+        assert_eq!(entries, 3); // A, V, B all flow into the loop
+        adg.validate(true).unwrap();
+    }
+
+    #[test]
+    fn edge_spaces_scale_with_loop_trip_count() {
+        // The in-body edges of figure4 flow `trips` times; total data on the
+        // spread input edge must therefore be n * trips.
+        let n = 100;
+        let trips = 200;
+        let adg = build_adg(&programs::figure4(n, 200, trips));
+        let spread_node = adg
+            .nodes()
+            .find(|(_, nd)| matches!(nd.kind, NK::Spread { .. }))
+            .unwrap();
+        let spread_in = spread_node.1.input_ports()[0];
+        let e = adg.in_edge(spread_in).expect("spread input must be fed");
+        let data = adg.edge(e).total_data();
+        assert!((data - (n * trips) as f64).abs() < 1e-6, "got {data}");
+    }
+
+    #[test]
+    fn conditional_produces_merge_and_weighted_edges() {
+        use align_ir::builder::{add, ProgramBuilder};
+        use align_ir::Expr;
+        let mut b = ProgramBuilder::new("cond");
+        let a = b.array("A", &[10]);
+        let c = b.array("C", &[10]);
+        b.begin_if(0.25);
+        let ar = b.full_ref(a);
+        let cr = b.full_ref(c);
+        b.assign_full(a, add(ar, cr));
+        b.begin_else();
+        let ar2 = b.full_ref(a);
+        b.assign_full(a, add(ar2, Expr::Lit(1.0)));
+        b.end_if();
+        let p = b.finish();
+        let adg = build_adg(&p);
+        assert_eq!(count(&adg, |k| matches!(k, NK::Merge)), 1);
+        // Some edge must carry the 0.25 control weight.
+        assert!(adg
+            .edges()
+            .any(|(_, e)| (e.control_weight - 0.25).abs() < 1e-12));
+        adg.validate(true).unwrap();
+    }
+
+    #[test]
+    fn sinks_created_only_for_assigned_arrays() {
+        // example1 assigns only A; B keeps no sink.
+        let adg = build_adg(&programs::example1(50));
+        assert_eq!(count(&adg, |k| matches!(k, NK::Sink { .. })), 1);
+        assert_eq!(count(&adg, |k| matches!(k, NK::Source { .. })), 2);
+    }
+
+    #[test]
+    fn nested_loops_build_and_validate() {
+        let adg = build_adg(&programs::nested_mobile(8));
+        adg.validate(true).unwrap();
+        // Both loop levels contribute transformer nodes.
+        assert!(count(&adg, |k| matches!(k, NK::Transformer { .. })) >= 4);
+    }
+
+    #[test]
+    fn stencil_adg_is_consistent() {
+        let adg = build_adg(&programs::stencil2d(32, 5));
+        adg.validate(true).unwrap();
+        assert!(count(&adg, |k| matches!(k, NK::Section { .. })) >= 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! The alignment-distribution graph (ADG).
+//!
+//! Section 2.2 of the SC'93 paper introduces the ADG as "a modified and
+//! annotated data flow graph": nodes represent computation, edges represent
+//! flow of data, and *ports* (edge endpoints) carry the alignments. A node
+//! constrains the relative alignments of its ports; an edge whose two ports
+//! have different alignments pays realignment communication proportional to
+//! the amount of data that flows across it over the whole execution.
+//!
+//! This crate provides
+//!
+//! * the graph data structure ([`Adg`], [`Node`], [`Port`], [`Edge`]) with
+//!   the node vocabulary of the paper (elementwise operations, `section`,
+//!   `section-assign`, `spread`, `transpose`, reductions, gathers, merge,
+//!   fanout, branch, and the loop *transformer* nodes),
+//! * construction from an [`align_ir::Program`] ([`build::build_adg`]),
+//!   including SSA-style merge insertion at loop headers, loop entry / back /
+//!   exit transformers, and fanout insertion for multi-use definitions,
+//! * DOT output for inspection ([`dot::to_dot`]).
+//!
+//! Alignments themselves (and the constraint systems over them) live in the
+//! `alignment-core` crate; the ADG is purely structural.
+
+pub mod build;
+pub mod dot;
+pub mod graph;
+
+pub use build::build_adg;
+pub use graph::{Adg, Edge, EdgeId, Node, NodeId, NodeKind, Port, PortId, TransformerRole};

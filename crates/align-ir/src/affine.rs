@@ -1,0 +1,373 @@
+//! Affine functions of loop induction variables.
+//!
+//! The paper restricts mobile alignments (and section bounds, extents and
+//! data weights) to be affine in the loop induction variables (LIVs) of the
+//! enclosing loop nest: `a0 + a1*i1 + ... + ak*ik` (Section 2.4). [`Affine`]
+//! is that form with integer coefficients, together with the arithmetic the
+//! analysis needs: addition, scaling, substitution of one LIV by another
+//! affine form, and evaluation at a point of the iteration space.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Identifier of a loop induction variable. LIVs are numbered in program
+/// order by the [`crate::ProgramBuilder`]; identifiers are global to a
+/// program, not local to a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LivId(pub usize);
+
+impl fmt::Display for LivId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// An integer-coefficient affine function of LIVs: `constant + Σ coeff·liv`.
+///
+/// Zero coefficients are never stored, so two equal functions always compare
+/// equal structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Affine {
+    constant: i64,
+    /// Sorted by LIV id; never contains zero coefficients.
+    terms: BTreeMap<LivId, i64>,
+}
+
+impl Affine {
+    /// The constant function `c`.
+    pub fn constant(c: i64) -> Self {
+        Affine {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The zero function.
+    pub fn zero() -> Self {
+        Self::constant(0)
+    }
+
+    /// The function `liv` (coefficient 1, no constant).
+    pub fn liv(liv: LivId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(liv, 1);
+        Affine { constant: 0, terms }
+    }
+
+    /// Build `constant + Σ coeff·liv` from explicit parts. Zero coefficients
+    /// are dropped.
+    pub fn new(constant: i64, coeffs: impl IntoIterator<Item = (LivId, i64)>) -> Self {
+        let mut terms = BTreeMap::new();
+        for (l, c) in coeffs {
+            if c != 0 {
+                *terms.entry(l).or_insert(0) += c;
+            }
+        }
+        terms.retain(|_, c| *c != 0);
+        Affine { constant, terms }
+    }
+
+    /// The constant part `a0`.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// Coefficient of `liv` (0 if absent).
+    pub fn coeff(&self, liv: LivId) -> i64 {
+        self.terms.get(&liv).copied().unwrap_or(0)
+    }
+
+    /// All `(liv, coefficient)` pairs with non-zero coefficients, in LIV order.
+    pub fn terms(&self) -> impl Iterator<Item = (LivId, i64)> + '_ {
+        self.terms.iter().map(|(&l, &c)| (l, c))
+    }
+
+    /// True if the function is a constant (no LIV dependence): the paper's
+    /// *static* (non-mobile) alignments are exactly these.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True if the function is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant == 0 && self.terms.is_empty()
+    }
+
+    /// The set of LIVs this function depends on.
+    pub fn livs(&self) -> Vec<LivId> {
+        self.terms.keys().copied().collect()
+    }
+
+    /// Evaluate at a point: `env` maps LIVs to values. LIVs missing from the
+    /// environment are treated as 0 (useful when evaluating an inner-loop
+    /// function outside the loop never happens in well-formed programs).
+    pub fn eval(&self, env: &dyn Fn(LivId) -> i64) -> i64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(&l, &c)| c * env(l))
+                .sum::<i64>()
+    }
+
+    /// Evaluate with an explicit association list.
+    pub fn eval_assoc(&self, env: &[(LivId, i64)]) -> i64 {
+        self.eval(&|l| {
+            env.iter()
+                .find(|(k, _)| *k == l)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        })
+    }
+
+    /// Scale by an integer.
+    pub fn scale(&self, k: i64) -> Self {
+        if k == 0 {
+            return Affine::zero();
+        }
+        Affine {
+            constant: self.constant * k,
+            terms: self.terms.iter().map(|(&l, &c)| (l, c * k)).collect(),
+        }
+    }
+
+    /// Substitute `liv := replacement` (the key operation of the paper's
+    /// *transformer nodes*: a loop-back transformer for `do k = l:h:s`
+    /// relates an alignment as a function of `k + s` to one as a function of
+    /// `k`, i.e. substitutes `k := k + s`).
+    pub fn substitute(&self, liv: LivId, replacement: &Affine) -> Self {
+        let coeff = self.coeff(liv);
+        if coeff == 0 {
+            return self.clone();
+        }
+        let mut rest = self.clone();
+        rest.terms.remove(&liv);
+        rest + replacement.scale(coeff)
+    }
+
+    /// Drop the dependence on `liv` by substituting a concrete value for it
+    /// (the paper's loop-entry transformer evaluates the in-loop alignment at
+    /// the first iteration).
+    pub fn bind(&self, liv: LivId, value: i64) -> Self {
+        self.substitute(liv, &Affine::constant(value))
+    }
+
+    /// The coefficient vector `(a0, a_{liv_1}, ..., a_{liv_k})` with respect
+    /// to an explicit LIV ordering. LIVs the function does not mention get a
+    /// zero coefficient; LIVs the function mentions but the ordering omits
+    /// cause a panic (the caller's nest description is incomplete).
+    pub fn coeff_vector(&self, livs: &[LivId]) -> Vec<i64> {
+        for l in self.terms.keys() {
+            assert!(
+                livs.contains(l),
+                "affine form mentions {l} outside the supplied loop nest"
+            );
+        }
+        let mut v = Vec::with_capacity(livs.len() + 1);
+        v.push(self.constant);
+        for &l in livs {
+            v.push(self.coeff(l));
+        }
+        v
+    }
+
+    /// Rebuild an affine form from a coefficient vector produced by
+    /// [`Affine::coeff_vector`].
+    pub fn from_coeff_vector(coeffs: &[i64], livs: &[LivId]) -> Self {
+        assert_eq!(coeffs.len(), livs.len() + 1, "coefficient vector arity mismatch");
+        Affine::new(coeffs[0], livs.iter().copied().zip(coeffs[1..].iter().copied()))
+    }
+}
+
+impl From<i64> for Affine {
+    fn from(c: i64) -> Self {
+        Affine::constant(c)
+    }
+}
+
+impl From<LivId> for Affine {
+    fn from(l: LivId) -> Self {
+        Affine::liv(l)
+    }
+}
+
+impl Add for Affine {
+    type Output = Affine;
+    fn add(self, rhs: Affine) -> Affine {
+        &self + &rhs
+    }
+}
+
+impl Add for &Affine {
+    type Output = Affine;
+    fn add(self, rhs: &Affine) -> Affine {
+        let mut terms = self.terms.clone();
+        for (&l, &c) in &rhs.terms {
+            *terms.entry(l).or_insert(0) += c;
+        }
+        terms.retain(|_, c| *c != 0);
+        Affine {
+            constant: self.constant + rhs.constant,
+            terms,
+        }
+    }
+}
+
+impl Sub for Affine {
+    type Output = Affine;
+    fn sub(self, rhs: Affine) -> Affine {
+        &self - &rhs
+    }
+}
+
+impl Sub for &Affine {
+    type Output = Affine;
+    fn sub(self, rhs: &Affine) -> Affine {
+        self + &rhs.clone().neg()
+    }
+}
+
+impl Neg for Affine {
+    type Output = Affine;
+    fn neg(self) -> Affine {
+        self.scale(-1)
+    }
+}
+
+impl Mul<i64> for Affine {
+    type Output = Affine;
+    fn mul(self, rhs: i64) -> Affine {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<i64> for &Affine {
+    type Output = Affine;
+    fn mul(self, rhs: i64) -> Affine {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.constant != 0 || self.terms.is_empty() {
+            write!(f, "{}", self.constant)?;
+            first = false;
+        }
+        for (l, c) in &self.terms {
+            if *c >= 0 && !first {
+                write!(f, "+")?;
+            }
+            if *c == 1 {
+                write!(f, "{l}")?;
+            } else if *c == -1 {
+                write!(f, "-{l}")?;
+            } else {
+                write!(f, "{c}{l}")?;
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> LivId {
+        LivId(0)
+    }
+    fn j() -> LivId {
+        LivId(1)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = Affine::new(3, [(k(), 2), (j(), 0)]);
+        assert_eq!(a.constant_part(), 3);
+        assert_eq!(a.coeff(k()), 2);
+        assert_eq!(a.coeff(j()), 0);
+        assert!(!a.is_constant());
+        assert!(Affine::constant(5).is_constant());
+        assert!(Affine::zero().is_zero());
+        assert_eq!(a.livs(), vec![k()]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Affine::new(1, [(k(), 2)]);
+        let b = Affine::new(4, [(k(), -2), (j(), 1)]);
+        let sum = &a + &b;
+        assert_eq!(sum, Affine::new(5, [(j(), 1)]));
+        let diff = &a - &b;
+        assert_eq!(diff, Affine::new(-3, [(k(), 4), (j(), -1)]));
+        assert_eq!(a.scale(3), Affine::new(3, [(k(), 6)]));
+        assert_eq!(a.scale(0), Affine::zero());
+        assert_eq!(-b.clone(), Affine::new(-4, [(k(), 2), (j(), -1)]));
+    }
+
+    #[test]
+    fn evaluation() {
+        // 2k - j + 7 at k=3, j=5 -> 8
+        let a = Affine::new(7, [(k(), 2), (j(), -1)]);
+        assert_eq!(a.eval_assoc(&[(k(), 3), (j(), 5)]), 8);
+        // missing LIV treated as zero
+        assert_eq!(a.eval_assoc(&[(k(), 3)]), 13);
+    }
+
+    #[test]
+    fn substitution_models_loop_back_transformer() {
+        // alignment k + 1 as a function of k; after the back edge of
+        // `do k = 1, h, 2` it must equal the same expression with k := k + 2.
+        let align = Affine::new(1, [(k(), 1)]);
+        let shifted = align.substitute(k(), &(Affine::liv(k()) + Affine::constant(2)));
+        assert_eq!(shifted, Affine::new(3, [(k(), 1)]));
+        // substituting an absent LIV is the identity
+        let c = Affine::constant(9);
+        assert_eq!(c.substitute(k(), &Affine::liv(j())), c);
+    }
+
+    #[test]
+    fn binding_models_loop_entry_transformer() {
+        // V's Fig. 1 alignment on axis 1 is `k`; at loop entry (k = 1) the
+        // outside-the-loop position must be 1.
+        let align = Affine::liv(k());
+        assert_eq!(align.bind(k(), 1), Affine::constant(1));
+    }
+
+    #[test]
+    fn coeff_vector_round_trip() {
+        let a = Affine::new(-2, [(k(), 3), (j(), 5)]);
+        let order = vec![k(), j()];
+        let v = a.coeff_vector(&order);
+        assert_eq!(v, vec![-2, 3, 5]);
+        assert_eq!(Affine::from_coeff_vector(&v, &order), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the supplied loop nest")]
+    fn coeff_vector_rejects_unknown_liv() {
+        let a = Affine::new(0, [(j(), 1)]);
+        a.coeff_vector(&[k()]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Affine::constant(4).to_string(), "4");
+        assert_eq!(Affine::liv(k()).to_string(), "i0");
+        assert_eq!(Affine::new(2, [(k(), -1)]).to_string(), "2-i0");
+        assert_eq!(Affine::new(0, [(k(), 3), (j(), 1)]).to_string(), "3i0+i1");
+        assert_eq!(Affine::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn zero_coefficients_never_stored() {
+        let a = Affine::new(1, [(k(), 2), (k(), -2)]);
+        assert!(a.is_constant());
+        let b = Affine::new(0, [(k(), 1)]) + Affine::new(0, [(k(), -1)]);
+        assert!(b.is_zero());
+    }
+}

@@ -1,0 +1,592 @@
+//! The abstract syntax of the data-parallel array language.
+//!
+//! The language mirrors the Fortran 90 subset the paper analyses: whole-array
+//! and array-section operations, `spread`, `transpose`, reductions, gathers
+//! through vector-valued subscripts, `do` loops and two-way conditionals.
+//! Scalars are modelled as rank-0 arrays.
+
+use crate::affine::{Affine, LivId};
+use crate::triplet::AffineTriplet;
+use std::fmt;
+
+/// Identifier of a declared array (index into [`Program::arrays`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr{}", self.0)
+    }
+}
+
+/// Declaration of a program array: `real A(e1, e2, ...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Declared extent of each axis (1-based indexing, `1..=extent`).
+    pub extents: Vec<i64>,
+}
+
+impl ArrayDecl {
+    /// Rank (number of axes). A scalar has rank 0.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Total number of elements.
+    pub fn size(&self) -> i64 {
+        self.extents.iter().product()
+    }
+}
+
+/// One subscript position of a section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionSpec {
+    /// A triplet subscript `l:h:s`; the axis survives in the result.
+    Range(AffineTriplet),
+    /// A scalar subscript; the axis is projected away.
+    Index(Affine),
+}
+
+impl SectionSpec {
+    /// True for a [`SectionSpec::Range`].
+    pub fn is_range(&self) -> bool {
+        matches!(self, SectionSpec::Range(_))
+    }
+}
+
+impl fmt::Display for SectionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SectionSpec::Range(t) => write!(f, "{t}"),
+            SectionSpec::Index(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A rectangular section of an array: one [`SectionSpec`] per array axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// One spec per axis of the subscripted array.
+    pub specs: Vec<SectionSpec>,
+}
+
+impl Section {
+    /// The whole-array section of a declared array (`A` as opposed to
+    /// `A(l:h)`): every axis gets its full declared range.
+    pub fn full(decl: &ArrayDecl) -> Self {
+        Section {
+            specs: decl
+                .extents
+                .iter()
+                .map(|&e| SectionSpec::Range(AffineTriplet::range(1, e)))
+                .collect(),
+        }
+    }
+
+    /// Build from explicit specs.
+    pub fn new(specs: Vec<SectionSpec>) -> Self {
+        Section { specs }
+    }
+
+    /// Rank of the *result* of the section: the number of surviving
+    /// (triplet-subscripted) axes.
+    pub fn result_rank(&self) -> usize {
+        self.specs.iter().filter(|s| s.is_range()).count()
+    }
+
+    /// Number of subscript positions (must equal the array's rank).
+    pub fn array_rank(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The surviving axes, as indices into the array's axes.
+    pub fn surviving_axes(&self) -> Vec<usize> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_range().then_some(i))
+            .collect()
+    }
+
+    /// True if every spec covers the entire declared axis with unit stride.
+    pub fn is_full(&self, decl: &ArrayDecl) -> bool {
+        if self.specs.len() != decl.extents.len() {
+            return false;
+        }
+        self.specs.iter().zip(&decl.extents).all(|(s, &e)| match s {
+            SectionSpec::Range(t) => {
+                t.lo == Affine::constant(1)
+                    && t.hi == Affine::constant(e)
+                    && t.stride == Affine::constant(1)
+            }
+            SectionSpec::Index(_) => false,
+        })
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.specs.iter().map(|s| s.to_string()).collect();
+        write!(f, "({})", parts.join(","))
+    }
+}
+
+/// Elementwise binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Elementwise unary operators / intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Cos,
+    Sin,
+    Exp,
+    Sqrt,
+    Abs,
+}
+
+/// An array-valued expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A (section of a) declared array.
+    Ref { array: ArrayId, section: Section },
+    /// A scalar literal, broadcast to whatever rank the context requires.
+    Lit(f64),
+    /// Elementwise binary operation; operands must have equal rank (or one is
+    /// a literal).
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Elementwise unary operation.
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    /// `spread(operand, dim, ncopies)`: insert a new axis at position `dim`
+    /// (0-based) along which the operand is replicated `ncopies` times.
+    Spread {
+        operand: Box<Expr>,
+        dim: usize,
+        ncopies: Affine,
+    },
+    /// Transpose of a rank-2 operand.
+    Transpose { operand: Box<Expr> },
+    /// Reduction (sum) along axis `dim` (0-based); rank decreases by one.
+    Reduce { operand: Box<Expr>, dim: usize },
+    /// Gather through a vector-valued subscript: `table(index)`, where
+    /// `index` is an integer-valued array expression. The result has the
+    /// rank of `index`. Lookup tables are replication candidates (Section 5.1).
+    Gather { table: ArrayId, index: Box<Expr> },
+}
+
+impl Expr {
+    /// Rank of the expression's value, given the program's declarations.
+    /// Literals report rank 0 (they conform with anything).
+    pub fn rank(&self, program: &Program) -> usize {
+        match self {
+            Expr::Ref { section, .. } => section.result_rank(),
+            Expr::Lit(_) => 0,
+            Expr::Bin { lhs, rhs, .. } => lhs.rank(program).max(rhs.rank(program)),
+            Expr::Unary { operand, .. } => operand.rank(program),
+            Expr::Spread { operand, .. } => operand.rank(program) + 1,
+            Expr::Transpose { operand } => operand.rank(program),
+            Expr::Reduce { operand, .. } => operand.rank(program).saturating_sub(1),
+            Expr::Gather { index, .. } => index.rank(program),
+        }
+    }
+
+    /// The arrays referenced (read) anywhere in the expression.
+    pub fn referenced_arrays(&self, out: &mut Vec<ArrayId>) {
+        match self {
+            Expr::Ref { array, .. } => out.push(*array),
+            Expr::Lit(_) => {}
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.referenced_arrays(out);
+                rhs.referenced_arrays(out);
+            }
+            Expr::Unary { operand, .. }
+            | Expr::Spread { operand, .. }
+            | Expr::Transpose { operand }
+            | Expr::Reduce { operand, .. } => operand.referenced_arrays(out),
+            Expr::Gather { table, index } => {
+                out.push(*table);
+                index.referenced_arrays(out);
+            }
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `array(section) = rhs`.
+    Assign {
+        array: ArrayId,
+        section: Section,
+        rhs: Expr,
+    },
+    /// `do liv = range { body }`.
+    Loop {
+        liv: LivId,
+        range: AffineTriplet,
+        body: Vec<Stmt>,
+    },
+    /// Two-armed conditional with an opaque (data-independent for the
+    /// analysis) predicate. The paper models this with branch and merge
+    /// nodes; `prob_then` is the control weight used for expected-cost
+    /// extensions (Section 6) and defaults to 0.5.
+    If {
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        prob_then: f64,
+    },
+}
+
+/// A whole program: declarations plus a statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Human-readable name (used in reports and DOT output).
+    pub name: String,
+    /// Array declarations; [`ArrayId`] indexes this vector.
+    pub arrays: Vec<ArrayDecl>,
+    /// Top-level statements in program order.
+    pub body: Vec<Stmt>,
+    /// Number of distinct LIVs used (LIV ids are `0..num_livs`).
+    pub num_livs: usize,
+}
+
+/// A structural validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A section has a different number of subscripts than the array's rank.
+    SectionRankMismatch { array: String, expected: usize, found: usize },
+    /// Elementwise operands have different (non-zero) ranks.
+    RankConflict { context: String },
+    /// `transpose` applied to a non-rank-2 operand.
+    TransposeRank { found: usize },
+    /// A referenced array id is out of range.
+    UnknownArray(usize),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::SectionRankMismatch { array, expected, found } => write!(
+                f,
+                "section of {array} has {found} subscripts, expected {expected}"
+            ),
+            ValidationError::RankConflict { context } => {
+                write!(f, "operand ranks do not conform in {context}")
+            }
+            ValidationError::TransposeRank { found } => {
+                write!(f, "transpose requires a rank-2 operand, found rank {found}")
+            }
+            ValidationError::UnknownArray(id) => write!(f, "unknown array id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Program {
+    /// Look up an array declaration.
+    pub fn decl(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Find an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|d| d.name == name)
+            .map(ArrayId)
+    }
+
+    /// All statements, visiting loop and conditional bodies depth-first.
+    pub fn walk_stmts<'a>(&'a self, mut visit: impl FnMut(&'a Stmt)) {
+        fn go<'a>(stmts: &'a [Stmt], visit: &mut impl FnMut(&'a Stmt)) {
+            for s in stmts {
+                visit(s);
+                match s {
+                    Stmt::Loop { body, .. } => go(body, visit),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        go(then_body, visit);
+                        go(else_body, visit);
+                    }
+                    Stmt::Assign { .. } => {}
+                }
+            }
+        }
+        go(&self.body, &mut visit);
+    }
+
+    /// Structural validation: section arities, rank conformance, transpose
+    /// rank, and array id ranges.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let mut errs = Ok(());
+        self.walk_stmts(|s| {
+            if errs.is_err() {
+                return;
+            }
+            if let Stmt::Assign { array, section, rhs } = s {
+                if array.0 >= self.arrays.len() {
+                    errs = Err(ValidationError::UnknownArray(array.0));
+                    return;
+                }
+                let decl = self.decl(*array);
+                if section.array_rank() != decl.rank() {
+                    errs = Err(ValidationError::SectionRankMismatch {
+                        array: decl.name.clone(),
+                        expected: decl.rank(),
+                        found: section.array_rank(),
+                    });
+                    return;
+                }
+                errs = self.validate_expr(rhs);
+                if errs.is_ok() {
+                    let lhs_rank = section.result_rank();
+                    let rhs_rank = rhs.rank(self);
+                    if rhs_rank != 0 && lhs_rank != rhs_rank {
+                        errs = Err(ValidationError::RankConflict {
+                            context: format!("assignment to {}", decl.name),
+                        });
+                    }
+                }
+            }
+        });
+        errs
+    }
+
+    fn validate_expr(&self, e: &Expr) -> Result<(), ValidationError> {
+        match e {
+            Expr::Ref { array, section } => {
+                if array.0 >= self.arrays.len() {
+                    return Err(ValidationError::UnknownArray(array.0));
+                }
+                let decl = self.decl(*array);
+                if section.array_rank() != decl.rank() {
+                    return Err(ValidationError::SectionRankMismatch {
+                        array: decl.name.clone(),
+                        expected: decl.rank(),
+                        found: section.array_rank(),
+                    });
+                }
+                Ok(())
+            }
+            Expr::Lit(_) => Ok(()),
+            Expr::Bin { op, lhs, rhs } => {
+                self.validate_expr(lhs)?;
+                self.validate_expr(rhs)?;
+                let lr = lhs.rank(self);
+                let rr = rhs.rank(self);
+                if lr != 0 && rr != 0 && lr != rr {
+                    return Err(ValidationError::RankConflict {
+                        context: format!("{op:?}"),
+                    });
+                }
+                Ok(())
+            }
+            Expr::Unary { operand, .. } | Expr::Reduce { operand, .. } => {
+                self.validate_expr(operand)
+            }
+            Expr::Spread { operand, .. } => self.validate_expr(operand),
+            Expr::Transpose { operand } => {
+                self.validate_expr(operand)?;
+                let r = operand.rank(self);
+                if r != 2 {
+                    return Err(ValidationError::TransposeRank { found: r });
+                }
+                Ok(())
+            }
+            Expr::Gather { table, index } => {
+                if table.0 >= self.arrays.len() {
+                    return Err(ValidationError::UnknownArray(table.0));
+                }
+                self.validate_expr(index)
+            }
+        }
+    }
+
+    /// Maximum loop-nest depth of the program.
+    pub fn max_nest_depth(&self) -> usize {
+        fn depth(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Loop { body, .. } => 1 + depth(body),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => depth(then_body).max(depth(else_body)),
+                    Stmt::Assign { .. } => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth(&self.body)
+    }
+
+    /// Number of assignment statements (a rough measure of program size).
+    pub fn num_assignments(&self) -> usize {
+        let mut n = 0;
+        self.walk_stmts(|s| {
+            if matches!(s, Stmt::Assign { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn decl_rank_and_size() {
+        let d = ArrayDecl {
+            name: "A".into(),
+            extents: vec![100, 200],
+        };
+        assert_eq!(d.rank(), 2);
+        assert_eq!(d.size(), 20000);
+    }
+
+    #[test]
+    fn section_result_rank() {
+        let d = ArrayDecl {
+            name: "A".into(),
+            extents: vec![100, 100],
+        };
+        let full = Section::full(&d);
+        assert_eq!(full.result_rank(), 2);
+        assert!(full.is_full(&d));
+        let row = Section::new(vec![
+            SectionSpec::Index(Affine::constant(3)),
+            SectionSpec::Range(AffineTriplet::range(1, 100)),
+        ]);
+        assert_eq!(row.result_rank(), 1);
+        assert_eq!(row.surviving_axes(), vec![1]);
+        assert!(!row.is_full(&d));
+    }
+
+    #[test]
+    fn expr_rank_rules() {
+        let mut b = ProgramBuilder::new("ranks");
+        let a = b.array("A", &[10, 10]);
+        let v = b.array("V", &[10]);
+        let p_ref = b.full_ref(a);
+        let v_ref = b.full_ref(v);
+        let prog = b.clone_program();
+        assert_eq!(p_ref.rank(&prog), 2);
+        assert_eq!(
+            Expr::Spread {
+                operand: Box::new(v_ref.clone()),
+                dim: 1,
+                ncopies: Affine::constant(10)
+            }
+            .rank(&prog),
+            2
+        );
+        assert_eq!(
+            Expr::Reduce {
+                operand: Box::new(p_ref.clone()),
+                dim: 0
+            }
+            .rank(&prog),
+            1
+        );
+        assert_eq!(Expr::Lit(1.0).rank(&prog), 0);
+        assert_eq!(
+            Expr::Transpose {
+                operand: Box::new(p_ref)
+            }
+            .rank(&prog),
+            2
+        );
+    }
+
+    #[test]
+    fn validation_catches_rank_conflicts() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.array("A", &[10, 10]);
+        let v = b.array("V", &[10]);
+        let a_ref = b.full_ref(a);
+        let v_ref = b.full_ref(v);
+        b.assign_full(a, Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(a_ref),
+            rhs: Box::new(v_ref),
+        });
+        let prog = b.finish();
+        assert!(matches!(
+            prog.validate(),
+            Err(ValidationError::RankConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_section_arity() {
+        let mut b = ProgramBuilder::new("bad2");
+        let a = b.array("A", &[10, 10]);
+        let bad_section = Section::new(vec![SectionSpec::Range(AffineTriplet::range(1, 10))]);
+        b.assign(a, bad_section, Expr::Lit(0.0));
+        let prog = b.finish();
+        assert!(matches!(
+            prog.validate(),
+            Err(ValidationError::SectionRankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bad_transpose() {
+        let mut b = ProgramBuilder::new("bad3");
+        let v = b.array("V", &[10]);
+        let v_ref = b.full_ref(v);
+        b.assign_full(v, Expr::Transpose {
+            operand: Box::new(v_ref),
+        });
+        let prog = b.finish();
+        assert!(matches!(
+            prog.validate(),
+            Err(ValidationError::TransposeRank { found: 1 })
+        ));
+    }
+
+    #[test]
+    fn walk_visits_nested_statements() {
+        let prog = crate::programs::figure1(100);
+        let mut count = 0;
+        prog.walk_stmts(|_| count += 1);
+        assert!(count >= 2); // the loop + the assignment inside it
+        assert_eq!(prog.max_nest_depth(), 1);
+        assert_eq!(prog.num_assignments(), 1);
+    }
+
+    #[test]
+    fn referenced_arrays_collects_reads() {
+        let prog = crate::programs::figure1(100);
+        let mut reads = Vec::new();
+        prog.walk_stmts(|s| {
+            if let Stmt::Assign { rhs, .. } = s {
+                rhs.referenced_arrays(&mut reads);
+            }
+        });
+        let names: Vec<&str> = reads.iter().map(|id| prog.decl(*id).name.as_str()).collect();
+        assert!(names.contains(&"A"));
+        assert!(names.contains(&"V"));
+    }
+}

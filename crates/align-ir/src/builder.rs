@@ -1,0 +1,382 @@
+//! A fluent builder for constructing array programs.
+//!
+//! The paper's input is Fortran 90 text; ours is this builder, which plays
+//! the role of the front end. It manages array declarations, fresh loop
+//! induction variables, and the nesting of loops and conditionals, so that
+//! the canned paper programs (see [`crate::programs`]) and test workloads
+//! read close to the original source.
+
+use crate::affine::{Affine, LivId};
+use crate::ast::{ArrayDecl, ArrayId, BinOp, Expr, Program, Section, SectionSpec, Stmt, UnaryOp};
+use crate::triplet::AffineTriplet;
+
+/// Elementwise addition.
+pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin {
+        op: BinOp::Add,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+/// Elementwise subtraction.
+pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin {
+        op: BinOp::Sub,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+/// Elementwise multiplication.
+pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin {
+        op: BinOp::Mul,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+/// Elementwise unary intrinsic.
+pub fn unary(op: UnaryOp, operand: Expr) -> Expr {
+    Expr::Unary {
+        op,
+        operand: Box::new(operand),
+    }
+}
+
+/// `spread(operand, dim, ncopies)` — replicate along a new axis.
+pub fn spread(operand: Expr, dim: usize, ncopies: impl Into<Affine>) -> Expr {
+    Expr::Spread {
+        operand: Box::new(operand),
+        dim,
+        ncopies: ncopies.into(),
+    }
+}
+
+/// `transpose(operand)` for a rank-2 operand.
+pub fn transpose(operand: Expr) -> Expr {
+    Expr::Transpose {
+        operand: Box::new(operand),
+    }
+}
+
+/// Sum-reduction along axis `dim`.
+pub fn reduce(operand: Expr, dim: usize) -> Expr {
+    Expr::Reduce {
+        operand: Box::new(operand),
+        dim,
+    }
+}
+
+/// Gather `table(index)` through a vector-valued subscript.
+pub fn gather(table: ArrayId, index: Expr) -> Expr {
+    Expr::Gather {
+        table,
+        index: Box::new(index),
+    }
+}
+
+/// A triplet subscript spec `l:h:s`.
+pub fn rng(lo: impl Into<Affine>, hi: impl Into<Affine>) -> SectionSpec {
+    SectionSpec::Range(AffineTriplet::range(lo, hi))
+}
+
+/// A strided triplet subscript spec.
+pub fn rng_s(
+    lo: impl Into<Affine>,
+    hi: impl Into<Affine>,
+    stride: impl Into<Affine>,
+) -> SectionSpec {
+    SectionSpec::Range(AffineTriplet::new(lo, hi, stride))
+}
+
+/// A scalar subscript spec.
+pub fn idx(i: impl Into<Affine>) -> SectionSpec {
+    SectionSpec::Index(i.into())
+}
+
+/// Open nesting frames tracked by the builder.
+enum Frame {
+    Loop {
+        liv: LivId,
+        range: AffineTriplet,
+        body: Vec<Stmt>,
+    },
+    If {
+        prob_then: f64,
+        then_body: Vec<Stmt>,
+        in_else: bool,
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// Builder for [`Program`]s.
+pub struct ProgramBuilder {
+    program: Program,
+    frames: Vec<Frame>,
+}
+
+impl ProgramBuilder {
+    /// Start a new program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            program: Program {
+                name: name.into(),
+                ..Program::default()
+            },
+            frames: Vec::new(),
+        }
+    }
+
+    /// Declare an array with the given extents; `&[]` declares a scalar.
+    pub fn array(&mut self, name: impl Into<String>, extents: &[i64]) -> ArrayId {
+        let id = ArrayId(self.program.arrays.len());
+        self.program.arrays.push(ArrayDecl {
+            name: name.into(),
+            extents: extents.to_vec(),
+        });
+        id
+    }
+
+    /// Declare a scalar (rank-0 array).
+    pub fn scalar(&mut self, name: impl Into<String>) -> ArrayId {
+        self.array(name, &[])
+    }
+
+    /// Reference the whole of an array.
+    pub fn full_ref(&self, array: ArrayId) -> Expr {
+        Expr::Ref {
+            array,
+            section: Section::full(&self.program.arrays[array.0]),
+        }
+    }
+
+    /// Reference a section of an array.
+    pub fn sec_ref(&self, array: ArrayId, specs: Vec<SectionSpec>) -> Expr {
+        Expr::Ref {
+            array,
+            section: Section::new(specs),
+        }
+    }
+
+    /// The whole-array section of an array (for assignment left-hand sides).
+    pub fn full_section(&self, array: ArrayId) -> Section {
+        Section::full(&self.program.arrays[array.0])
+    }
+
+    /// Push a statement into the innermost open frame (or the program body).
+    fn push(&mut self, stmt: Stmt) {
+        match self.frames.last_mut() {
+            None => self.program.body.push(stmt),
+            Some(Frame::Loop { body, .. }) => body.push(stmt),
+            Some(Frame::If {
+                then_body,
+                in_else,
+                else_body,
+                ..
+            }) => {
+                if *in_else {
+                    else_body.push(stmt)
+                } else {
+                    then_body.push(stmt)
+                }
+            }
+        }
+    }
+
+    /// `array(section) = rhs`.
+    pub fn assign(&mut self, array: ArrayId, section: Section, rhs: Expr) {
+        self.push(Stmt::Assign { array, section, rhs });
+    }
+
+    /// `array = rhs` (whole-array assignment).
+    pub fn assign_full(&mut self, array: ArrayId, rhs: Expr) {
+        let section = self.full_section(array);
+        self.assign(array, section, rhs);
+    }
+
+    /// Open `do liv = lo, hi` (unit stride) with a fresh LIV; returns the LIV
+    /// so the body can use it in subscripts. Must be matched by
+    /// [`ProgramBuilder::end_loop`].
+    pub fn begin_loop(&mut self, lo: impl Into<Affine>, hi: impl Into<Affine>) -> LivId {
+        self.begin_loop_strided(lo, hi, 1)
+    }
+
+    /// Open `do liv = lo, hi, stride` with a fresh LIV.
+    pub fn begin_loop_strided(
+        &mut self,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        stride: impl Into<Affine>,
+    ) -> LivId {
+        let liv = LivId(self.program.num_livs);
+        self.program.num_livs += 1;
+        self.frames.push(Frame::Loop {
+            liv,
+            range: AffineTriplet::new(lo, hi, stride),
+            body: Vec::new(),
+        });
+        liv
+    }
+
+    /// Close the innermost open loop.
+    pub fn end_loop(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::Loop { liv, range, body }) => {
+                self.push(Stmt::Loop { liv, range, body });
+            }
+            _ => panic!("end_loop without matching begin_loop"),
+        }
+    }
+
+    /// Open a conditional; statements go into the then-branch until
+    /// [`ProgramBuilder::begin_else`] / [`ProgramBuilder::end_if`].
+    pub fn begin_if(&mut self, prob_then: f64) {
+        self.frames.push(Frame::If {
+            prob_then,
+            then_body: Vec::new(),
+            in_else: false,
+            else_body: Vec::new(),
+        });
+    }
+
+    /// Switch the open conditional to its else-branch.
+    pub fn begin_else(&mut self) {
+        match self.frames.last_mut() {
+            Some(Frame::If { in_else, .. }) => *in_else = true,
+            _ => panic!("begin_else without open if"),
+        }
+    }
+
+    /// Close the innermost open conditional.
+    pub fn end_if(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::If {
+                prob_then,
+                then_body,
+                else_body,
+                ..
+            }) => self.push(Stmt::If {
+                then_body,
+                else_body,
+                prob_then,
+            }),
+            _ => panic!("end_if without matching begin_if"),
+        }
+    }
+
+    /// Snapshot the program built so far (frames must be balanced for the
+    /// snapshot to include their contents; open frames are not included).
+    pub fn clone_program(&self) -> Program {
+        self.program.clone()
+    }
+
+    /// Finish building; panics if loops or conditionals are left open.
+    pub fn finish(mut self) -> Program {
+        assert!(
+            self.frames.is_empty(),
+            "finish() called with {} unclosed loop/if frame(s)",
+            self.frames.len()
+        );
+        self.program.body.shrink_to_fit();
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_simple_loop_program() {
+        let mut b = ProgramBuilder::new("simple");
+        let a = b.array("A", &[100]);
+        let v = b.array("V", &[100]);
+        let k = b.begin_loop(1, 10);
+        let rhs = add(
+            b.sec_ref(a, vec![rng(1, 100)]),
+            b.sec_ref(v, vec![rng(Affine::liv(k), Affine::new(99, [(k, 1)]))]),
+        );
+        b.assign_full(a, rhs);
+        b.end_loop();
+        let p = b.finish();
+        assert_eq!(p.arrays.len(), 2);
+        assert_eq!(p.num_livs, 1);
+        assert_eq!(p.body.len(), 1);
+        assert!(matches!(p.body[0], Stmt::Loop { .. }));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn nested_loops_get_distinct_livs() {
+        let mut b = ProgramBuilder::new("nest");
+        let a = b.array("A", &[10, 10]);
+        let k = b.begin_loop(1, 10);
+        let j = b.begin_loop(1, 10);
+        assert_ne!(k, j);
+        let rhs = b.sec_ref(a, vec![idx(Affine::liv(k)), idx(Affine::liv(j))]);
+        b.assign(
+            a,
+            Section::new(vec![idx(Affine::liv(k)), idx(Affine::liv(j))]),
+            rhs,
+        );
+        b.end_loop();
+        b.end_loop();
+        let p = b.finish();
+        assert_eq!(p.num_livs, 2);
+        assert_eq!(p.max_nest_depth(), 2);
+    }
+
+    #[test]
+    fn conditional_builder() {
+        let mut b = ProgramBuilder::new("cond");
+        let a = b.array("A", &[10]);
+        b.begin_if(0.3);
+        let r = b.full_ref(a);
+        b.assign_full(a, add(r.clone(), Expr::Lit(1.0)));
+        b.begin_else();
+        b.assign_full(a, sub(r, Expr::Lit(1.0)));
+        b.end_if();
+        let p = b.finish();
+        match &p.body[0] {
+            Stmt::If {
+                then_body,
+                else_body,
+                prob_then,
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+                assert!((prob_then - 0.3).abs() < 1e-12);
+            }
+            _ => panic!("expected If"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_loop_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        b.begin_loop(1, 10);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching begin_loop")]
+    fn end_loop_without_begin_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        b.end_loop();
+    }
+
+    #[test]
+    fn expression_helpers_compose() {
+        let mut b = ProgramBuilder::new("exprs");
+        let t = b.array("T", &[100]);
+        let bb = b.array("B", &[100, 200]);
+        let tr = b.full_ref(t);
+        let br = b.full_ref(bb);
+        let e = add(br, spread(unary(UnaryOp::Cos, tr), 1, 200));
+        let p = b.clone_program();
+        assert_eq!(e.rank(&p), 2);
+    }
+}

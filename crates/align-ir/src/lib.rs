@@ -1,0 +1,46 @@
+//! The array-language intermediate representation consumed by the alignment
+//! analysis.
+//!
+//! The SC'93 paper analyses Fortran 90 programs; its examples are written in
+//! Fortran 90 / CM Fortran syntax. This crate provides the equivalent
+//! substrate in Rust: a small, typed IR for data-parallel array programs with
+//!
+//! * array declarations (rank, extents),
+//! * regular sections (`l:h:s` triplets with bounds affine in loop induction
+//!   variables),
+//! * elementwise operations, `spread`, `transpose`, reductions, and
+//!   vector-valued-subscript gathers,
+//! * `do` loops (arbitrary nests, possibly trapezoidal) and two-way
+//!   conditionals.
+//!
+//! The building blocks the alignment algorithms work with are also defined
+//! here because they are shared by every downstream crate:
+//!
+//! * [`Affine`] — affine functions of loop induction variables, the form the
+//!   paper restricts mobile alignments to (`a0 + a1*i1 + ... + ak*ik`);
+//! * [`Triplet`] — regular index ranges `l:h:s` with closed-form sums
+//!   (Section 4.3's `sigma_0`, `sigma_1`, `sigma_2`);
+//! * [`IterationSpace`] — the Cartesian product of loop triplets labelling an
+//!   ADG edge;
+//! * [`WeightPoly`] — data weights (object sizes) polynomial in the LIVs.
+//!
+//! The canonical programs from the paper (Figure 1, Examples 1–5, Figure 4)
+//! are available from the [`programs`] module so that every crate, test and
+//! benchmark exercises exactly the code fragments the paper analyses.
+
+pub mod affine;
+pub mod ast;
+pub mod builder;
+pub mod iterspace;
+pub mod programs;
+pub mod triplet;
+pub mod weight;
+
+pub use affine::{Affine, LivId};
+pub use ast::{
+    ArrayDecl, ArrayId, BinOp, Expr, Program, Section, SectionSpec, Stmt, UnaryOp,
+};
+pub use builder::ProgramBuilder;
+pub use iterspace::IterationSpace;
+pub use triplet::Triplet;
+pub use weight::WeightPoly;

@@ -1,0 +1,389 @@
+//! The paper's example programs, expressed in the IR.
+//!
+//! Every figure and example of the SC'93 paper is provided here as a
+//! parameterised program so that tests, examples and benchmarks all analyse
+//! exactly the code fragments the paper analyses. A few additional
+//! data-parallel kernels (stencils, skewed sweeps, table lookups) are
+//! included as realistic workloads for the benchmark harness.
+
+use crate::affine::Affine;
+use crate::ast::{Expr, Program, Section, UnaryOp};
+use crate::builder::{add, gather, idx, mul, rng, rng_s, spread, transpose, unary, ProgramBuilder};
+
+/// Figure 1 / Example 4: the mobile-offset motivating example.
+///
+/// ```fortran
+/// real A(n,n), V(2n)
+/// do k = 1, n
+///   A(k,1:n) = A(k,1:n) + V(k:k+n-1)
+/// enddo
+/// ```
+///
+/// The optimal alignment is mobile: `A(i1,i2) -> [i1,i2]` and
+/// `V(i) ->_k [k, i-k+1]`.
+pub fn figure1(n: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("figure1(n={n})"));
+    let a = b.array("A", &[n, n]);
+    let v = b.array("V", &[2 * n]);
+    let k = b.begin_loop(1, n);
+    let ik = Affine::liv(k);
+    let a_row = b.sec_ref(a, vec![idx(ik.clone()), rng(1, n)]);
+    let v_sec = b.sec_ref(v, vec![rng(ik.clone(), Affine::new(n - 1, [(k, 1)]))]);
+    b.assign(
+        a,
+        Section::new(vec![idx(ik), rng(1, n)]),
+        add(a_row, v_sec),
+    );
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("figure1 must be well formed");
+    p
+}
+
+/// Example 1 (offset alignment): `A(1:N-1) = A(1:N-1) + B(2:N)`.
+///
+/// With identical alignments a one-unit nearest-neighbour shift is needed;
+/// aligning `B(i) -> [i-1]` removes all communication.
+pub fn example1(n: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("example1(n={n})"));
+    let a = b.array("A", &[n]);
+    let bb = b.array("B", &[n]);
+    let a_sec = b.sec_ref(a, vec![rng(1, n - 1)]);
+    let b_sec = b.sec_ref(bb, vec![rng(2, n)]);
+    b.assign(a, Section::new(vec![rng(1, n - 1)]), add(a_sec, b_sec));
+    let p = b.finish();
+    p.validate().expect("example1 must be well formed");
+    p
+}
+
+/// Example 2 (stride alignment): `A(1:N) = A(1:N) + B(2:2N:2)`.
+///
+/// Aligning `A(i) -> [2i]`, `B(i) -> [i]` removes the general communication.
+pub fn example2(n: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("example2(n={n})"));
+    let a = b.array("A", &[n]);
+    let bb = b.array("B", &[2 * n]);
+    let a_sec = b.sec_ref(a, vec![rng(1, n)]);
+    let b_sec = b.sec_ref(bb, vec![rng_s(2, 2 * n, 2)]);
+    b.assign(a, Section::new(vec![rng(1, n)]), add(a_sec, b_sec));
+    let p = b.finish();
+    p.validate().expect("example2 must be well formed");
+    p
+}
+
+/// Example 3 (axis alignment): `B = B + transpose(C)`.
+///
+/// Aligning `C(i1,i2) -> [i2,i1]` makes the operands coincide.
+pub fn example3(n: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("example3(n={n})"));
+    let bb = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let b_ref = b.full_ref(bb);
+    let c_ref = b.full_ref(c);
+    b.assign_full(bb, add(b_ref, transpose(c_ref)));
+    let p = b.finish();
+    p.validate().expect("example3 must be well formed");
+    p
+}
+
+/// Example 5 (mobile stride alignment):
+///
+/// ```fortran
+/// real A(1000), B(1000), V(20)
+/// do k = 1, 50
+///   V = V + A(1:20*k:k)
+///   B(1:20*k:k) = V
+/// enddo
+/// ```
+///
+/// With the mobile stride alignment `V(i) ->_k [k*i]` the cost drops from two
+/// general communications per iteration to one.
+pub fn example5(a_size: i64, v_size: i64, trips: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("example5(a={a_size},v={v_size},trips={trips})"));
+    let a = b.array("A", &[a_size]);
+    let bb = b.array("B", &[a_size]);
+    let v = b.array("V", &[v_size]);
+    let k = b.begin_loop(1, trips);
+    let ik = Affine::liv(k);
+    let v_ref = b.full_ref(v);
+    let a_sec = b.sec_ref(a, vec![rng_s(1, Affine::new(0, [(k, v_size)]), ik.clone())]);
+    b.assign_full(v, add(v_ref, a_sec));
+    let v_ref2 = b.full_ref(v);
+    b.assign(
+        bb,
+        Section::new(vec![rng_s(1, Affine::new(0, [(k, v_size)]), ik)]),
+        v_ref2,
+    );
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("example5 must be well formed");
+    p
+}
+
+/// The paper's default Example 5 parameters.
+pub fn example5_default() -> Program {
+    example5(1000, 20, 50)
+}
+
+/// Figure 4 (replication):
+///
+/// ```fortran
+/// real t(n), B(n, m)
+/// do K = 1, trips
+///   t = cos(t)
+///   B = B + spread(t, dim=2, ncopies=m)
+/// enddo
+/// ```
+///
+/// Replicating `t` across the second template axis turns one broadcast per
+/// iteration into a single broadcast at loop entry. (The paper's text calls
+/// the replicated array `A` in the caption and `t` in the code; we follow the
+/// code.)
+pub fn figure4(n: i64, m: i64, trips: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("figure4(n={n},m={m},trips={trips})"));
+    let t = b.array("t", &[n]);
+    let bb = b.array("B", &[n, m]);
+    let _k = b.begin_loop(1, trips);
+    let t_ref = b.full_ref(t);
+    b.assign_full(t, unary(UnaryOp::Cos, t_ref));
+    let t_ref2 = b.full_ref(t);
+    let b_ref = b.full_ref(bb);
+    b.assign_full(bb, add(b_ref, spread(t_ref2, 1, m)));
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("figure4 must be well formed");
+    p
+}
+
+/// The paper's default Figure 4 parameters: `t(100)`, `B(100,200)`, 200 trips.
+pub fn figure4_default() -> Program {
+    figure4(100, 200, 200)
+}
+
+/// A five-point Jacobi-style 2-D stencil sweep: a realistic offset-alignment
+/// workload (every operand is a shifted section of the same array).
+///
+/// ```fortran
+/// real A(n,n), B(n,n)
+/// do k = 1, steps
+///   A(2:n-1,2:n-1) = 0.25 * (B(1:n-2,2:n-1) + B(3:n,2:n-1)
+///                          + B(2:n-1,1:n-2) + B(2:n-1,3:n))
+///   B(2:n-1,2:n-1) = A(2:n-1,2:n-1)
+/// enddo
+/// ```
+pub fn stencil2d(n: i64, steps: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("stencil2d(n={n},steps={steps})"));
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let _k = b.begin_loop(1, steps);
+    let north = b.sec_ref(bb, vec![rng(1, n - 2), rng(2, n - 1)]);
+    let south = b.sec_ref(bb, vec![rng(3, n), rng(2, n - 1)]);
+    let west = b.sec_ref(bb, vec![rng(2, n - 1), rng(1, n - 2)]);
+    let east = b.sec_ref(bb, vec![rng(2, n - 1), rng(3, n)]);
+    let sum = add(add(north, south), add(west, east));
+    b.assign(
+        a,
+        Section::new(vec![rng(2, n - 1), rng(2, n - 1)]),
+        mul(Expr::Lit(0.25), sum),
+    );
+    let a_inner = b.sec_ref(a, vec![rng(2, n - 1), rng(2, n - 1)]);
+    b.assign(bb, Section::new(vec![rng(2, n - 1), rng(2, n - 1)]), a_inner);
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("stencil2d must be well formed");
+    p
+}
+
+/// A skewed (wavefront-like) sweep in which the right operand slides one
+/// element per iteration — a second mobile-offset workload beyond Figure 1.
+///
+/// ```fortran
+/// real C(n), A(2n), B(2n)
+/// do k = 1, n
+///   C(1:n) = A(k:k+n-1) + B(n-k+1:2n-k)
+/// enddo
+/// ```
+pub fn skewed_sweep(n: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("skewed_sweep(n={n})"));
+    let c = b.array("C", &[n]);
+    let a = b.array("A", &[2 * n]);
+    let bb = b.array("B", &[2 * n]);
+    let k = b.begin_loop(1, n);
+    let ik = Affine::liv(k);
+    let a_sec = b.sec_ref(a, vec![rng(ik.clone(), Affine::new(n - 1, [(k, 1)]))]);
+    let b_sec = b.sec_ref(
+        bb,
+        vec![rng(Affine::new(n + 1, [(k, -1)]), Affine::new(2 * n, [(k, -1)]))],
+    );
+    b.assign(c, Section::new(vec![rng(1, n)]), add(a_sec, b_sec));
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("skewed_sweep must be well formed");
+    p
+}
+
+/// A lookup-table workload (Section 5.1's second replication source): a
+/// read-only table indexed by a vector-valued subscript inside a loop.
+///
+/// ```fortran
+/// real table(tsize), X(n), Y(n)
+/// do k = 1, trips
+///   Y = Y + table(X)        ! vector-valued subscript gather
+/// enddo
+/// ```
+pub fn lookup_table(tsize: i64, n: i64, trips: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("lookup_table(t={tsize},n={n},trips={trips})"));
+    let table = b.array("table", &[tsize]);
+    let x = b.array("X", &[n]);
+    let y = b.array("Y", &[n]);
+    let _k = b.begin_loop(1, trips);
+    let x_ref = b.full_ref(x);
+    let y_ref = b.full_ref(y);
+    b.assign_full(y, add(y_ref, gather(table, x_ref)));
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("lookup_table must be well formed");
+    p
+}
+
+/// A doubly nested variant of Figure 1 used for the Section 4.4 loop-nest
+/// experiments: the vector operand slides with the *outer* LIV along one axis
+/// and with the *inner* LIV along the other.
+///
+/// ```fortran
+/// real A(n,n), V(2n)
+/// do k = 1, n
+///   do j = 1, n/2
+///     A(k, j:j+n/2-1) = A(k, j:j+n/2-1) + V(k+j : k+j+n/2-1)
+///   enddo
+/// enddo
+/// ```
+pub fn nested_mobile(n: i64) -> Program {
+    assert!(n >= 2 && n % 2 == 0, "nested_mobile requires even n >= 2");
+    let half = n / 2;
+    let mut b = ProgramBuilder::new(format!("nested_mobile(n={n})"));
+    let a = b.array("A", &[n, n]);
+    let v = b.array("V", &[2 * n]);
+    let k = b.begin_loop(1, n);
+    let j = b.begin_loop(1, half);
+    let ik = Affine::liv(k);
+    let ij = Affine::liv(j);
+    let lhs_sec = Section::new(vec![
+        idx(ik.clone()),
+        rng(ij.clone(), Affine::new(half - 1, [(j, 1)])),
+    ]);
+    let a_sec = b.sec_ref(
+        a,
+        vec![idx(ik.clone()), rng(ij.clone(), Affine::new(half - 1, [(j, 1)]))],
+    );
+    let v_sec = b.sec_ref(
+        v,
+        vec![rng(
+            Affine::new(0, [(k, 1), (j, 1)]),
+            Affine::new(half - 1, [(k, 1), (j, 1)]),
+        )],
+    );
+    b.assign(a, lhs_sec, add(a_sec, v_sec));
+    b.end_loop();
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("nested_mobile must be well formed");
+    p
+}
+
+/// All paper programs with their default parameters, with stable labels.
+/// Used by the experiment harness to sweep "every program in the paper".
+pub fn paper_programs() -> Vec<(&'static str, Program)> {
+    vec![
+        ("figure1", figure1(100)),
+        ("example1", example1(100)),
+        ("example2", example2(100)),
+        ("example3", example3(64)),
+        ("example5", example5_default()),
+        ("figure4", figure4_default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stmt;
+
+    #[test]
+    fn all_paper_programs_validate() {
+        for (name, p) in paper_programs() {
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let p = figure1(100);
+        assert_eq!(p.arrays.len(), 2);
+        assert_eq!(p.decl(p.array_by_name("V").unwrap()).extents, vec![200]);
+        assert_eq!(p.max_nest_depth(), 1);
+        assert_eq!(p.num_assignments(), 1);
+    }
+
+    #[test]
+    fn example5_has_two_assignments_per_iteration() {
+        let p = example5_default();
+        assert_eq!(p.num_assignments(), 2);
+        match &p.body[0] {
+            Stmt::Loop { range, .. } => {
+                assert_eq!(range.at(&[]).count(), 50);
+            }
+            _ => panic!("expected loop"),
+        }
+    }
+
+    #[test]
+    fn figure4_contains_spread() {
+        let p = figure4_default();
+        let mut has_spread = false;
+        p.walk_stmts(|s| {
+            if let Stmt::Assign { rhs, .. } = s {
+                fn find_spread(e: &Expr) -> bool {
+                    match e {
+                        Expr::Spread { .. } => true,
+                        Expr::Bin { lhs, rhs, .. } => find_spread(lhs) || find_spread(rhs),
+                        Expr::Unary { operand, .. }
+                        | Expr::Transpose { operand }
+                        | Expr::Reduce { operand, .. } => find_spread(operand),
+                        _ => false,
+                    }
+                }
+                has_spread |= find_spread(rhs);
+            }
+        });
+        assert!(has_spread);
+    }
+
+    #[test]
+    fn stencil_and_sweep_validate() {
+        stencil2d(64, 10).validate().unwrap();
+        skewed_sweep(64).validate().unwrap();
+        lookup_table(256, 64, 10).validate().unwrap();
+        nested_mobile(8).validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "even n")]
+    fn nested_mobile_rejects_odd_n() {
+        nested_mobile(7);
+    }
+
+    #[test]
+    fn example2_uses_stride_two_section() {
+        let p = example2(50);
+        let mut found = false;
+        p.walk_stmts(|s| {
+            if let Stmt::Assign { rhs, .. } = s {
+                let mut arrays = Vec::new();
+                rhs.referenced_arrays(&mut arrays);
+                found = arrays.len() == 2;
+            }
+        });
+        assert!(found);
+    }
+}

@@ -1,0 +1,28 @@
+//! E13 — cost model vs the communication simulator on every paper program.
+
+use alignment_core::pipeline::{align_program, PipelineConfig};
+use commsim::{simulate, Machine, SimOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model_validation");
+    group.sample_size(10);
+    for (name, program) in align_ir::programs::paper_programs() {
+        let (adg, result) = align_program(&program, &PipelineConfig::default());
+        let machine = Machine::new(vec![4; result.template_rank], vec![8; result.template_rank]);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &adg, |b, g| {
+            b.iter(|| simulate(g, &result.alignment, &machine, SimOptions::default()))
+        });
+        let sim = simulate(&adg, &result.alignment, &machine, SimOptions::default());
+        println!(
+            "[{name}] model: {}, simulated moves+broadcasts = {:.0} on {} processors",
+            result.total_cost,
+            sim.total_elements(),
+            machine.num_processors()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E5 — Example 5: mobile stride alignment; static vs mobile general
+//! communication and the cost of the stride search.
+
+use adg::build_adg;
+use alignment_core::axis::{solve_axes, template_rank};
+use alignment_core::stride::{solve_strides, solve_strides_with};
+use alignment_core::{CostModel, ProgramAlignment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fresh(adg: &adg::Adg) -> ProgramAlignment {
+    let t = template_rank(adg);
+    let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+    let mut a = ProgramAlignment::identity(t, &ranks);
+    solve_axes(adg, &mut a);
+    a
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example5_mobile_stride");
+    group.sample_size(20);
+    for trips in [25i64, 50, 100] {
+        let program = align_ir::programs::example5(1000, 20, trips);
+        let adg = build_adg(&program);
+        group.bench_with_input(BenchmarkId::new("mobile", trips), &adg, |b, g| {
+            b.iter(|| {
+                let mut a = fresh(g);
+                solve_strides(g, &mut a)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static", trips), &adg, |b, g| {
+            b.iter(|| {
+                let mut a = fresh(g);
+                solve_strides_with(g, &mut a, false)
+            })
+        });
+    }
+    group.finish();
+
+    let program = align_ir::programs::example5_default();
+    let adg = build_adg(&program);
+    let model = CostModel::new(&adg);
+    let mut mobile = fresh(&adg);
+    solve_strides(&adg, &mut mobile);
+    let mut fixed = fresh(&adg);
+    solve_strides_with(&adg, &mut fixed, false);
+    println!(
+        "[example5] static general = {:.0} (2/iteration), mobile general = {:.0} (1/iteration)",
+        model.total_cost(&fixed).general,
+        model.total_cost(&mobile).general
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 — Figure 1 / Example 4: mobile offset alignment of the paper's
+//! motivating fragment, static vs mobile, across problem sizes.
+
+use alignment_core::mobile_offset::MobileOffsetConfig;
+use alignment_core::pipeline::{align_program, PipelineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_mobile_offset");
+    group.sample_size(10);
+    for n in [32i64, 64, 128] {
+        let program = align_ir::programs::figure1(n);
+        group.bench_with_input(BenchmarkId::new("mobile", n), &program, |b, p| {
+            b.iter(|| align_program(p, &PipelineConfig::default()))
+        });
+        let mut static_cfg = PipelineConfig::default();
+        static_cfg.offset = MobileOffsetConfig::static_only();
+        static_cfg.disable_replication = true;
+        group.bench_with_input(BenchmarkId::new("static", n), &program, |b, p| {
+            b.iter(|| align_program(p, &static_cfg))
+        });
+    }
+    group.finish();
+
+    // Headline numbers (the paper's claim), printed once per run.
+    let program = align_ir::programs::figure1(64);
+    let (_, mobile) = align_program(&program, &PipelineConfig::default());
+    let mut static_cfg = PipelineConfig::default();
+    static_cfg.offset = MobileOffsetConfig::static_only();
+    static_cfg.disable_replication = true;
+    let (_, fixed) = align_program(&program, &static_cfg);
+    println!(
+        "[fig1 n=64] static shift cost = {:.0}, mobile shift cost = {:.0}, mobile broadcast = {:.0}",
+        fixed.total_cost.shift, mobile.total_cost.shift, mobile.total_cost.broadcast
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

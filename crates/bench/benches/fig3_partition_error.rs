@@ -1,0 +1,50 @@
+//! E6 — Figure 3: quality and solve time of the subrange approximation as a
+//! function of the number of subranges m (error bound 1 + 2/m²).
+
+use adg::build_adg;
+use alignment_core::axis::{solve_axes, template_rank};
+use alignment_core::mobile_offset::{solve_all_offsets, MobileOffsetConfig, OffsetStrategy};
+use alignment_core::stride::solve_strides;
+use alignment_core::{CostModel, ProgramAlignment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+
+fn solve(adg: &adg::Adg, strategy: OffsetStrategy) -> f64 {
+    let t = template_rank(adg);
+    let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+    let mut a = ProgramAlignment::identity(t, &ranks);
+    solve_axes(adg, &mut a);
+    solve_strides(adg, &mut a);
+    let reps = vec![HashSet::new(); t];
+    solve_all_offsets(adg, &mut a, &reps, MobileOffsetConfig::with_strategy(strategy));
+    CostModel::new(adg).total_cost(&a).shift
+}
+
+fn bench(c: &mut Criterion) {
+    let program = align_ir::programs::skewed_sweep(48);
+    let adg = build_adg(&program);
+    let mut group = c.benchmark_group("fig3_partition_error");
+    group.sample_size(10);
+    for m in [1usize, 2, 3, 5, 8] {
+        group.bench_with_input(BenchmarkId::new("fixed_partition", m), &adg, |b, g| {
+            b.iter(|| solve(g, OffsetStrategy::FixedPartition(m)))
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("unrolling", 0), &adg, |b, g| {
+        b.iter(|| solve(g, OffsetStrategy::Unrolling))
+    });
+    group.finish();
+
+    let exact = solve(&adg, OffsetStrategy::Unrolling);
+    for m in [1usize, 2, 3, 5, 8] {
+        let approx = solve(&adg, OffsetStrategy::FixedPartition(m));
+        println!(
+            "[fig3] m={m}: approx = {approx:.0}, exact = {exact:.0}, ratio = {:.3}, bound = {:.3}",
+            approx / exact.max(1.0),
+            1.0 + 2.0 / ((m * m) as f64)
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E10 — Figure 4: replication labeling by min-cut vs the per-iteration
+//! broadcast baseline, plus the raw min-cut solve time.
+
+use alignment_core::pipeline::{align_program, PipelineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_replication");
+    group.sample_size(10);
+    for trips in [50i64, 100, 200] {
+        let program = align_ir::programs::figure4(100, 200, trips);
+        group.bench_with_input(BenchmarkId::new("min_cut_pipeline", trips), &program, |b, p| {
+            b.iter(|| align_program(p, &PipelineConfig::default()))
+        });
+        let mut base = PipelineConfig::default();
+        base.disable_replication = true;
+        group.bench_with_input(BenchmarkId::new("required_only", trips), &program, |b, p| {
+            b.iter(|| align_program(p, &base))
+        });
+    }
+    group.finish();
+
+    let program = align_ir::programs::figure4_default();
+    let (_, with_cut) = align_program(&program, &PipelineConfig::default());
+    let mut base = PipelineConfig::default();
+    base.disable_replication = true;
+    let (_, baseline) = align_program(&program, &base);
+    println!(
+        "[fig4] broadcast volume: per-iteration = {:.0}, min-cut labeling = {:.0} ({}x better)",
+        baseline.total_cost.broadcast,
+        with_cut.total_cost.broadcast,
+        (baseline.total_cost.broadcast / with_cut.total_cost.broadcast.max(1.0)).round()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

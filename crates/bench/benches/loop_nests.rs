@@ -1,0 +1,34 @@
+//! E9 — loop nests (Section 4.4): the 3^k-subrange Cartesian decomposition on
+//! a doubly nested mobile workload.
+
+use alignment_core::mobile_offset::OffsetStrategy;
+use alignment_core::pipeline::{align_program, PipelineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_nests");
+    group.sample_size(10);
+    for n in [8i64, 12, 16] {
+        let program = align_ir::programs::nested_mobile(n);
+        group.bench_with_input(BenchmarkId::new("fixed_m3", n), &program, |b, p| {
+            b.iter(|| {
+                align_program(
+                    p,
+                    &PipelineConfig::with_strategy(OffsetStrategy::FixedPartition(3)),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unrolling", n), &program, |b, p| {
+            b.iter(|| {
+                align_program(
+                    p,
+                    &PipelineConfig::with_strategy(OffsetStrategy::Unrolling),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E7 — the five mobile-offset strategies of Section 4.2 on random loop
+//! programs: solve time per strategy (quality is reported by `experiments e7`).
+
+use adg::build_adg;
+use alignment_core::axis::{solve_axes, template_rank};
+use alignment_core::mobile_offset::{solve_all_offsets, MobileOffsetConfig, OffsetStrategy};
+use alignment_core::stride::solve_strides;
+use alignment_core::ProgramAlignment;
+use bench::{random_loop_program, RandomProgramConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+
+fn solve(adg: &adg::Adg, strategy: OffsetStrategy) {
+    let t = template_rank(adg);
+    let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+    let mut a = ProgramAlignment::identity(t, &ranks);
+    solve_axes(adg, &mut a);
+    solve_strides(adg, &mut a);
+    let reps = vec![HashSet::new(); t];
+    solve_all_offsets(adg, &mut a, &reps, MobileOffsetConfig::with_strategy(strategy));
+}
+
+fn bench(c: &mut Criterion) {
+    let program = random_loop_program(RandomProgramConfig {
+        seed: 3,
+        trips: 24,
+        statements: 4,
+        ..RandomProgramConfig::default()
+    });
+    let adg = build_adg(&program);
+    let strategies = [
+        ("single_range", OffsetStrategy::SingleRange),
+        ("fixed_m3", OffsetStrategy::FixedPartition(3)),
+        ("fixed_m5", OffsetStrategy::FixedPartition(5)),
+        ("zero_crossing", OffsetStrategy::ZeroCrossing { max_rounds: 4 }),
+        (
+            "recursive_refinement",
+            OffsetStrategy::RecursiveRefinement { max_rounds: 4 },
+        ),
+        (
+            "state_space_search",
+            OffsetStrategy::StateSpaceSearch { max_steps: 4 },
+        ),
+        ("unrolling", OffsetStrategy::Unrolling),
+    ];
+    let mut group = c.benchmark_group("offset_algorithms");
+    group.sample_size(10);
+    for (name, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &adg, |b, g| {
+            b.iter(|| solve(g, strategy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,653 @@
+//! The experiment harness: regenerates every figure, example and quantitative
+//! claim of the paper (experiment index E1..E15 in DESIGN.md).
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments            # run everything
+//! cargo run -p bench --release --bin experiments -- e1 e10  # selected ids
+//! ```
+//!
+//! Output is GitHub-flavoured markdown so the tables can be pasted straight
+//! into EXPERIMENTS.md.
+
+use adg::build_adg;
+use align_ir::builder::{add, rng, ProgramBuilder};
+use align_ir::{programs, Affine, Program};
+use alignment_core::axis::{solve_axes, template_rank};
+use alignment_core::mobile_offset::{solve_all_offsets, MobileOffsetConfig, OffsetStrategy};
+use alignment_core::pipeline::{align_program, PipelineConfig};
+use alignment_core::replication::{
+    brute_force_axis_cost, label_axis, ReplicationConfig,
+};
+use alignment_core::stride::{solve_strides, solve_strides_with};
+use alignment_core::{CostModel, ProgramAlignment};
+use bench::{random_loop_program, RandomProgramConfig, Table};
+use commsim::{simulate, Machine, SimOptions};
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
+
+    let experiments: Vec<(&str, &str, fn())> = vec![
+        ("e1", "Figure 1 / Example 4 — mobile offset alignment", e1 as fn()),
+        ("e2", "Example 1 — static offset alignment", e2),
+        ("e3", "Example 2 — stride alignment", e3),
+        ("e4", "Example 3 — axis alignment", e4),
+        ("e5", "Example 5 — mobile stride alignment", e5),
+        ("e6", "Figure 3 — subrange approximation error", e6),
+        ("e7", "Section 4.2 — the five mobile-offset strategies", e7),
+        ("e8", "Section 4.3 — variable-sized objects", e8),
+        ("e9", "Section 4.4 — loop nests", e9),
+        ("e10", "Figure 4 / Section 5 — replication labeling", e10),
+        ("e11", "Theorem 1 — min-cut optimality", e11),
+        ("e12", "Section 3 — mobile stride search", e12),
+        ("e13", "Cost model vs. simulated communication", e13),
+        ("e14", "Section 6 — replication/offset iteration", e14),
+        ("e15", "Solver scaling (LP and max-flow)", e15),
+    ];
+
+    for (id, title, run) in experiments {
+        if want(id) {
+            println!("\n## {} — {}\n", id.to_uppercase(), title);
+            run();
+        }
+    }
+}
+
+fn pipeline_cost(p: &Program, cfg: &PipelineConfig) -> alignment_core::CommCost {
+    align_program(p, cfg).1.total_cost
+}
+
+// --- E1: Figure 1 / Example 4 -------------------------------------------------
+
+fn e1() {
+    let mut t = Table::new(&[
+        "n",
+        "static shift cost",
+        "mobile shift cost",
+        "mobile broadcast",
+        "sim moves static (P=4)",
+        "sim moves mobile (P=4)",
+    ]);
+    for n in [32i64, 64, 128] {
+        let p = programs::figure1(n);
+        let (adg, mobile) = align_program(&p, &PipelineConfig::default());
+        let mut static_cfg = PipelineConfig::default();
+        static_cfg.offset = MobileOffsetConfig::static_only();
+        static_cfg.disable_replication = true;
+        let (_, fixed) = align_program(&p, &static_cfg);
+        let machine = Machine::new(vec![2, 2], vec![(n / 2).max(1) as usize; 2]);
+        let sim_static = simulate(&adg, &fixed.alignment, &machine, SimOptions::default());
+        let sim_mobile = simulate(&adg, &mobile.alignment, &machine, SimOptions::default());
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", fixed.total_cost.shift),
+            format!("{:.0}", mobile.total_cost.shift),
+            format!("{:.0}", mobile.total_cost.broadcast),
+            format!("{:.0}", sim_static.total_elements()),
+            format!("{:.0}", sim_mobile.total_elements()),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper claim: the static alignment shifts V on every iteration (Θ(n²) elements");
+    println!("over the loop); the mobile alignment [k, i-k+1] removes all residual shifts,");
+    println!("paying at most one broadcast of V when it is realised through replication.");
+}
+
+// --- E2..E4: the static alignment examples ------------------------------------
+
+fn e2() {
+    let mut t = Table::new(&["N", "unaligned shift cost", "aligned shift cost"]);
+    for n in [64i64, 256, 1024] {
+        let p = programs::example1(n);
+        let adg = build_adg(&p);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let naive = ProgramAlignment::identity(1, &ranks);
+        // "Unaligned" baseline: both arrays at identity, so the +1 shift of
+        // B(2:N) is paid on its edge.
+        let mut shifted = naive.clone();
+        for (pid, port) in adg.ports() {
+            if port.label.contains("B(2:") {
+                shifted.ports[pid.0].offsets[0] =
+                    alignment_core::OffsetAlign::Fixed(Affine::constant(1));
+            }
+        }
+        let (_, aligned) = align_program(&p, &PipelineConfig::default());
+        let model = CostModel::new(&adg);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", model.total_cost(&shifted).shift),
+            format!("{:.0}", aligned.total_cost.shift),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper claim: aligning B(i) with [i-1] removes the nearest-neighbour shift.");
+}
+
+fn e3() {
+    let mut t = Table::new(&["N", "identity-stride general comm", "aligned general comm"]);
+    for n in [64i64, 256, 1024] {
+        let p = programs::example2(n);
+        let cost = pipeline_cost(&p, &PipelineConfig::default());
+        // Baseline: force unit strides everywhere (the section edge then needs
+        // general communication).
+        let adg = build_adg(&p);
+        let t_rank = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let mut alignment = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut alignment);
+        // no stride solve: keep strides 1; the section output then mismatches
+        let sec = adg
+            .ports()
+            .find(|(_, p)| p.is_def && p.label.contains("B(2:"))
+            .map(|(pid, _)| pid)
+            .unwrap();
+        alignment.ports[sec.0].strides[0] = Affine::constant(2);
+        let baseline = CostModel::new(&adg).total_cost(&alignment);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", baseline.general),
+            format!("{:.0}", cost.general),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper claim: A(i) -> [2i], B(i) -> [i] avoids the general communication.");
+}
+
+fn e4() {
+    let mut t = Table::new(&["n", "identity-axis general comm", "aligned general comm"]);
+    for n in [32i64, 64, 128] {
+        let p = programs::example3(n);
+        let adg = build_adg(&p);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let naive = ProgramAlignment::identity(2, &ranks);
+        // With identity maps everywhere the transpose node's hard constraint
+        // is violated conceptually; the honest baseline keeps the transpose
+        // output swapped (as the node requires) and pays for it on its edges.
+        let mut baseline = naive.clone();
+        for (_, node) in adg.nodes() {
+            if matches!(node.kind, adg::NodeKind::Transpose) {
+                let out = node.ports[1];
+                baseline.ports[out.0].axis_map = vec![1, 0];
+            }
+        }
+        let baseline_cost = CostModel::new(&adg).total_cost(&baseline);
+        let aligned = pipeline_cost(&p, &PipelineConfig::default());
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", baseline_cost.general),
+            format!("{:.0}", aligned.general),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper claim: aligning C(i1,i2) with [i2,i1] removes the transpose communication.");
+}
+
+// --- E5: Example 5 --------------------------------------------------------------
+
+fn e5() {
+    let mut t = Table::new(&[
+        "trips",
+        "static general comm",
+        "mobile general comm",
+        "static / iteration",
+        "mobile / iteration",
+    ]);
+    for trips in [25i64, 50, 100] {
+        let p = programs::example5(1000, 20, trips);
+        let adg = build_adg(&p);
+        let t_rank = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let model = CostModel::new(&adg);
+
+        let mut mobile = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut mobile);
+        solve_strides(&adg, &mut mobile);
+        let mobile_cost = model.total_cost(&mobile).general;
+
+        let mut fixed = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut fixed);
+        solve_strides_with(&adg, &mut fixed, false);
+        let static_cost = model.total_cost(&fixed).general;
+
+        t.row(vec![
+            trips.to_string(),
+            format!("{static_cost:.0}"),
+            format!("{mobile_cost:.0}"),
+            format!("{:.1}", static_cost / (20.0 * trips as f64)),
+            format!("{:.1}", mobile_cost / (20.0 * trips as f64)),
+        ]);
+    }
+    println!("{t}");
+    println!("Costs are element-traversals; dividing by the 20-element object size gives");
+    println!("general communications per iteration. Paper claim: 2 with any static stride,");
+    println!("1 with the mobile stride V(i) ->_k [k·i].");
+}
+
+// --- E6: Figure 3 ----------------------------------------------------------------
+
+fn e6() {
+    let mut t = Table::new(&[
+        "m (subranges)",
+        "approx shift cost",
+        "exact optimum",
+        "ratio",
+        "paper bound 1+2/m^2",
+    ]);
+    let p = programs::skewed_sweep(48);
+    let adg = build_adg(&p);
+    let exact = offsets_with(&adg, OffsetStrategy::Unrolling);
+    for m in [1usize, 2, 3, 5, 8] {
+        let approx = offsets_with(&adg, OffsetStrategy::FixedPartition(m));
+        let bound = 1.0 + 2.0 / ((m * m) as f64);
+        t.row(vec![
+            m.to_string(),
+            format!("{approx:.0}"),
+            format!("{exact:.0}"),
+            format!("{:.3}", approx / exact.max(1.0)),
+            format!("{bound:.3}"),
+        ]);
+    }
+    println!("{t}");
+    println!("Workload: skewed_sweep(48), whose optimal spans change sign mid-loop (the");
+    println!("Figure 3(b) regime). Paper claim: fixed partitioning with m=3 is within 22%");
+    println!("of optimal and m=5 within 8%.");
+}
+
+fn offsets_with(adg: &adg::Adg, strategy: OffsetStrategy) -> f64 {
+    let t_rank = template_rank(adg);
+    let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+    let mut alignment = ProgramAlignment::identity(t_rank, &ranks);
+    solve_axes(adg, &mut alignment);
+    solve_strides(adg, &mut alignment);
+    let reps = vec![HashSet::new(); t_rank];
+    solve_all_offsets(
+        adg,
+        &mut alignment,
+        &reps,
+        MobileOffsetConfig::with_strategy(strategy),
+    );
+    CostModel::new(adg).total_cost(&alignment).shift
+}
+
+// --- E7: strategy comparison ------------------------------------------------------
+
+fn e7() {
+    let strategies = [
+        OffsetStrategy::SingleRange,
+        OffsetStrategy::FixedPartition(3),
+        OffsetStrategy::FixedPartition(5),
+        OffsetStrategy::ZeroCrossing { max_rounds: 4 },
+        OffsetStrategy::RecursiveRefinement { max_rounds: 4 },
+        OffsetStrategy::StateSpaceSearch { max_steps: 4 },
+        OffsetStrategy::Unrolling,
+    ];
+    let mut t = Table::new(&["strategy", "mean shift cost", "mean ratio to exact", "mean time (ms)"]);
+    let seeds = 0..6u64;
+    let programs_list: Vec<Program> = seeds
+        .map(|seed| {
+            random_loop_program(RandomProgramConfig {
+                seed,
+                trips: 24,
+                ..RandomProgramConfig::default()
+            })
+        })
+        .collect();
+    let adgs: Vec<adg::Adg> = programs_list.iter().map(build_adg).collect();
+    let exact: Vec<f64> = adgs
+        .iter()
+        .map(|a| offsets_with(a, OffsetStrategy::Unrolling))
+        .collect();
+    for strategy in strategies {
+        let mut total = 0.0;
+        let mut ratio = 0.0;
+        let mut time_ms = 0.0;
+        for (adg_i, ex) in adgs.iter().zip(&exact) {
+            let start = Instant::now();
+            let cost = offsets_with(adg_i, strategy);
+            time_ms += start.elapsed().as_secs_f64() * 1000.0;
+            total += cost;
+            ratio += cost / ex.max(1.0);
+        }
+        let n = adgs.len() as f64;
+        t.row(vec![
+            strategy.name(),
+            format!("{:.0}", total / n),
+            format!("{:.3}", ratio / n),
+            format!("{:.1}", time_ms / n),
+        ]);
+    }
+    println!("{t}");
+    println!("Workloads: 6 random single-loop programs with skewed operands (24 iterations).");
+    println!("Paper claim: unrolling is exact but expensive; fixed partitioning is the");
+    println!("recommended compromise; adaptive refinement closes most of the remaining gap.");
+}
+
+// --- E8: variable-size objects ------------------------------------------------------
+
+fn e8() {
+    // A triangular workload: the section grows with the LIV, so edge weights
+    // are affine in k (Section 4.3's beta_0 + beta_1 * i).
+    fn triangular(n: i64) -> Program {
+        let mut b = ProgramBuilder::new(format!("triangular(n={n})"));
+        let a = b.array("A", &[n]);
+        let c = b.array("C", &[2 * n]);
+        let k = b.begin_loop(1, n);
+        let ik = Affine::liv(k);
+        let a_sec = b.sec_ref(a, vec![rng(1, ik.clone())]);
+        let c_sec = b.sec_ref(c, vec![rng(ik.clone(), Affine::new(0, [(k, 2)]))]);
+        b.assign(
+            a,
+            align_ir::Section::new(vec![rng(1, ik)]),
+            add(a_sec, c_sec),
+        );
+        b.end_loop();
+        b.finish()
+    }
+    let mut t = Table::new(&[
+        "n",
+        "closed-form Σ weight",
+        "enumerated Σ weight",
+        "static shift cost",
+        "mobile shift cost",
+    ]);
+    for n in [32i64, 64, 128] {
+        let p = triangular(n);
+        let adg = build_adg(&p);
+        // Check the sigma closed forms on the weight of the C-section edge.
+        let (sum_closed, sum_enum) = adg
+            .edges()
+            .map(|(_, e)| {
+                let closed = e.weight.sum_over(&e.space) as f64;
+                let enumerated: i64 = e.space.points().iter().map(|pt| e.weight.eval(pt)).sum();
+                (closed, enumerated as f64)
+            })
+            .fold((0.0, 0.0), |(a, b), (c, d)| (a + c, b + d));
+        let mobile = offsets_with(&adg, OffsetStrategy::FixedPartition(3));
+        let t_rank = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let mut fixed = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut fixed);
+        solve_strides(&adg, &mut fixed);
+        let reps = vec![HashSet::new(); t_rank];
+        solve_all_offsets(&adg, &mut fixed, &reps, MobileOffsetConfig::static_only());
+        let static_cost = CostModel::new(&adg).total_cost(&fixed).shift;
+        t.row(vec![
+            n.to_string(),
+            format!("{sum_closed:.0}"),
+            format!("{sum_enum:.0}"),
+            format!("{static_cost:.0}"),
+            format!("{mobile:.0}"),
+        ]);
+    }
+    println!("{t}");
+    println!("The closed-form weighted moments (sigma_0, sigma_1, sigma_2) match direct");
+    println!("enumeration, and mobile offsets beat static ones on growing sections.");
+}
+
+// --- E9: loop nests -------------------------------------------------------------------
+
+fn e9() {
+    let mut t = Table::new(&[
+        "n",
+        "LP variables (m=3)",
+        "subranges (m=3)",
+        "shift cost m=3",
+        "shift cost unrolled",
+    ]);
+    for n in [8i64, 12, 16] {
+        let p = programs::nested_mobile(n);
+        let adg = build_adg(&p);
+        let t_rank = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let mut alignment = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut alignment);
+        solve_strides(&adg, &mut alignment);
+        let reps = vec![HashSet::new(); t_rank];
+        let reports = solve_all_offsets(
+            &adg,
+            &mut alignment,
+            &reps,
+            MobileOffsetConfig::with_strategy(OffsetStrategy::FixedPartition(3)),
+        );
+        let cost3 = CostModel::new(&adg).total_cost(&alignment).shift;
+        let exact = offsets_with(&adg, OffsetStrategy::Unrolling);
+        t.row(vec![
+            n.to_string(),
+            reports.iter().map(|r| r.num_vars).sum::<usize>().to_string(),
+            reports.iter().map(|r| r.num_subranges).sum::<usize>().to_string(),
+            format!("{cost3:.0}"),
+            format!("{exact:.0}"),
+        ]);
+    }
+    println!("{t}");
+    println!("Doubly nested mobile workload: the Cartesian 3^k-subrange decomposition");
+    println!("(Section 4.4) stays close to the unrolled optimum while the LP stays small.");
+}
+
+// --- E10: Figure 4 -----------------------------------------------------------------------
+
+fn e10() {
+    let mut t = Table::new(&[
+        "trips",
+        "broadcast w/o labeling",
+        "broadcast with min-cut",
+        "improvement",
+        "paper prediction",
+    ]);
+    for trips in [50i64, 100, 200] {
+        let p = programs::figure4(100, 200, trips);
+        let (_, with_cut) = align_program(&p, &PipelineConfig::default());
+        let mut base_cfg = PipelineConfig::default();
+        base_cfg.disable_replication = true;
+        let (_, baseline) = align_program(&p, &base_cfg);
+        t.row(vec![
+            trips.to_string(),
+            format!("{:.0}", baseline.total_cost.broadcast),
+            format!("{:.0}", with_cut.total_cost.broadcast),
+            format!(
+                "{:.0}x",
+                baseline.total_cost.broadcast / with_cut.total_cost.broadcast.max(1.0)
+            ),
+            format!("{trips}x"),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper claim (Figure 4): without replication a broadcast occurs on every");
+    println!("iteration; with the min-cut labeling a single broadcast occurs at loop entry.");
+}
+
+// --- E11: Theorem 1 -----------------------------------------------------------------------
+
+fn e11() {
+    let mut t = Table::new(&["program", "axis", "min-cut cost", "brute-force cost", "optimal?"]);
+    let mut checked = 0;
+    let mut matched = 0;
+    for (name, p) in programs::paper_programs() {
+        let adg = build_adg(&p);
+        let t_rank = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let mut alignment = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut alignment);
+        for axis in 0..t_rank {
+            let labeling = label_axis(
+                &adg,
+                &alignment,
+                axis,
+                &HashSet::new(),
+                &ReplicationConfig::default(),
+            );
+            if let Some(best) = brute_force_axis_cost(
+                &adg,
+                &alignment,
+                axis,
+                &HashSet::new(),
+                &ReplicationConfig::default(),
+                18,
+            ) {
+                checked += 1;
+                let ok = (labeling.broadcast_cost - best).abs() < 1e-6;
+                if ok {
+                    matched += 1;
+                }
+                t.row(vec![
+                    name.to_string(),
+                    axis.to_string(),
+                    format!("{:.0}", labeling.broadcast_cost),
+                    format!("{best:.0}"),
+                    if ok { "yes".into() } else { "NO".into() },
+                ]);
+            }
+        }
+    }
+    println!("{t}");
+    println!("Theorem 1: the min-cut labeling is optimal — {matched}/{checked} instances match");
+    println!("exhaustive enumeration exactly.");
+}
+
+// --- E12: mobile stride search ---------------------------------------------------------------
+
+fn e12() {
+    let mut t = Table::new(&["program", "static general", "mobile general", "mobile strides used"]);
+    for (label, p) in [
+        ("example2", programs::example2(256)),
+        ("example5", programs::example5_default()),
+    ] {
+        let adg = build_adg(&p);
+        let t_rank = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let model = CostModel::new(&adg);
+        let mut mobile = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut mobile);
+        solve_strides(&adg, &mut mobile);
+        let mut fixed = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut fixed);
+        solve_strides_with(&adg, &mut fixed, false);
+        let used = mobile
+            .ports
+            .iter()
+            .filter(|p| p.strides.iter().any(|s| !s.is_constant()))
+            .count();
+        t.row(vec![
+            label.to_string(),
+            format!("{:.0}", model.total_cost(&fixed).general),
+            format!("{:.0}", model.total_cost(&mobile).general),
+            used.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+// --- E13: model vs simulator ------------------------------------------------------------------
+
+fn e13() {
+    let mut t = Table::new(&[
+        "program",
+        "P",
+        "model cost (elements)",
+        "simulated moves+broadcasts",
+    ]);
+    for (name, p) in programs::paper_programs() {
+        let (adg, result) = align_program(&p, &PipelineConfig::default());
+        for grid in [vec![4usize], vec![16usize]] {
+            let t_rank = result.template_rank;
+            let full_grid: Vec<usize> = (0..t_rank)
+                .map(|i| if i == 0 { grid[0] } else { 2 })
+                .collect();
+            let block = vec![8usize; t_rank];
+            let machine = Machine::new(full_grid, block);
+            let sim = simulate(&adg, &result.alignment, &machine, SimOptions::default());
+            let model = result.total_cost.shift + result.total_cost.broadcast
+                + result.total_cost.general;
+            t.row(vec![
+                name.to_string(),
+                machine.num_processors().to_string(),
+                format!("{model:.0}"),
+                format!("{:.0}", sim.total_elements()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("The model's element counts upper-bound the simulated traffic (the simulator");
+    println!("only charges elements that actually cross a processor boundary), and the");
+    println!("zero/non-zero structure — which programs need communication at all — agrees.");
+}
+
+// --- E14: iteration ----------------------------------------------------------------------------
+
+fn e14() {
+    let mut t = Table::new(&["program", "iterations", "replicated ports", "mobile ports", "total cost"]);
+    for (name, p) in programs::paper_programs() {
+        let mut cfg = PipelineConfig::default();
+        cfg.max_iterations = 4;
+        let (_, r) = align_program(&p, &cfg);
+        t.row(vec![
+            name.to_string(),
+            r.iterations.to_string(),
+            r.alignment.num_replicated().to_string(),
+            r.alignment.num_mobile().to_string(),
+            format!("{:.0}", r.total_cost.total()),
+        ]);
+    }
+    println!("{t}");
+    println!("The replication <-> mobile-offset iteration reaches quiescence within a few");
+    println!("rounds on every paper program (Section 6's proposal).");
+}
+
+// --- E15: scaling ------------------------------------------------------------------------------
+
+fn e15() {
+    let mut t = Table::new(&[
+        "statements",
+        "ADG edges",
+        "LP vars",
+        "LP constraints",
+        "offset solve (ms)",
+        "min-cut solve (ms)",
+    ]);
+    for statements in [2usize, 4, 8, 16] {
+        let p = random_loop_program(RandomProgramConfig {
+            statements,
+            num_arrays: statements.max(2),
+            trips: 16,
+            ..RandomProgramConfig::default()
+        });
+        let adg = build_adg(&p);
+        let t_rank = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|q| adg.port(q).rank).collect();
+        let mut alignment = ProgramAlignment::identity(t_rank, &ranks);
+        solve_axes(&adg, &mut alignment);
+        solve_strides(&adg, &mut alignment);
+        let reps = vec![HashSet::new(); t_rank];
+        let start = Instant::now();
+        let reports = solve_all_offsets(
+            &adg,
+            &mut alignment,
+            &reps,
+            MobileOffsetConfig::with_strategy(OffsetStrategy::FixedPartition(3)),
+        );
+        let lp_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let start = Instant::now();
+        for axis in 0..t_rank {
+            let _ = label_axis(
+                &adg,
+                &alignment,
+                axis,
+                &HashSet::new(),
+                &ReplicationConfig::default(),
+            );
+        }
+        let cut_ms = start.elapsed().as_secs_f64() * 1000.0;
+        t.row(vec![
+            statements.to_string(),
+            adg.num_edges().to_string(),
+            reports.iter().map(|r| r.num_vars).sum::<usize>().to_string(),
+            reports.iter().map(|r| r.num_constraints).sum::<usize>().to_string(),
+            format!("{lp_ms:.1}"),
+            format!("{cut_ms:.1}"),
+        ]);
+    }
+    println!("{t}");
+    println!("Both phases stay low-order polynomial in the ADG size, as the paper assumes.");
+}

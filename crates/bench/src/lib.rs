@@ -1,0 +1,13 @@
+//! Shared infrastructure of the benchmark / experiment harness.
+//!
+//! Every figure, example and quantitative claim of the paper has an
+//! experiment id (E1..E15, see DESIGN.md). The `experiments` binary prints
+//! the corresponding tables; the Criterion benches measure the solve times of
+//! the same configurations. This library holds the pieces both share:
+//! workload generators and small formatting helpers.
+
+pub mod random_programs;
+pub mod table;
+
+pub use random_programs::{random_loop_program, RandomProgramConfig};
+pub use table::Table;

@@ -1,0 +1,355 @@
+//! The realignment cost model (Section 2.3, Equation 1).
+//!
+//! The cost of an edge is `Σ_{i ∈ Z_xy} w_xy(i) · d(π_x(i), π_y(i))`: the data
+//! weight times the distance between the two port positions, summed over the
+//! edge's iteration space. Two metrics are combined, as in the paper:
+//!
+//! * the **discrete metric** for axis and stride — any mismatch means general
+//!   communication for the whole object;
+//! * the **grid (L1) metric** for offsets — the cost is the Manhattan
+//!   distance between the two positions, summed independently per template
+//!   axis (the metric is separable);
+//! * additionally, an edge whose tail is non-replicated and whose head is
+//!   replicated incurs a **broadcast** of the object (Section 5).
+//!
+//! Costs are evaluated *exactly*, by enumerating the edge's iteration space;
+//! this is the reference the approximate RLP formulations are judged against
+//! in the Figure 3 experiments.
+
+use crate::position::{OffsetAlign, PortAlignment, ProgramAlignment};
+use adg::{Adg, Edge, EdgeId};
+use align_ir::LivId;
+
+/// A communication cost, broken down the way the paper's examples report it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommCost {
+    /// Element-weighted amount of *general* communication (axis or stride
+    /// mismatch: the object must be redistributed arbitrarily).
+    pub general: f64,
+    /// Element-weighted L1 (grid metric) *shift* distance for offset
+    /// mismatches between non-replicated positions.
+    pub shift: f64,
+    /// Element-weighted volume of *broadcast* communication (data flowing
+    /// from a non-replicated tail to a replicated head).
+    pub broadcast: f64,
+}
+
+impl CommCost {
+    /// The zero cost.
+    pub fn zero() -> Self {
+        CommCost::default()
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &CommCost) -> CommCost {
+        CommCost {
+            general: self.general + other.general,
+            shift: self.shift + other.shift,
+            broadcast: self.broadcast + other.broadcast,
+        }
+    }
+
+    /// A single scalar for comparisons: general communication is weighted as
+    /// `general_factor` element-moves per element (it requires all-to-all
+    /// routing), broadcasts as `broadcast_factor`, shifts as their distance.
+    pub fn total_with(&self, general_factor: f64, broadcast_factor: f64) -> f64 {
+        self.general * general_factor + self.shift + self.broadcast * broadcast_factor
+    }
+
+    /// Default scalarisation: general communication counted at 4 element-move
+    /// equivalents, broadcasts at 2.
+    pub fn total(&self) -> f64 {
+        self.total_with(4.0, 2.0)
+    }
+
+    /// True if no communication at all is required.
+    pub fn is_zero(&self) -> bool {
+        self.general == 0.0 && self.shift == 0.0 && self.broadcast == 0.0
+    }
+}
+
+impl std::fmt::Display for CommCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "general={:.1} shift={:.1} broadcast={:.1}",
+            self.general, self.shift, self.broadcast
+        )
+    }
+}
+
+/// Exact cost evaluation over an ADG.
+pub struct CostModel<'a> {
+    adg: &'a Adg,
+}
+
+impl<'a> CostModel<'a> {
+    /// Build a cost model for an ADG.
+    pub fn new(adg: &'a Adg) -> Self {
+        CostModel { adg }
+    }
+
+    /// The underlying graph.
+    pub fn adg(&self) -> &Adg {
+        self.adg
+    }
+
+    /// Exact cost of one edge under `alignment`.
+    pub fn edge_cost(&self, edge: &Edge, alignment: &ProgramAlignment) -> CommCost {
+        let src = alignment.port(edge.src);
+        let dst = alignment.port(edge.dst);
+        let mut cost = CommCost::zero();
+        for point in edge.space.points() {
+            let w = edge.weight.eval(&point) as f64 * edge.control_weight;
+            if w == 0.0 {
+                continue;
+            }
+            cost = cost.add(&point_cost(src, dst, &point, w));
+        }
+        cost
+    }
+
+    /// Exact cost of the whole program under `alignment`.
+    pub fn total_cost(&self, alignment: &ProgramAlignment) -> CommCost {
+        let mut cost = CommCost::zero();
+        for (_, e) in self.adg.edges() {
+            cost = cost.add(&self.edge_cost(e, alignment));
+        }
+        cost
+    }
+
+    /// Per-edge cost breakdown (edge id, cost), skipping zero-cost edges.
+    pub fn edge_breakdown(&self, alignment: &ProgramAlignment) -> Vec<(EdgeId, CommCost)> {
+        self.adg
+            .edges()
+            .map(|(id, e)| (id, self.edge_cost(e, alignment)))
+            .filter(|(_, c)| !c.is_zero())
+            .collect()
+    }
+
+    /// The shift (grid-metric) cost restricted to one template axis — the
+    /// quantity the per-axis offset LP minimises.
+    pub fn shift_cost_on_axis(&self, alignment: &ProgramAlignment, axis: usize) -> f64 {
+        let mut total = 0.0;
+        for (_, e) in self.adg.edges() {
+            let src = alignment.port(e.src);
+            let dst = alignment.port(e.dst);
+            for point in e.space.points() {
+                let w = e.weight.eval(&point) as f64 * e.control_weight;
+                if w == 0.0 {
+                    continue;
+                }
+                if let (OffsetAlign::Fixed(a), OffsetAlign::Fixed(b)) =
+                    (&src.offsets[axis], &dst.offsets[axis])
+                {
+                    total +=
+                        w * (a.eval_assoc(&point) - b.eval_assoc(&point)).abs() as f64;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Cost of moving an object of weight `w` between two positions at one
+/// iteration point.
+fn point_cost(
+    src: &PortAlignment,
+    dst: &PortAlignment,
+    point: &[(LivId, i64)],
+    w: f64,
+) -> CommCost {
+    let mut cost = CommCost::zero();
+    // Axis / stride agreement per body axis (discrete metric).
+    let rank = src.rank().min(dst.rank());
+    let mut general = false;
+    for b in 0..rank {
+        if src.axis_map.get(b) != dst.axis_map.get(b) {
+            general = true;
+            break;
+        }
+        let ss = src.strides[b].eval_assoc(point);
+        let ds = dst.strides[b].eval_assoc(point);
+        if ss != ds {
+            general = true;
+            break;
+        }
+    }
+    if src.rank() != dst.rank() {
+        // Rank change across an edge does not happen in well-formed ADGs;
+        // treat it conservatively as general communication.
+        general = true;
+    }
+    if general {
+        cost.general += w;
+        return cost;
+    }
+    // Offsets per template axis (grid metric + broadcasts).
+    let t = src.template_rank().min(dst.template_rank());
+    for axis in 0..t {
+        match (&src.offsets[axis], &dst.offsets[axis]) {
+            (OffsetAlign::Fixed(a), OffsetAlign::Fixed(b)) => {
+                cost.shift +=
+                    w * (a.eval_assoc(point) - b.eval_assoc(point)).abs() as f64;
+            }
+            (OffsetAlign::Fixed(_), OffsetAlign::Replicated) => {
+                cost.broadcast += w;
+            }
+            (OffsetAlign::Replicated, _) => {
+                // A replicated tail already has a copy wherever the head
+                // needs it: no communication.
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::position::{OffsetAlign, ProgramAlignment};
+    use adg::build_adg;
+    use align_ir::{programs, Affine};
+
+    fn identity_alignment(adg: &Adg, template_rank: usize) -> ProgramAlignment {
+        let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+        ProgramAlignment::identity(template_rank, &ranks)
+    }
+
+    #[test]
+    fn zero_cost_for_identical_alignments() {
+        let adg = build_adg(&programs::example1(64));
+        let a = identity_alignment(&adg, 1);
+        let cost = CostModel::new(&adg).total_cost(&a);
+        assert!(cost.is_zero(), "identical alignments must be free: {cost}");
+    }
+
+    #[test]
+    fn offset_mismatch_charges_shift_distance() {
+        let adg = build_adg(&programs::example1(64));
+        let mut a = identity_alignment(&adg, 1);
+        // Shift every port of array B by 3; edges between A-ports and B-ports
+        // do not exist directly (they meet at the "+" node), so shift the
+        // B-section def port only and check the cost is weight * 3.
+        let (pid, port) = adg
+            .ports()
+            .find(|(_, p)| p.label.contains("B(2:"))
+            .expect("section def port for B");
+        assert!(port.is_def);
+        a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(3));
+        let cost = CostModel::new(&adg).total_cost(&a);
+        assert_eq!(cost.general, 0.0);
+        // The section value (63 elements) flows to the "+" node once.
+        assert!((cost.shift - 63.0 * 3.0).abs() < 1e-9, "{cost}");
+    }
+
+    #[test]
+    fn stride_mismatch_charges_general() {
+        let adg = build_adg(&programs::example1(64));
+        let mut a = identity_alignment(&adg, 1);
+        let (pid, _) = adg
+            .ports()
+            .find(|(_, p)| p.label.contains("B(2:"))
+            .unwrap();
+        a.ports[pid.0].strides[0] = Affine::constant(2);
+        let cost = CostModel::new(&adg).total_cost(&a);
+        assert!(cost.general > 0.0);
+        assert_eq!(cost.shift, 0.0);
+    }
+
+    #[test]
+    fn broadcast_charged_for_n_to_r_edges_only() {
+        let adg = build_adg(&programs::figure4(10, 20, 5));
+        let mut a = identity_alignment(&adg, 2);
+        // Replicate the spread input port along template axis 1.
+        let spread = adg
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, adg::NodeKind::Spread { .. }))
+            .unwrap()
+            .1;
+        let spread_in = spread.input_ports()[0];
+        a.ports[spread_in.0].offsets[1] = OffsetAlign::Replicated;
+        let cost = CostModel::new(&adg).total_cost(&a);
+        // t (size 10) flows into the spread once per iteration (5 trips).
+        assert!((cost.broadcast - 50.0).abs() < 1e-9, "{cost}");
+
+        // Making the *tail* replicated as well removes the broadcast.
+        let e = adg.in_edge(spread_in).unwrap();
+        let tail = adg.edge(e).src;
+        a.ports[tail.0].offsets[1] = OffsetAlign::Replicated;
+        let cost2 = CostModel::new(&adg).total_cost(&a);
+        assert_eq!(cost2.broadcast, 0.0);
+    }
+
+    #[test]
+    fn mobile_alignment_evaluates_per_iteration() {
+        // Two ports on a loop edge: src offset k, dst offset 0 -> cost is
+        // sum over k of w * k.
+        use adg::NodeKind;
+        use align_ir::{ArrayId, IterationSpace, WeightPoly};
+        let k = align_ir::LivId(0);
+        let mut g = Adg::new("mobile");
+        let space = IterationSpace::single_loop(k, 1, 10, 1);
+        let n1 = g.add_node(NodeKind::Source { array: ArrayId(0) }, space.clone());
+        let n2 = g.add_node(NodeKind::Sink { array: ArrayId(0) }, space.clone());
+        let d = g.add_port(n1, 1, vec![Affine::constant(1)], None, true, "d");
+        let u = g.add_port(n2, 1, vec![Affine::constant(1)], None, false, "u");
+        g.add_edge(d, u, WeightPoly::constant(1), space, 1.0);
+        let mut a = ProgramAlignment::identity(1, &[1, 1]);
+        a.ports[d.0].offsets[0] = OffsetAlign::Fixed(Affine::liv(k));
+        let cost = CostModel::new(&g).total_cost(&a);
+        assert!((cost.shift - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_sum_of_edge_breakdown() {
+        let adg = build_adg(&programs::figure1(16));
+        let mut a = identity_alignment(&adg, 2);
+        // Perturb a few ports to create nonzero cost.
+        for p in adg.port_ids().take(6) {
+            if a.ports[p.0].template_rank() > 1 {
+                a.ports[p.0].offsets[1] = OffsetAlign::Fixed(Affine::constant(2));
+            }
+        }
+        let model = CostModel::new(&adg);
+        let total = model.total_cost(&a);
+        let sum = model
+            .edge_breakdown(&a)
+            .iter()
+            .fold(CommCost::zero(), |acc, (_, c)| acc.add(c));
+        assert!((total.shift - sum.shift).abs() < 1e-9);
+        assert!((total.general - sum.general).abs() < 1e-9);
+        assert!((total.broadcast - sum.broadcast).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalarisation_orders_costs_sensibly() {
+        let a = CommCost {
+            general: 10.0,
+            shift: 0.0,
+            broadcast: 0.0,
+        };
+        let b = CommCost {
+            general: 0.0,
+            shift: 10.0,
+            broadcast: 0.0,
+        };
+        assert!(a.total() > b.total(), "general must cost more than shift");
+        assert_eq!(CommCost::zero().total(), 0.0);
+    }
+
+    #[test]
+    fn shift_cost_on_axis_matches_total_for_single_axis_programs() {
+        let adg = build_adg(&programs::example1(32));
+        let mut a = identity_alignment(&adg, 1);
+        let (pid, _) = adg
+            .ports()
+            .find(|(_, p)| p.label.contains("B(2:"))
+            .unwrap();
+        a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(-1));
+        let model = CostModel::new(&adg);
+        assert!(
+            (model.total_cost(&a).shift - model.shift_cost_on_axis(&a, 0)).abs() < 1e-9
+        );
+    }
+}

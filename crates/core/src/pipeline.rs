@@ -1,0 +1,256 @@
+//! The phase-ordered alignment pipeline.
+//!
+//! `align_program` runs the complete analysis on a program:
+//!
+//! 1. build the ADG;
+//! 2. axis alignment (discrete metric);
+//! 3. stride alignment, allowing mobile strides (Section 3);
+//! 4. iterate — replication labeling (Section 5) followed by per-axis mobile
+//!    offset alignment (Section 4) — until the set of replicated ports stops
+//!    changing (the "chicken-and-egg" iteration of Section 6) or the
+//!    iteration budget is exhausted;
+//! 5. evaluate the final realignment cost exactly.
+
+use crate::axis::{solve_axes, template_rank};
+use crate::cost::{CommCost, CostModel};
+use crate::mobile_offset::{solve_all_offsets, MobileOffsetConfig, OffsetSolveReport};
+use crate::position::ProgramAlignment;
+use crate::replication::{label_all, ReplicationConfig, ReplicationLabeling};
+use crate::stride::solve_strides;
+use adg::{build_adg, Adg, NodeKind, PortId};
+use align_ir::Program;
+use std::collections::HashSet;
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineConfig {
+    /// Mobile-offset solver configuration.
+    pub offset: MobileOffsetConfig,
+    /// Replication labeling configuration.
+    pub replication: ReplicationConfig,
+    /// Disable the replication phase entirely (used by the ablation
+    /// experiments; every offset stays a single position).
+    pub disable_replication: bool,
+    /// Maximum replication ⇄ offset iterations (0 means 1 pass).
+    pub max_iterations: usize,
+}
+
+impl PipelineConfig {
+    /// The default configuration with a specific offset strategy.
+    pub fn with_strategy(strategy: crate::mobile_offset::OffsetStrategy) -> Self {
+        PipelineConfig {
+            offset: MobileOffsetConfig::with_strategy(strategy),
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct AlignmentResult {
+    /// The chosen alignment for every port.
+    pub alignment: ProgramAlignment,
+    /// Template rank used.
+    pub template_rank: usize,
+    /// Discrete-metric cost left after the axis phase.
+    pub axis_cost: f64,
+    /// Discrete-metric cost left after the stride phase.
+    pub stride_cost: f64,
+    /// Per-axis offset solve statistics (from the final iteration).
+    pub offset_reports: Vec<OffsetSolveReport>,
+    /// The final replication labeling (if the phase ran).
+    pub replication: Option<ReplicationLabeling>,
+    /// Exact realignment cost of the final alignment.
+    pub total_cost: CommCost,
+    /// Number of replication ⇄ offset iterations performed.
+    pub iterations: usize,
+}
+
+/// Run the full alignment analysis on a program. Returns the ADG (so callers
+/// can evaluate or simulate) and the result.
+pub fn align_program(program: &Program, config: &PipelineConfig) -> (Adg, AlignmentResult) {
+    let adg = build_adg(program);
+    let result = align_adg(&adg, config);
+    (adg, result)
+}
+
+/// Run the alignment analysis on an already-built ADG.
+pub fn align_adg(adg: &Adg, config: &PipelineConfig) -> AlignmentResult {
+    let t = template_rank(adg);
+    let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+    let mut alignment = ProgramAlignment::identity(t, &ranks);
+
+    let axis_cost = solve_axes(adg, &mut alignment);
+    let stride_cost = solve_strides(adg, &mut alignment);
+
+    let max_iters = config.max_iterations.max(1);
+    let mut forced_r: Vec<HashSet<PortId>> = vec![HashSet::new(); t];
+    let mut replication: Option<ReplicationLabeling> = None;
+    #[allow(unused_assignments)]
+    let mut offset_reports: Vec<OffsetSolveReport> = Vec::new();
+    let mut iterations = 0;
+
+    loop {
+        iterations += 1;
+        let replicated_per_axis: Vec<HashSet<PortId>> = if config.disable_replication {
+            // Only the replication the program semantics force (spread
+            // inputs, lookup tables); no min-cut optimisation. Broadcasts
+            // then happen wherever data enters those ports.
+            crate::replication::required_replication(adg, &alignment, &config.replication)
+        } else {
+            let labeling = label_all(adg, &alignment, &forced_r, &config.replication);
+            let sets = (0..t).map(|ax| labeling.replicated_ports(ax)).collect();
+            replication = Some(labeling);
+            sets
+        };
+
+        offset_reports = solve_all_offsets(
+            adg,
+            &mut alignment,
+            &replicated_per_axis,
+            config.offset,
+        );
+
+        if config.disable_replication || iterations >= max_iters {
+            break;
+        }
+        // Constraint 3 of Section 5.2: read-only objects that ended up with a
+        // mobile offset along a space axis are replication candidates in the
+        // next round.
+        let new_forced = read_only_mobile_ports(adg, &alignment);
+        if new_forced == forced_r {
+            break;
+        }
+        forced_r = new_forced;
+    }
+
+    let total_cost = CostModel::new(adg).total_cost(&alignment);
+    AlignmentResult {
+        alignment,
+        template_rank: t,
+        axis_cost,
+        stride_cost,
+        offset_reports,
+        replication,
+        total_cost,
+        iterations,
+    }
+}
+
+/// Ports of read-only arrays (never assigned, hence no sink node) whose
+/// offset along a space axis is mobile: the paper's third source of
+/// replication.
+fn read_only_mobile_ports(adg: &Adg, alignment: &ProgramAlignment) -> Vec<HashSet<PortId>> {
+    let t = alignment.template_rank;
+    let assigned: HashSet<usize> = adg
+        .nodes()
+        .filter_map(|(_, n)| match n.kind {
+            NodeKind::Sink { array } => Some(array.0),
+            _ => None,
+        })
+        .collect();
+    let mut out = vec![HashSet::new(); t];
+    for pid in adg.port_ids() {
+        let port = adg.port(pid);
+        let Some(array) = port.array else { continue };
+        if assigned.contains(&array.0) {
+            continue;
+        }
+        let pa = alignment.port(pid);
+        for axis in 0..t {
+            if pa.axis_map.contains(&axis) {
+                continue; // body axis
+            }
+            if let crate::position::OffsetAlign::Fixed(a) = &pa.offsets[axis] {
+                if !a.is_constant() {
+                    out[axis].insert(pid);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align_ir::programs;
+
+    #[test]
+    fn paper_programs_align_end_to_end() {
+        for (name, prog) in programs::paper_programs() {
+            let (_, result) = align_program(&prog, &PipelineConfig::default());
+            result
+                .alignment
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(result.total_cost.total().is_finite(), "{name}");
+            assert_eq!(result.axis_cost, 0.0, "{name} axis phase");
+        }
+    }
+
+    #[test]
+    fn example1_is_communication_free() {
+        let (_, result) = align_program(&programs::example1(100), &PipelineConfig::default());
+        assert!(result.total_cost.is_zero(), "{}", result.total_cost);
+    }
+
+    #[test]
+    fn example3_is_communication_free() {
+        let (_, result) = align_program(&programs::example3(32), &PipelineConfig::default());
+        assert!(result.total_cost.is_zero(), "{}", result.total_cost);
+    }
+
+    #[test]
+    fn figure1_ends_with_mobile_or_replicated_v() {
+        let (_, result) = align_program(&programs::figure1(32), &PipelineConfig::default());
+        // After the replication ⇄ offset iteration, V is either mobile (and
+        // then replicated) or directly replicated; either way the residual
+        // shift cost is zero and the only communication is at most one
+        // broadcast of V.
+        assert_eq!(result.total_cost.general, 0.0, "{}", result.total_cost);
+        assert_eq!(result.total_cost.shift, 0.0, "{}", result.total_cost);
+        assert!(
+            result.alignment.num_mobile() > 0 || result.alignment.num_replicated() > 0
+        );
+    }
+
+    #[test]
+    fn figure4_broadcast_collapses_to_loop_entry() {
+        let (_, with_rep) =
+            align_program(&programs::figure4_default(), &PipelineConfig::default());
+        let mut no_rep_cfg = PipelineConfig::default();
+        no_rep_cfg.disable_replication = true;
+        let (_, no_rep) = align_program(&programs::figure4_default(), &no_rep_cfg);
+        // Without replication the spread input must be broadcast (or shifted)
+        // every iteration; with replication the broadcast happens once.
+        assert!(
+            with_rep.total_cost.broadcast <= 200.0 + 1e-6,
+            "with replication: {}",
+            with_rep.total_cost
+        );
+        assert!(
+            no_rep.total_cost.total() > with_rep.total_cost.total(),
+            "replication must help: {} vs {}",
+            no_rep.total_cost,
+            with_rep.total_cost
+        );
+    }
+
+    #[test]
+    fn iteration_terminates() {
+        let mut cfg = PipelineConfig::default();
+        cfg.max_iterations = 5;
+        let (_, result) = align_program(&programs::figure1(16), &cfg);
+        assert!(result.iterations <= 5);
+    }
+
+    #[test]
+    fn disable_replication_yields_no_replicated_ports() {
+        let mut cfg = PipelineConfig::default();
+        cfg.disable_replication = true;
+        let (_, result) = align_program(&programs::figure4(16, 8, 4), &cfg);
+        assert_eq!(result.alignment.num_replicated(), 0);
+        assert!(result.replication.is_none());
+    }
+}

@@ -1,0 +1,365 @@
+//! Alignment (position) representation.
+//!
+//! Section 2 of the paper: an alignment maps each element of an array object
+//! to a cell of the template. It has three components — *axis* (which
+//! template axis each body axis maps to), *stride* (spacing along that axis)
+//! and *offset* (position of the origin) — and, after Section 5, the offset
+//! along a *space* axis may be a set of positions (replication).
+//!
+//! The convention used throughout this crate: element `i` (Fortran-style,
+//! 1-based) of body axis `b` of an object sits at template coordinate
+//! `stride[b] * i + offset[axis_map[b]]` along template axis `axis_map[b]`.
+//! Both strides and offsets are [`Affine`] functions of the LIVs, which is
+//! what makes an alignment *mobile*.
+
+use align_ir::{Affine, LivId};
+use std::fmt;
+
+/// The offset component of an alignment along one template axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OffsetAlign {
+    /// A single position, possibly mobile (affine in the LIVs).
+    Fixed(Affine),
+    /// A replicated position: the object holds a copy at every cell of the
+    /// axis (the paper's `*`; extent refinement to a triplet is deferred to a
+    /// later storage-optimisation phase, as in Section 5.1).
+    Replicated,
+}
+
+impl OffsetAlign {
+    /// The fixed offset, or `None` when replicated.
+    pub fn fixed(&self) -> Option<&Affine> {
+        match self {
+            OffsetAlign::Fixed(a) => Some(a),
+            OffsetAlign::Replicated => None,
+        }
+    }
+
+    /// True if this offset is replicated.
+    pub fn is_replicated(&self) -> bool {
+        matches!(self, OffsetAlign::Replicated)
+    }
+
+    /// Evaluate the offset at an iteration point (replicated offsets have no
+    /// single value and return `None`).
+    pub fn eval(&self, point: &[(LivId, i64)]) -> Option<i64> {
+        self.fixed().map(|a| a.eval_assoc(point))
+    }
+}
+
+impl fmt::Display for OffsetAlign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffsetAlign::Fixed(a) => write!(f, "{a}"),
+            OffsetAlign::Replicated => write!(f, "*"),
+        }
+    }
+}
+
+/// The alignment of one port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortAlignment {
+    /// Template axis (0-based) assigned to each body axis of the object.
+    pub axis_map: Vec<usize>,
+    /// Stride along each body axis (affine in the LIVs; mobile if non-constant).
+    pub strides: Vec<Affine>,
+    /// Offset along each template axis (length = template rank). Body axes
+    /// must have `Fixed` offsets; space axes may be `Fixed` or `Replicated`.
+    pub offsets: Vec<OffsetAlign>,
+}
+
+impl PortAlignment {
+    /// The canonical identity alignment for an object of rank `rank` on a
+    /// template of rank `template_rank`: body axis `b` maps to template axis
+    /// `b` with stride 1 and offset 0; space axes have offset 0.
+    pub fn identity(rank: usize, template_rank: usize) -> Self {
+        assert!(rank <= template_rank, "object rank exceeds template rank");
+        PortAlignment {
+            axis_map: (0..rank).collect(),
+            strides: vec![Affine::constant(1); rank],
+            offsets: vec![OffsetAlign::Fixed(Affine::zero()); template_rank],
+        }
+    }
+
+    /// Rank of the aligned object.
+    pub fn rank(&self) -> usize {
+        self.axis_map.len()
+    }
+
+    /// Template rank this alignment addresses.
+    pub fn template_rank(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Template axes not used by any body axis (the object's *space axes*).
+    pub fn space_axes(&self) -> Vec<usize> {
+        (0..self.template_rank())
+            .filter(|t| !self.axis_map.contains(t))
+            .collect()
+    }
+
+    /// The body axis mapped to template axis `t`, if any.
+    pub fn body_axis_on(&self, t: usize) -> Option<usize> {
+        self.axis_map.iter().position(|&x| x == t)
+    }
+
+    /// True if any stride or offset depends on a LIV.
+    pub fn is_mobile(&self) -> bool {
+        self.strides.iter().any(|s| !s.is_constant())
+            || self.offsets.iter().any(|o| match o {
+                OffsetAlign::Fixed(a) => !a.is_constant(),
+                OffsetAlign::Replicated => false,
+            })
+    }
+
+    /// True if any offset is replicated.
+    pub fn is_replicated(&self) -> bool {
+        self.offsets.iter().any(OffsetAlign::is_replicated)
+    }
+
+    /// The template coordinates of element `index` (1-based, one entry per
+    /// body axis) at iteration `point`. Space-axis coordinates are the
+    /// (evaluated) space offsets; replicated axes yield `None`.
+    pub fn position_of(
+        &self,
+        index: &[i64],
+        point: &[(LivId, i64)],
+    ) -> Vec<Option<i64>> {
+        assert_eq!(index.len(), self.rank(), "index arity mismatch");
+        let mut coords: Vec<Option<i64>> = self
+            .offsets
+            .iter()
+            .map(|o| o.eval(point))
+            .collect();
+        for (b, &i) in index.iter().enumerate() {
+            let t = self.axis_map[b];
+            let stride = self.strides[b].eval_assoc(point);
+            if let Some(c) = coords[t].as_mut() {
+                *c += stride * i;
+            }
+        }
+        coords
+    }
+
+    /// Structural validity: axis map injective and in range, offsets sized to
+    /// the template, body axes not replicated.
+    pub fn validate(&self) -> Result<(), String> {
+        let t = self.template_rank();
+        if self.strides.len() != self.rank() {
+            return Err("stride count != rank".into());
+        }
+        for (b, &ax) in self.axis_map.iter().enumerate() {
+            if ax >= t {
+                return Err(format!("body axis {b} maps to template axis {ax} >= {t}"));
+            }
+            if self.axis_map.iter().filter(|&&x| x == ax).count() > 1 {
+                return Err(format!("template axis {ax} used by two body axes"));
+            }
+            if self.offsets[ax].is_replicated() {
+                return Err(format!("body axis {b} has a replicated offset"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PortAlignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Written in the paper's notation: A(i1,..) -> [g1, g2, ...]
+        let mut parts = Vec::with_capacity(self.template_rank());
+        for t in 0..self.template_rank() {
+            match self.body_axis_on(t) {
+                Some(b) => {
+                    let stride = &self.strides[b];
+                    let off = match &self.offsets[t] {
+                        OffsetAlign::Fixed(a) => a.clone(),
+                        OffsetAlign::Replicated => Affine::zero(),
+                    };
+                    let s = if *stride == Affine::constant(1) {
+                        format!("i{}", b + 1)
+                    } else {
+                        format!("({stride})*i{}", b + 1)
+                    };
+                    if off.is_zero() {
+                        parts.push(s);
+                    } else {
+                        parts.push(format!("{s}+{off}"));
+                    }
+                }
+                None => parts.push(format!("{}", self.offsets[t])),
+            }
+        }
+        write!(f, "[{}]", parts.join(", "))
+    }
+}
+
+/// The alignment of every port of an ADG.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramAlignment {
+    /// Template rank `t` shared by all positions.
+    pub template_rank: usize,
+    /// One alignment per port, indexed by `PortId::0`.
+    pub ports: Vec<PortAlignment>,
+}
+
+impl ProgramAlignment {
+    /// An identity alignment (every port at stride 1, offset 0, axis `b -> b`)
+    /// for an ADG whose ports have the given ranks.
+    pub fn identity(template_rank: usize, port_ranks: &[usize]) -> Self {
+        ProgramAlignment {
+            template_rank,
+            ports: port_ranks
+                .iter()
+                .map(|&r| PortAlignment::identity(r, template_rank))
+                .collect(),
+        }
+    }
+
+    /// Alignment of a port.
+    pub fn port(&self, p: adg::PortId) -> &PortAlignment {
+        &self.ports[p.0]
+    }
+
+    /// Mutable alignment of a port.
+    pub fn port_mut(&mut self, p: adg::PortId) -> &mut PortAlignment {
+        &mut self.ports[p.0]
+    }
+
+    /// Number of ports whose alignment is mobile.
+    pub fn num_mobile(&self) -> usize {
+        self.ports.iter().filter(|a| a.is_mobile()).count()
+    }
+
+    /// Number of ports with a replicated offset.
+    pub fn num_replicated(&self) -> usize {
+        self.ports.iter().filter(|a| a.is_replicated()).count()
+    }
+
+    /// Validate every port alignment.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, a) in self.ports.iter().enumerate() {
+            if a.template_rank() != self.template_rank {
+                return Err(format!("port {i} has wrong template rank"));
+            }
+            a.validate().map_err(|e| format!("port {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> LivId {
+        LivId(0)
+    }
+
+    #[test]
+    fn identity_alignment_shape() {
+        let a = PortAlignment::identity(1, 2);
+        assert_eq!(a.rank(), 1);
+        assert_eq!(a.template_rank(), 2);
+        assert_eq!(a.axis_map, vec![0]);
+        assert_eq!(a.space_axes(), vec![1]);
+        assert!(!a.is_mobile());
+        assert!(!a.is_replicated());
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn figure1_v_alignment_round_trip() {
+        // V(i) ->_k [k, i - k + 1]: body axis on template axis 1, stride 1,
+        // offset 1-k there; space axis 0 has offset k.
+        let v = PortAlignment {
+            axis_map: vec![1],
+            strides: vec![Affine::constant(1)],
+            offsets: vec![
+                OffsetAlign::Fixed(Affine::liv(k())),
+                OffsetAlign::Fixed(Affine::new(1, [(k(), -1)])),
+            ],
+        };
+        v.validate().unwrap();
+        assert!(v.is_mobile());
+        assert_eq!(v.body_axis_on(1), Some(0));
+        assert_eq!(v.body_axis_on(0), None);
+        // Element i=5 at iteration k=3 sits at [3, 5 - 3 + 1] = [3, 3].
+        let pos = v.position_of(&[5], &[(k(), 3)]);
+        assert_eq!(pos, vec![Some(3), Some(3)]);
+    }
+
+    #[test]
+    fn replication_blocks_position() {
+        let a = PortAlignment {
+            axis_map: vec![0],
+            strides: vec![Affine::constant(1)],
+            offsets: vec![
+                OffsetAlign::Fixed(Affine::zero()),
+                OffsetAlign::Replicated,
+            ],
+        };
+        a.validate().unwrap();
+        assert!(a.is_replicated());
+        let pos = a.position_of(&[7], &[]);
+        assert_eq!(pos, vec![Some(7), None]);
+    }
+
+    #[test]
+    fn validation_rejects_broken_alignments() {
+        // duplicate template axis
+        let bad = PortAlignment {
+            axis_map: vec![0, 0],
+            strides: vec![Affine::constant(1), Affine::constant(1)],
+            offsets: vec![OffsetAlign::Fixed(Affine::zero()); 2],
+        };
+        assert!(bad.validate().is_err());
+        // replicated body axis
+        let bad2 = PortAlignment {
+            axis_map: vec![0],
+            strides: vec![Affine::constant(1)],
+            offsets: vec![OffsetAlign::Replicated],
+        };
+        assert!(bad2.validate().is_err());
+        // out-of-range template axis
+        let bad3 = PortAlignment {
+            axis_map: vec![3],
+            strides: vec![Affine::constant(1)],
+            offsets: vec![OffsetAlign::Fixed(Affine::zero())],
+        };
+        assert!(bad3.validate().is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let v = PortAlignment {
+            axis_map: vec![1],
+            strides: vec![Affine::constant(1)],
+            offsets: vec![
+                OffsetAlign::Fixed(Affine::liv(k())),
+                OffsetAlign::Fixed(Affine::new(1, [(k(), -1)])),
+            ],
+        };
+        let s = v.to_string();
+        assert!(s.contains("i0") && s.contains("i1"), "{s}");
+        let ident = PortAlignment::identity(2, 2);
+        assert_eq!(ident.to_string(), "[i1, i2]");
+    }
+
+    #[test]
+    fn program_alignment_counters() {
+        let mut pa = ProgramAlignment::identity(2, &[1, 1, 2]);
+        assert_eq!(pa.num_mobile(), 0);
+        assert_eq!(pa.num_replicated(), 0);
+        pa.ports[0].offsets[1] = OffsetAlign::Replicated;
+        pa.ports[1].offsets[0] = OffsetAlign::Fixed(Affine::liv(k()));
+        assert_eq!(pa.num_mobile(), 1);
+        assert_eq!(pa.num_replicated(), 1);
+        pa.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "rank exceeds template")]
+    fn identity_rejects_rank_overflow() {
+        PortAlignment::identity(3, 2);
+    }
+}

@@ -1,0 +1,520 @@
+//! Stride alignment, including *mobile* strides (Section 3).
+//!
+//! The discrete metric governs stride changes: two objects whose strides
+//! differ at an iteration need general communication there, whatever the
+//! magnitude of the difference. The paper solves the problem with the
+//! compact-dynamic-programming machinery of the earlier static-alignment
+//! work, extended so a stride may be an affine function of the LIVs
+//! (Example 5's `V(i) ->_k [k·i]`).
+//!
+//! This implementation realises the same search space with an explicit
+//! candidate search: the free choices are the stride of each declared array
+//! (its base version) and the stride of each array's in-loop incarnation
+//! (one choice per `(array, loop)` pair, introduced at the loop-entry
+//! transformer exactly where the paper's transformer constraints allow a
+//! mobile function to appear). Candidate strides are harvested from the
+//! section subscripts of the program — the only place non-unit strides can
+//! originate. Every other port's stride is *derived* by forward propagation
+//! through the hard node constraints (sections multiply by their step, the
+//! loop-back transformer substitutes `k := k+s`, ...), and each candidate
+//! assignment is scored with the discrete-metric edge cost. Small candidate
+//! spaces are searched exhaustively, larger ones greedily with improvement
+//! passes — the same compromise the paper's compact DP makes.
+
+use crate::constraints::{affine_mul, last_iteration};
+use crate::position::ProgramAlignment;
+use adg::{Adg, NodeKind, PortId, TransformerRole};
+use align_ir::{Affine, ArrayId, LivId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A context in which an array's stride can be chosen independently: its
+/// base (outside all loops) or its incarnation inside the loop with a given
+/// induction variable.
+pub type StrideContext = (ArrayId, Option<LivId>);
+
+/// Candidate strides per context, harvested from the program's sections.
+pub fn stride_candidates(adg: &Adg) -> BTreeMap<StrideContext, Vec<Affine>> {
+    // Collect the distinct non-unit section steps per loop context (keyed by
+    // the innermost LIV of the node's space; None for straight-line code).
+    let mut steps_per_loop: BTreeMap<Option<LivId>, BTreeSet<Affine>> = BTreeMap::new();
+    for (_, node) in adg.nodes() {
+        let section = match &node.kind {
+            NodeKind::Section { section } | NodeKind::SectionAssign { section } => section,
+            _ => continue,
+        };
+        let ctx = node.space.livs().last().copied();
+        for spec in &section.specs {
+            if let align_ir::SectionSpec::Range(t) = spec {
+                if t.stride != Affine::constant(1) {
+                    steps_per_loop.entry(ctx).or_default().insert(t.stride.clone());
+                }
+            }
+        }
+    }
+
+    // Arrays present in the graph.
+    let arrays: BTreeSet<ArrayId> = adg
+        .nodes()
+        .filter_map(|(_, n)| match n.kind {
+            NodeKind::Source { array } => Some(array),
+            _ => None,
+        })
+        .collect();
+    // Loop contexts present in the graph.
+    let mut contexts: BTreeSet<Option<LivId>> = BTreeSet::new();
+    contexts.insert(None);
+    for (_, node) in adg.nodes() {
+        contexts.insert(node.space.livs().last().copied());
+    }
+
+    let mut out = BTreeMap::new();
+    for &a in &arrays {
+        for &ctx in &contexts {
+            let mut cands = vec![Affine::constant(1)];
+            if let Some(steps) = steps_per_loop.get(&ctx) {
+                cands.extend(steps.iter().cloned());
+            }
+            // Steps harvested at top level are also plausible base strides.
+            if ctx.is_some() {
+                if let Some(steps) = steps_per_loop.get(&None) {
+                    cands.extend(steps.iter().cloned());
+                }
+            }
+            cands.dedup();
+            out.insert((a, ctx), cands);
+        }
+    }
+    out
+}
+
+/// Solve the stride phase: fill `alignment.strides` for every port (the axis
+/// maps must already be decided) and return the resulting discrete-metric
+/// cost. Mobile strides are allowed.
+pub fn solve_strides(adg: &Adg, alignment: &mut ProgramAlignment) -> f64 {
+    solve_strides_with(adg, alignment, true)
+}
+
+/// As [`solve_strides`], but optionally forbidding mobile (LIV-dependent)
+/// strides: the static baseline of the Example 5 experiment.
+pub fn solve_strides_with(adg: &Adg, alignment: &mut ProgramAlignment, allow_mobile: bool) -> f64 {
+    let mut candidates = stride_candidates(adg);
+    if !allow_mobile {
+        for v in candidates.values_mut() {
+            v.retain(Affine::is_constant);
+            if v.is_empty() {
+                v.push(Affine::constant(1));
+            }
+        }
+    }
+    let contexts: Vec<StrideContext> = candidates.keys().cloned().collect();
+    let cand_lists: Vec<&Vec<Affine>> = contexts.iter().map(|c| &candidates[c]).collect();
+
+    let total_combos: usize = cand_lists.iter().map(|c| c.len()).product();
+    let mut best_idx = vec![0usize; contexts.len()];
+    let mut best_cost = f64::INFINITY;
+
+    let eval = |idx: &[usize]| -> (f64, Vec<Vec<Affine>>) {
+        let choice: BTreeMap<StrideContext, Affine> = contexts
+            .iter()
+            .zip(idx)
+            .map(|(c, &i)| (c.clone(), cand_lists[contexts.iter().position(|x| x == c).unwrap()][i].clone()))
+            .collect();
+        let strides = propagate_strides(adg, &choice);
+        (discrete_stride_cost(adg, &strides), strides)
+    };
+
+    if total_combos <= 4096 && total_combos > 0 {
+        let mut idx = vec![0usize; contexts.len()];
+        loop {
+            let (cost, _) = eval(&idx);
+            if cost < best_cost {
+                best_cost = cost;
+                best_idx = idx.clone();
+            }
+            if !advance(&mut idx, &cand_lists) {
+                break;
+            }
+        }
+    } else {
+        let mut idx = vec![0usize; contexts.len()];
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for ci in 0..contexts.len() {
+                let mut local_best = idx[ci];
+                let mut local_cost = f64::INFINITY;
+                for v in 0..cand_lists[ci].len() {
+                    idx[ci] = v;
+                    let (cost, _) = eval(&idx);
+                    if cost < local_cost {
+                        local_cost = cost;
+                        local_best = v;
+                    }
+                }
+                if idx[ci] != local_best {
+                    improved = true;
+                }
+                idx[ci] = local_best;
+                if local_cost < best_cost {
+                    best_cost = local_cost;
+                    best_idx = idx.clone();
+                }
+            }
+        }
+    }
+
+    let (cost, strides) = eval(&best_idx);
+    for pid in adg.port_ids() {
+        alignment.port_mut(pid).strides = strides[pid.0].clone();
+    }
+    cost
+}
+
+fn advance(idx: &mut [usize], candidates: &[&Vec<Affine>]) -> bool {
+    // Last position fastest: unit strides for earlier contexts are preferred
+    // among cost ties, keeping solutions canonical.
+    for i in (0..idx.len()).rev() {
+        idx[i] += 1;
+        if idx[i] < candidates[i].len() {
+            return true;
+        }
+        idx[i] = 0;
+    }
+    false
+}
+
+/// Forward-propagate strides through the ADG given the per-context choices,
+/// satisfying the hard node constraints by construction.
+pub fn propagate_strides(
+    adg: &Adg,
+    choice: &BTreeMap<StrideContext, Affine>,
+) -> Vec<Vec<Affine>> {
+    let one = Affine::constant(1);
+    let mut strides: Vec<Option<Vec<Affine>>> = vec![None; adg.num_ports()];
+
+    let chosen = |array: Option<ArrayId>, ctx: Option<LivId>| -> Option<Affine> {
+        array.and_then(|a| choice.get(&(a, ctx)).cloned())
+    };
+
+    // Seed source ports with the base choices.
+    for (_, node) in adg.nodes() {
+        if let NodeKind::Source { array } = node.kind {
+            let p = node.ports[0];
+            let rank = adg.port(p).rank;
+            let s = chosen(Some(array), None).unwrap_or_else(|| one.clone());
+            strides[p.0] = Some(vec![s; rank]);
+        }
+    }
+
+    for _ in 0..adg.num_nodes() + 2 {
+        let mut changed = false;
+        for (_, node) in adg.nodes() {
+            // Use ports adopt the incoming object's strides by default.
+            for &p in node.input_ports() {
+                if strides[p.0].is_some() {
+                    continue;
+                }
+                if let Some(e) = adg.in_edge(p) {
+                    if let Some(src) = strides[adg.edge(e).src.0].clone() {
+                        let rank = adg.port(p).rank;
+                        strides[p.0] = Some(fit(&src, rank));
+                        changed = true;
+                    }
+                }
+            }
+            let ctx = node.space.livs().last().copied();
+            match &node.kind {
+                NodeKind::Source { .. } | NodeKind::Sink { .. } => {}
+                NodeKind::Elementwise { .. } | NodeKind::Merge | NodeKind::Branch => {
+                    let out = *node.output_ports().first().expect("result port");
+                    if strides[out.0].is_some() {
+                        continue;
+                    }
+                    let array = adg.port(out).array;
+                    let forced = chosen(array, ctx);
+                    let base = forced.map(|s| vec![s; adg.port(out).rank]).or_else(|| {
+                        node.input_ports()
+                            .iter()
+                            .filter_map(|&p| strides[p.0].clone())
+                            .next()
+                            .map(|s| fit(&s, adg.port(out).rank))
+                    });
+                    if let Some(v) = base {
+                        for &p in node.ports.iter() {
+                            let rank = adg.port(p).rank;
+                            strides[p.0] = Some(fit(&v, rank));
+                        }
+                        changed = true;
+                    }
+                }
+                NodeKind::Fanout => {
+                    if let Some(v) = strides[node.ports[0].0].clone() {
+                        for &p in node.output_ports() {
+                            if strides[p.0].is_none() {
+                                strides[p.0] = Some(v.clone());
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                NodeKind::Gather => {
+                    let (x, o) = (node.ports[1], node.ports[2]);
+                    if strides[o.0].is_none() {
+                        if let Some(v) = strides[x.0].clone() {
+                            strides[o.0] = Some(v);
+                            changed = true;
+                        }
+                    }
+                }
+                NodeKind::Transpose => {
+                    let (i, o) = (node.ports[0], node.ports[1]);
+                    if strides[o.0].is_none() {
+                        if let Some(mut v) = strides[i.0].clone() {
+                            v.reverse();
+                            strides[o.0] = Some(v);
+                            changed = true;
+                        }
+                    }
+                }
+                NodeKind::Spread { dim, .. } => {
+                    let (i, o) = (node.ports[0], node.ports[1]);
+                    if strides[o.0].is_none() {
+                        if let Some(mut v) = strides[i.0].clone() {
+                            v.insert((*dim).min(v.len()), one.clone());
+                            strides[o.0] = Some(v);
+                            changed = true;
+                        }
+                    }
+                }
+                NodeKind::Reduce { dim } => {
+                    let (i, o) = (node.ports[0], node.ports[1]);
+                    if strides[o.0].is_none() {
+                        if let Some(mut v) = strides[i.0].clone() {
+                            if *dim < v.len() {
+                                v.remove(*dim);
+                            }
+                            strides[o.0] = Some(v);
+                            changed = true;
+                        }
+                    }
+                }
+                NodeKind::Section { section } => {
+                    let (i, o) = (node.ports[0], node.ports[1]);
+                    if strides[o.0].is_none() {
+                        if let Some(v) = strides[i.0].clone() {
+                            strides[o.0] = Some(section_value_strides(section, &v));
+                            changed = true;
+                        }
+                    }
+                }
+                NodeKind::SectionAssign { section } => {
+                    let (old, val, out) = (node.ports[0], node.ports[1], node.ports[2]);
+                    if let Some(v) = strides[old.0].clone() {
+                        if strides[out.0].is_none() {
+                            strides[out.0] = Some(v.clone());
+                            changed = true;
+                        }
+                        if strides[val.0].is_none() {
+                            strides[val.0] = Some(section_value_strides(section, &v));
+                            changed = true;
+                        }
+                    }
+                }
+                NodeKind::Transformer { liv, range, role } => {
+                    let (i, o) = (node.ports[0], node.ports[1]);
+                    if strides[o.0].is_some() {
+                        continue;
+                    }
+                    let Some(v) = strides[i.0].clone() else { continue };
+                    let out_v = match role {
+                        TransformerRole::Entry => {
+                            // The in-loop incarnation may pick a mobile stride
+                            // (entry only pins its value at the first
+                            // iteration, so any choice agreeing there is
+                            // legal; we let the search choose it directly).
+                            let array = adg.port(o).array;
+                            match chosen(array, Some(*liv)) {
+                                Some(s) => vec![s; adg.port(o).rank],
+                                None => v,
+                            }
+                        }
+                        TransformerRole::Back => {
+                            let step = Affine::liv(*liv) + range.stride.clone();
+                            v.iter().map(|s| s.substitute(*liv, &step)).collect()
+                        }
+                        TransformerRole::Exit => {
+                            let last = last_iteration(range);
+                            v.iter().map(|s| s.substitute(*liv, &last)).collect()
+                        }
+                    };
+                    strides[o.0] = Some(out_v);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    strides
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| vec![one.clone(); adg.port(PortId(i)).rank]))
+        .collect()
+}
+
+/// Strides of the value of a section, derived from the enclosing array's
+/// strides (`stride_out = step · stride_in` per surviving axis).
+fn section_value_strides(section: &align_ir::Section, array_strides: &[Affine]) -> Vec<Affine> {
+    let mut out = Vec::new();
+    for (a, spec) in section.specs.iter().enumerate() {
+        if let align_ir::SectionSpec::Range(t) = spec {
+            let base = array_strides
+                .get(a)
+                .cloned()
+                .unwrap_or_else(|| Affine::constant(1));
+            let s = affine_mul(&t.stride, &base).unwrap_or_else(|| {
+                Affine::constant(t.stride.constant_part().max(1) * base.constant_part().max(1))
+            });
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn fit(v: &[Affine], rank: usize) -> Vec<Affine> {
+    let mut out: Vec<Affine> = v.iter().cloned().take(rank).collect();
+    while out.len() < rank {
+        out.push(Affine::constant(1));
+    }
+    out
+}
+
+/// Discrete-metric cost of a stride assignment: the total data carried by
+/// edges whose endpoints disagree on the stride of some body axis.
+pub fn discrete_stride_cost(adg: &Adg, strides: &[Vec<Affine>]) -> f64 {
+    let mut cost = 0.0;
+    for (_, e) in adg.edges() {
+        let a = &strides[e.src.0];
+        let b = &strides[e.dst.0];
+        let rank = a.len().min(b.len());
+        if a[..rank] != b[..rank] {
+            cost += e.total_data();
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::{solve_axes, template_rank};
+    use crate::cost::CostModel;
+    use adg::build_adg;
+    use align_ir::programs;
+
+    fn aligned_through_strides(prog: &align_ir::Program) -> (Adg, ProgramAlignment, f64) {
+        let adg = build_adg(prog);
+        let t = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+        let mut alignment = ProgramAlignment::identity(t, &ranks);
+        solve_axes(&adg, &mut alignment);
+        let cost = solve_strides(&adg, &mut alignment);
+        (adg, alignment, cost)
+    }
+
+    #[test]
+    fn example2_stride_alignment_removes_general_communication() {
+        // Paper Example 2: A(i) -> [2i], B(i) -> [i] avoids communication.
+        let (adg, alignment, cost) = aligned_through_strides(&programs::example2(64));
+        assert_eq!(cost, 0.0, "stride choice must remove the mismatch");
+        let general = CostModel::new(&adg).total_cost(&alignment).general;
+        assert_eq!(general, 0.0);
+        // A's final value must indeed carry stride 2.
+        let a_sink = adg
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, NodeKind::Sink { array } if array.0 == 0))
+            .unwrap()
+            .1;
+        assert_eq!(
+            alignment.port(a_sink.ports[0]).strides[0],
+            Affine::constant(2)
+        );
+    }
+
+    #[test]
+    fn example5_mobile_stride_halves_general_communication() {
+        // Paper Example 5: static strides cost two general communications per
+        // iteration; the mobile stride V(i) ->_k [k·i] costs one.
+        let prog = programs::example5(1000, 20, 50);
+        let (adg, mobile_alignment, _) = aligned_through_strides(&prog);
+        let model = CostModel::new(&adg);
+        let mobile_general = model.total_cost(&mobile_alignment).general;
+
+        // Static baseline: the best stride alignment with mobile strides
+        // forbidden (Example 5 says any static stride costs two general
+        // communications per iteration).
+        let t = template_rank(&adg);
+        let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+        let mut static_alignment = ProgramAlignment::identity(t, &ranks);
+        solve_axes(&adg, &mut static_alignment);
+        solve_strides_with(&adg, &mut static_alignment, false);
+        let static_general = model.total_cost(&static_alignment).general;
+
+        assert!(
+            mobile_general > 0.0,
+            "even the mobile alignment keeps one general communication per iteration"
+        );
+        assert!(
+            mobile_general <= static_general / 2.0 + 1e-6,
+            "mobile ({mobile_general}) must halve the static cost ({static_general})"
+        );
+        // The chosen alignment must actually be mobile somewhere.
+        assert!(mobile_alignment
+            .ports
+            .iter()
+            .any(|p| p.strides.iter().any(|s| !s.is_constant())));
+    }
+
+    #[test]
+    fn unit_stride_programs_stay_at_unit_stride() {
+        let (adg, alignment, cost) = aligned_through_strides(&programs::figure1(16));
+        assert_eq!(cost, 0.0);
+        for pid in adg.port_ids() {
+            for s in &alignment.port(pid).strides {
+                assert_eq!(*s, Affine::constant(1));
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_include_section_steps() {
+        let adg = build_adg(&programs::example2(64));
+        let cands = stride_candidates(&adg);
+        let has_two = cands
+            .values()
+            .any(|v| v.contains(&Affine::constant(2)));
+        assert!(has_two, "the step 2 of B(2:2N:2) must be a candidate");
+    }
+
+    #[test]
+    fn mobile_candidates_appear_for_loops() {
+        let adg = build_adg(&programs::example5_default());
+        let cands = stride_candidates(&adg);
+        let k = align_ir::LivId(0);
+        let has_mobile = cands
+            .iter()
+            .any(|((_, ctx), v)| *ctx == Some(k) && v.iter().any(|a| !a.is_constant()));
+        assert!(has_mobile, "the in-loop step k must be a candidate");
+    }
+
+    #[test]
+    fn all_paper_programs_have_finite_stride_cost() {
+        for (name, prog) in programs::paper_programs() {
+            let (_, alignment, cost) = aligned_through_strides(&prog);
+            assert!(cost.is_finite(), "{name}");
+            alignment.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

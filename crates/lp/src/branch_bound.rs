@@ -1,0 +1,175 @@
+//! A small branch-and-bound wrapper for mixed-integer programs.
+//!
+//! The paper mentions that the authors "have also experimented with using
+//! mixed integer linear programming" instead of rounding the LP relaxation.
+//! This module provides that alternative: depth-first branch and bound over
+//! the variables marked integral with [`Problem::set_integer`], using the
+//! two-phase simplex for every relaxation.
+
+use crate::model::{Problem, Relation, Solution, SolveError, VarId};
+
+/// Tolerance for deciding that a relaxation value is already integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Solve `problem` as a mixed-integer program: variables marked with
+/// [`Problem::set_integer`] must take integer values at the optimum.
+///
+/// `max_nodes` bounds the number of branch-and-bound nodes explored; the
+/// search returns the best incumbent found if the budget is exhausted, or
+/// [`SolveError::IterationLimit`] if no incumbent was found at all.
+pub fn solve_milp(problem: &Problem, max_nodes: usize) -> Result<Solution, SolveError> {
+    let integer_vars: Vec<VarId> = (0..problem.num_vars())
+        .map(VarId)
+        .filter(|&v| problem.is_integer(v))
+        .collect();
+    if integer_vars.is_empty() {
+        return problem.solve();
+    }
+
+    let mut best: Option<Solution> = None;
+    let mut nodes = 0usize;
+    // Stack of subproblems (each a copy of the problem with tightened bounds).
+    let mut stack: Vec<Problem> = vec![problem.clone()];
+
+    while let Some(sub) = stack.pop() {
+        if nodes >= max_nodes {
+            break;
+        }
+        nodes += 1;
+        let relax = match sub.solve() {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        if let Some(b) = &best {
+            if relax.objective >= b.objective - 1e-9 {
+                continue; // bound: cannot improve on incumbent
+            }
+        }
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(VarId, f64)> = None;
+        let mut best_frac = INT_TOL;
+        for &v in &integer_vars {
+            let x = relax.value(v);
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((v, x));
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral solution; snap the integer values exactly.
+                let mut sol = relax;
+                for &v in &integer_vars {
+                    sol.values[v.index()] = sol.values[v.index()].round();
+                }
+                sol.objective = problem.eval_objective(&sol.values);
+                if best.as_ref().map_or(true, |b| sol.objective < b.objective) {
+                    best = Some(sol);
+                }
+            }
+            Some((v, x)) => {
+                let floor = x.floor();
+                let (lo, hi) = sub.bounds(v);
+                // Down branch: v <= floor(x)
+                if floor >= lo - 1e-9 {
+                    let mut down = sub.clone();
+                    down.set_bounds(v, lo, floor.min(hi));
+                    stack.push(down);
+                }
+                // Up branch: v >= ceil(x)
+                let ceil = floor + 1.0;
+                if ceil <= hi + 1e-9 {
+                    let mut up = sub.clone();
+                    up.set_bounds(v, ceil.max(lo), hi);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    best.ok_or(SolveError::IterationLimit)
+}
+
+/// Convenience: build a constraint stating `var == value` (used by callers
+/// that pin ports to externally specified alignments).
+pub fn pin(problem: &mut Problem, var: VarId, value: f64) {
+    problem.add_constraint(vec![(var, 1.0)], Relation::Eq, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn knapsack_like_milp() {
+        // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, x,y >= 0 integer.
+        // LP relaxation optimum (3, 1.5) = 21; best integer point is (4, 0)
+        // with value 20 (beats (3,1) = 19 and (2,2) = 18).
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 10.0, -5.0);
+        let y = p.add_var("y", 0.0, 10.0, -4.0);
+        p.set_integer(x);
+        p.set_integer(y);
+        p.add_constraint(vec![(x, 6.0), (y, 4.0)], Relation::Le, 24.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 6.0);
+        let s = solve_milp(&p, 1000).unwrap();
+        assert_close(s.value(x), 4.0);
+        assert_close(s.value(y), 0.0);
+        assert_close(s.objective, -20.0);
+    }
+
+    #[test]
+    fn already_integral_relaxation_short_circuits() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 4.0, 1.0);
+        p.set_integer(x);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let s = solve_milp(&p, 100).unwrap();
+        assert_close(s.value(x), 2.0);
+    }
+
+    #[test]
+    fn no_integer_vars_falls_back_to_lp() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.5);
+        let s = solve_milp(&p, 100).unwrap();
+        assert_close(s.value(x), 1.5);
+    }
+
+    #[test]
+    fn infeasible_milp_reports_error() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.set_integer(x);
+        // 2x = 1 has no integer solution in [0, 1].
+        p.add_constraint(vec![(x, 2.0)], Relation::Eq, 1.0);
+        assert!(solve_milp(&p, 100).is_err());
+    }
+
+    #[test]
+    fn pin_fixes_variable() {
+        let mut p = Problem::new();
+        let x = p.add_free_var("x", 1.0);
+        pin(&mut p, x, 7.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(x), 7.0);
+    }
+
+    #[test]
+    fn branching_respects_bounds() {
+        // min -x with x integer in [0, 3.7] -> x = 3.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 3.7, -1.0);
+        p.set_integer(x);
+        let s = solve_milp(&p, 100).unwrap();
+        assert_close(s.value(x), 3.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The alignment analysis of Chatterjee, Gilbert and Schreiber (SC'93)
+//! repeatedly reduces mobile offset alignment to *rounded linear programming*
+//! (RLP): a linear program whose fractional optimum is rounded to integer
+//! offsets. The original work assumed an external LP package; this crate is
+//! that substrate, rebuilt from scratch.
+//!
+//! The solver is a dense, two-phase primal simplex with Bland's rule as an
+//! anti-cycling fallback. It is designed for the problem sizes the alignment
+//! phase produces (a handful of variables per port plus one surrogate
+//! variable per edge-subrange — hundreds to a few thousand variables), not
+//! for industrial LPs.
+//!
+//! # Example
+//!
+//! ```
+//! use lp::{Problem, Relation};
+//!
+//! // minimize  x + 2y   subject to   x + y >= 3,  x <= 2,  x,y >= 0
+//! let mut p = Problem::new();
+//! let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+//! let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+//! p.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.value(x) - 2.0).abs() < 1e-7);
+//! assert!((sol.value(y) - 1.0).abs() < 1e-7);
+//! assert!((sol.objective - 4.0).abs() < 1e-7);
+//! ```
+
+pub mod branch_bound;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::solve_milp;
+pub use model::{Problem, Relation, Solution, SolveError, VarId};
+
+/// Numerical tolerance used throughout the solver.
+pub const EPS: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_holds() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-7);
+    }
+}

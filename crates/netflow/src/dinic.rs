@@ -1,0 +1,317 @@
+//! Dinic's algorithm with min-cut extraction.
+
+/// Capacity value treated as "infinite".
+///
+/// Large enough that no sum of real edge weights in an alignment problem can
+/// reach it, small enough that summing many of them cannot overflow `u64`.
+pub const INF: u64 = u64::MAX / 1024;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: u64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+    /// True for edges added by the caller (as opposed to residual reverses).
+    original: bool,
+    /// Capacity the caller gave the edge (for reporting cut edges).
+    original_cap: u64,
+}
+
+/// A directed flow network with integer capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Edge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+/// The result of a minimum-cut computation.
+#[derive(Debug, Clone)]
+pub struct MinCut {
+    /// Total capacity of the cut (equals the max-flow value).
+    pub value: u64,
+    /// `true` for vertices on the source side of the cut.
+    pub source_side: Vec<bool>,
+    /// The original edges `(from, to, capacity)` crossing the cut from the
+    /// source side to the sink side.
+    pub cut_edges: Vec<(usize, usize, u64)>,
+}
+
+impl FlowNetwork {
+    /// Create a network with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Number of caller-added edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph
+            .iter()
+            .map(|adj| adj.iter().filter(|e| e.original).count())
+            .sum()
+    }
+
+    /// Add a directed edge `from -> to` with capacity `cap`.
+    ///
+    /// Self-loops are ignored (they can never carry s-t flow).
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) {
+        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        if from == to {
+            return;
+        }
+        let from_len = self.graph[from].len();
+        let to_len = self.graph[to].len();
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            rev: to_len,
+            original: true,
+            original_cap: cap,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            rev: from_len,
+            original: false,
+            original_cap: 0,
+        });
+    }
+
+    fn bfs(&mut self, s: usize) {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: u64) -> u64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let (to, cap) = {
+                let e = &self.graph[v][i];
+                (e.to, e.cap)
+            };
+            if cap > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    let rev = self.graph[v][i].rev;
+                    self.graph[v][i].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Compute the maximum s-t flow. The network retains the residual
+    /// capacities afterwards (so a min cut can be read off).
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow: u64 = 0;
+        loop {
+            self.bfs(s);
+            if self.level[t] < 0 {
+                return flow;
+            }
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, u64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow = flow.saturating_add(f);
+            }
+        }
+    }
+
+    /// Compute a minimum s-t cut. Runs max-flow, then takes the set of
+    /// vertices reachable from `s` in the residual graph as the source side.
+    pub fn min_cut(&mut self, s: usize, t: usize) -> MinCut {
+        let value = self.max_flow(s, t);
+        let n = self.num_vertices();
+        let mut source_side = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        source_side[s] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && !source_side[e.to] {
+                    source_side[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        let mut cut_edges = Vec::new();
+        for (v, adj) in self.graph.iter().enumerate() {
+            if !source_side[v] {
+                continue;
+            }
+            for e in adj {
+                if e.original && !source_side[e.to] {
+                    cut_edges.push((v, e.to, e.original_cap));
+                }
+            }
+        }
+        MinCut {
+            value,
+            source_side,
+            cut_edges,
+        }
+    }
+}
+
+impl MinCut {
+    /// Sum of the capacities of the reported cut edges; must equal `value`
+    /// unless some crossing edge has infinite capacity.
+    pub fn edge_capacity_sum(&self) -> u64 {
+        self.cut_edges.iter().map(|&(_, _, c)| c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_small_network() {
+        // CLRS figure: max flow 23.
+        let mut g = FlowNetwork::new(6);
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        g.add_edge(s, v1, 16);
+        g.add_edge(s, v2, 13);
+        g.add_edge(v1, v2, 10);
+        g.add_edge(v2, v1, 4);
+        g.add_edge(v1, v3, 12);
+        g.add_edge(v3, v2, 9);
+        g.add_edge(v2, v4, 14);
+        g.add_edge(v4, v3, 7);
+        g.add_edge(v3, t, 20);
+        g.add_edge(v4, t, 4);
+        assert_eq!(g.max_flow(s, t), 23);
+    }
+
+    #[test]
+    fn min_cut_matches_flow_and_separates() {
+        let mut g = FlowNetwork::new(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 2, 10);
+        g.add_edge(2, 1, 4);
+        g.add_edge(1, 3, 12);
+        g.add_edge(3, 2, 9);
+        g.add_edge(2, 4, 14);
+        g.add_edge(4, 3, 7);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 5, 4);
+        let cut = g.min_cut(0, 5);
+        assert_eq!(cut.value, 23);
+        assert!(cut.source_side[0]);
+        assert!(!cut.source_side[5]);
+        assert_eq!(cut.edge_capacity_sum(), 23);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_flow() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 5);
+        g.add_edge(2, 3, 5);
+        assert_eq!(g.max_flow(0, 3), 0);
+        let cut = g.min_cut(0, 3);
+        assert_eq!(cut.value, 0);
+        assert!(cut.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 1, 4);
+        assert_eq!(g.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 0, 100);
+        g.add_edge(0, 1, 2);
+        assert_eq!(g.max_flow(0, 1), 2);
+    }
+
+    #[test]
+    fn infinite_edges_never_cut() {
+        // s -inf-> a -5-> b -inf-> t : cut must take the middle edge.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, INF);
+        g.add_edge(1, 2, 5);
+        g.add_edge(2, 3, INF);
+        let cut = g.min_cut(0, 3);
+        assert_eq!(cut.value, 5);
+        assert_eq!(cut.cut_edges, vec![(1, 2, 5)]);
+    }
+
+    #[test]
+    fn chain_bottleneck() {
+        let mut g = FlowNetwork::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1, (10 - i) as u64);
+        }
+        assert_eq!(g.max_flow(0, 4), 7);
+    }
+
+    #[test]
+    fn bipartite_matching_as_flow() {
+        // 3x3 bipartite with a perfect matching.
+        let mut g = FlowNetwork::new(8);
+        let s = 6;
+        let t = 7;
+        for l in 0..3 {
+            g.add_edge(s, l, 1);
+            g.add_edge(3 + l, t, 1);
+        }
+        g.add_edge(0, 3, 1);
+        g.add_edge(0, 4, 1);
+        g.add_edge(1, 4, 1);
+        g.add_edge(2, 5, 1);
+        assert_eq!(g.max_flow(s, t), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "source and sink must differ")]
+    fn same_source_sink_panics() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 1);
+        g.max_flow(0, 0);
+    }
+
+    #[test]
+    fn num_edges_counts_only_originals() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+}

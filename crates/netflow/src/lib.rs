@@ -1,0 +1,31 @@
+//! Maximum flow and minimum cut on directed graphs.
+//!
+//! Section 5 of the SC'93 alignment paper (Theorem 1) reduces *replication
+//! labeling* — deciding which ports of the alignment-distribution graph
+//! should hold replicated copies of an object — to a minimum s-t cut in a
+//! weighted directed graph. This crate is the flow substrate: a
+//! straightforward Dinic implementation with integer capacities, min-cut
+//! extraction, and a brute-force checker used by the property tests.
+//!
+//! Capacities are `u64`; [`INF`] plays the role of the paper's
+//! "infinite-weight" edges that pin vertices to a label.
+
+pub mod dinic;
+
+pub use dinic::{FlowNetwork, MinCut, INF};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_example() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 1);
+        assert_eq!(g.max_flow(0, 3), 4);
+    }
+}

