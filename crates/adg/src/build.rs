@@ -24,9 +24,7 @@
 
 use crate::graph::{Adg, NodeKind, PortId, TransformerRole};
 use align_ir::triplet::AffineTriplet;
-use align_ir::{
-    Affine, ArrayId, Expr, IterationSpace, Program, Section, SectionSpec, Stmt,
-};
+use align_ir::{Affine, ArrayId, Expr, IterationSpace, Program, Section, SectionSpec, Stmt};
 use std::collections::BTreeSet;
 
 /// Build the ADG for `program`. The returned graph has fanout nodes inserted
@@ -69,8 +67,7 @@ impl<'p> Builder<'p> {
             let node = self
                 .g
                 .add_node(NodeKind::Source { array: id }, IterationSpace::scalar());
-            let extents: Vec<Affine> =
-                decl.extents.iter().map(|&e| Affine::constant(e)).collect();
+            let extents: Vec<Affine> = decl.extents.iter().map(|&e| Affine::constant(e)).collect();
             let port = self.g.add_port(
                 node,
                 decl.rank(),
@@ -92,8 +89,7 @@ impl<'p> Builder<'p> {
             let node = self
                 .g
                 .add_node(NodeKind::Sink { array: id }, IterationSpace::scalar());
-            let extents: Vec<Affine> =
-                decl.extents.iter().map(|&e| Affine::constant(e)).collect();
+            let extents: Vec<Affine> = decl.extents.iter().map(|&e| Affine::constant(e)).collect();
             let use_port = self.g.add_port(
                 node,
                 decl.rank(),
@@ -149,8 +145,7 @@ impl<'p> Builder<'p> {
                     let node = self
                         .g
                         .add_node(NodeKind::Elementwise { op: "copy".into() }, space.clone());
-                    let (rank, extents) =
-                        (self.g.port(p).rank, self.g.port(p).extents.clone());
+                    let (rank, extents) = (self.g.port(p).rank, self.g.port(p).extents.clone());
                     let use_p = self.g.add_port(
                         node,
                         rank,
@@ -247,14 +242,10 @@ impl<'p> Builder<'p> {
 
     /// Like [`Builder::edge`] but with an explicit iteration space different
     /// from both ports (loop-entry / first-iteration edges).
-    fn edge_in_space(
-        &mut self,
-        src: PortId,
-        dst: PortId,
-        space: IterationSpace,
-    ) {
+    fn edge_in_space(&mut self, src: PortId, dst: PortId, space: IterationSpace) {
         let weight = self.g.port(src).size();
-        self.g.add_edge(src, dst, weight, space, self.control_weight);
+        self.g
+            .add_edge(src, dst, weight, space, self.control_weight);
     }
 
     fn build_expr(&mut self, expr: &Expr, space: &IterationSpace) -> Option<PortId> {
@@ -323,24 +314,14 @@ impl<'p> Builder<'p> {
                     },
                     space.clone(),
                 );
-                let use_p = self.g.add_port(
-                    node,
-                    in_rank,
-                    in_extents.clone(),
-                    array,
-                    false,
-                    "spread-in",
-                );
+                let use_p =
+                    self.g
+                        .add_port(node, in_rank, in_extents.clone(), array, false, "spread-in");
                 let mut out_extents = in_extents;
                 out_extents.insert((*dim).min(out_extents.len()), ncopies.clone());
-                let def_p = self.g.add_port(
-                    node,
-                    in_rank + 1,
-                    out_extents,
-                    array,
-                    true,
-                    "spread-out",
-                );
+                let def_p =
+                    self.g
+                        .add_port(node, in_rank + 1, out_extents, array, true, "spread-out");
                 self.edge(p, use_p, space);
                 Some(def_p)
             }
@@ -349,9 +330,14 @@ impl<'p> Builder<'p> {
                 let in_extents = self.g.port(p).extents.clone();
                 let array = self.g.port(p).array;
                 let node = self.g.add_node(NodeKind::Transpose, space.clone());
-                let use_p =
-                    self.g
-                        .add_port(node, in_extents.len(), in_extents.clone(), array, false, "T-in");
+                let use_p = self.g.add_port(
+                    node,
+                    in_extents.len(),
+                    in_extents.clone(),
+                    array,
+                    false,
+                    "T-in",
+                );
                 let mut out_extents = in_extents;
                 out_extents.reverse();
                 let def_p =
@@ -364,7 +350,9 @@ impl<'p> Builder<'p> {
                 let p = self.build_expr(operand, space)?;
                 let in_extents = self.g.port(p).extents.clone();
                 let array = self.g.port(p).array;
-                let node = self.g.add_node(NodeKind::Reduce { dim: *dim }, space.clone());
+                let node = self
+                    .g
+                    .add_node(NodeKind::Reduce { dim: *dim }, space.clone());
                 let use_p = self.g.add_port(
                     node,
                     in_extents.len(),
@@ -377,9 +365,14 @@ impl<'p> Builder<'p> {
                 if *dim < out_extents.len() {
                     out_extents.remove(*dim);
                 }
-                let def_p =
-                    self.g
-                        .add_port(node, out_extents.len(), out_extents, array, true, "reduce-out");
+                let def_p = self.g.add_port(
+                    node,
+                    out_extents.len(),
+                    out_extents,
+                    array,
+                    true,
+                    "reduce-out",
+                );
                 self.edge(p, use_p, space);
                 Some(def_p)
             }
@@ -413,14 +406,9 @@ impl<'p> Builder<'p> {
                     false,
                     "gather-index",
                 );
-                let def_p = self.g.add_port(
-                    node,
-                    idx_rank,
-                    idx_extents,
-                    idx_array,
-                    true,
-                    "gather-out",
-                );
+                let def_p =
+                    self.g
+                        .add_port(node, idx_rank, idx_extents, idx_array, true, "gather-out");
                 let td = self.defs[table.0];
                 self.edge(td, t_use, space);
                 if let Some(p) = idx_port {
@@ -453,9 +441,7 @@ impl<'p> Builder<'p> {
                 self.g.port(p).extents.clone(),
                 self.g.port(p).array,
             );
-            let u = self
-                .g
-                .add_port(node, r, e, a, false, format!("{op}-in{i}"));
+            let u = self.g.add_port(node, r, e, a, false, format!("{op}-in{i}"));
             use_ports.push((p, u));
         }
         let def = self
@@ -481,8 +467,10 @@ impl<'p> Builder<'p> {
         let defined = arrays_assigned(body);
 
         // First-iteration-only space for the entry-to-merge edge.
-        let first_iter_space =
-            outer_space.enter_loop(liv, AffineTriplet::new(range.lo.clone(), range.lo.clone(), 1));
+        let first_iter_space = outer_space.enter_loop(
+            liv,
+            AffineTriplet::new(range.lo.clone(), range.lo.clone(), 1),
+        );
 
         // Pending (array, merge second use port) connections for back edges.
         let mut pending_back: Vec<(ArrayId, PortId)> = Vec::new();
@@ -724,17 +712,10 @@ fn range_extent(t: &AffineTriplet, space: &IterationSpace) -> Affine {
     if pts.is_empty() {
         return Affine::constant(0);
     }
-    let counts: Vec<i64> = pts
-        .iter()
-        .take(64)
-        .map(|p| t.at(p).count())
-        .collect();
-    let first = counts[0];
-    Affine::constant(if counts.iter().all(|&c| c == first) {
-        first
-    } else {
-        first
-    })
+    // Trapezoidal ranges have varying counts per iteration; approximate with
+    // the first iteration's count (Section 4.3 treats variable-sized objects
+    // as fixed-size anyway).
+    Affine::constant(t.at(&pts[0]).count())
 }
 
 /// Arrays assigned anywhere in a statement list (recursively).
@@ -818,27 +799,33 @@ mod tests {
         assert_eq!(count(&adg, |k| matches!(k, NK::SectionAssign { .. })), 1);
         assert!(count(&adg, |k| matches!(k, NK::Elementwise { .. })) >= 1);
         assert!(count(&adg, |k| matches!(k, NK::Merge)) >= 1); // A is loop-carried
-        assert!(count(&adg, |k| matches!(
-            k,
-            NK::Transformer {
-                role: TransformerRole::Entry,
-                ..
-            }
-        )) >= 2); // A and V enter the loop
-        assert!(count(&adg, |k| matches!(
-            k,
-            NK::Transformer {
-                role: TransformerRole::Back,
-                ..
-            }
-        )) >= 1);
-        assert!(count(&adg, |k| matches!(
-            k,
-            NK::Transformer {
-                role: TransformerRole::Exit,
-                ..
-            }
-        )) >= 1);
+        assert!(
+            count(&adg, |k| matches!(
+                k,
+                NK::Transformer {
+                    role: TransformerRole::Entry,
+                    ..
+                }
+            )) >= 2
+        ); // A and V enter the loop
+        assert!(
+            count(&adg, |k| matches!(
+                k,
+                NK::Transformer {
+                    role: TransformerRole::Back,
+                    ..
+                }
+            )) >= 1
+        );
+        assert!(
+            count(&adg, |k| matches!(
+                k,
+                NK::Transformer {
+                    role: TransformerRole::Exit,
+                    ..
+                }
+            )) >= 1
+        );
         assert!(count(&adg, |k| matches!(k, NK::Fanout)) >= 1);
         adg.validate(true).unwrap();
     }

@@ -60,7 +60,10 @@ mod tests {
         let adg = build_adg(&programs::example1(10));
         let dot = to_dot(&adg);
         // Every label is quoted exactly once per node line.
-        for line in dot.lines().filter(|l| l.contains("label=") && l.contains("shape=")) {
+        for line in dot
+            .lines()
+            .filter(|l| l.contains("label=") && l.contains("shape="))
+        {
             assert_eq!(line.matches('"').count() % 2, 0);
         }
     }

@@ -186,9 +186,7 @@ impl Node {
             NodeKind::Source { .. } => &[],
             NodeKind::Sink { .. } => &self.ports,
             NodeKind::Fanout | NodeKind::Branch => &self.ports[..1],
-            NodeKind::Elementwise { .. } | NodeKind::Merge => {
-                &self.ports[..self.ports.len() - 1]
-            }
+            NodeKind::Elementwise { .. } | NodeKind::Merge => &self.ports[..self.ports.len() - 1],
             _ => &self.ports[..self.ports.len() - 1],
         }
     }
@@ -399,9 +397,7 @@ impl Adg {
 
     /// The edge arriving at a use port, if any.
     pub fn in_edge(&self, port: PortId) -> Option<EdgeId> {
-        self.edges()
-            .find(|(_, e)| e.dst == port)
-            .map(|(id, _)| id)
+        self.edges().find(|(_, e)| e.dst == port).map(|(id, _)| id)
     }
 
     /// Nodes of a given kind predicate (convenience for tests/reports).
@@ -453,13 +449,7 @@ impl Adg {
                 let _ = edge;
             }
             // Single edge def -> fanout-in.
-            self.add_edge(
-                def,
-                fan_in,
-                dport.size(),
-                dport.space.clone(),
-                1.0,
-            );
+            self.add_edge(def, fan_in, dport.size(), dport.space.clone(), 1.0);
         }
     }
 
@@ -518,13 +508,22 @@ mod tests {
     fn tiny_graph() -> Adg {
         // source -> elementwise(+) <- source ; elementwise -> sink
         let mut g = Adg::new("tiny");
-        let s1 = g.add_node(NodeKind::Source { array: ArrayId(0) }, IterationSpace::scalar());
-        let s2 = g.add_node(NodeKind::Source { array: ArrayId(1) }, IterationSpace::scalar());
+        let s1 = g.add_node(
+            NodeKind::Source { array: ArrayId(0) },
+            IterationSpace::scalar(),
+        );
+        let s2 = g.add_node(
+            NodeKind::Source { array: ArrayId(1) },
+            IterationSpace::scalar(),
+        );
         let plus = g.add_node(
             NodeKind::Elementwise { op: "+".into() },
             IterationSpace::scalar(),
         );
-        let sink = g.add_node(NodeKind::Sink { array: ArrayId(0) }, IterationSpace::scalar());
+        let sink = g.add_node(
+            NodeKind::Sink { array: ArrayId(0) },
+            IterationSpace::scalar(),
+        );
         let e = vec![Affine::constant(10)];
         let p1 = g.add_port(s1, 1, e.clone(), Some(ArrayId(0)), true, "A");
         let p2 = g.add_port(s2, 1, e.clone(), Some(ArrayId(1)), true, "B");
@@ -583,12 +582,32 @@ mod tests {
     #[test]
     fn fanout_insertion_restores_invariant() {
         let mut g = Adg::new("fan");
-        let src = g.add_node(NodeKind::Source { array: ArrayId(0) }, IterationSpace::scalar());
-        let d = g.add_port(src, 1, vec![Affine::constant(4)], Some(ArrayId(0)), true, "d");
+        let src = g.add_node(
+            NodeKind::Source { array: ArrayId(0) },
+            IterationSpace::scalar(),
+        );
+        let d = g.add_port(
+            src,
+            1,
+            vec![Affine::constant(4)],
+            Some(ArrayId(0)),
+            true,
+            "d",
+        );
         let mut uses = Vec::new();
         for i in 0..3 {
-            let sink = g.add_node(NodeKind::Sink { array: ArrayId(0) }, IterationSpace::scalar());
-            let u = g.add_port(sink, 1, vec![Affine::constant(4)], Some(ArrayId(0)), false, format!("u{i}"));
+            let sink = g.add_node(
+                NodeKind::Sink { array: ArrayId(0) },
+                IterationSpace::scalar(),
+            );
+            let u = g.add_port(
+                sink,
+                1,
+                vec![Affine::constant(4)],
+                Some(ArrayId(0)),
+                false,
+                format!("u{i}"),
+            );
             uses.push(u);
             g.add_edge(d, u, WeightPoly::constant(4), IterationSpace::scalar(), 1.0);
         }
@@ -607,8 +626,14 @@ mod tests {
     #[test]
     fn validation_rejects_backwards_edge() {
         let mut g = Adg::new("bad");
-        let n = g.add_node(NodeKind::Source { array: ArrayId(0) }, IterationSpace::scalar());
-        let m = g.add_node(NodeKind::Sink { array: ArrayId(0) }, IterationSpace::scalar());
+        let n = g.add_node(
+            NodeKind::Source { array: ArrayId(0) },
+            IterationSpace::scalar(),
+        );
+        let m = g.add_node(
+            NodeKind::Sink { array: ArrayId(0) },
+            IterationSpace::scalar(),
+        );
         let d = g.add_port(n, 0, vec![], None, true, "d");
         let u = g.add_port(m, 0, vec![], None, false, "u");
         let _ = (d, u);
@@ -622,7 +647,10 @@ mod tests {
     #[should_panic(expected = "must be a definition port")]
     fn add_edge_from_use_port_panics() {
         let mut g = Adg::new("bad2");
-        let n = g.add_node(NodeKind::Sink { array: ArrayId(0) }, IterationSpace::scalar());
+        let n = g.add_node(
+            NodeKind::Sink { array: ArrayId(0) },
+            IterationSpace::scalar(),
+        );
         let u = g.add_port(n, 0, vec![], None, false, "u");
         g.add_edge(u, u, WeightPoly::one(), IterationSpace::scalar(), 1.0);
     }

@@ -103,12 +103,7 @@ impl Affine {
     /// environment are treated as 0 (useful when evaluating an inner-loop
     /// function outside the loop never happens in well-formed programs).
     pub fn eval(&self, env: &dyn Fn(LivId) -> i64) -> i64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(&l, &c)| c * env(l))
-                .sum::<i64>()
+        self.constant + self.terms.iter().map(|(&l, &c)| c * env(l)).sum::<i64>()
     }
 
     /// Evaluate with an explicit association list.
@@ -175,8 +170,15 @@ impl Affine {
     /// Rebuild an affine form from a coefficient vector produced by
     /// [`Affine::coeff_vector`].
     pub fn from_coeff_vector(coeffs: &[i64], livs: &[LivId]) -> Self {
-        assert_eq!(coeffs.len(), livs.len() + 1, "coefficient vector arity mismatch");
-        Affine::new(coeffs[0], livs.iter().copied().zip(coeffs[1..].iter().copied()))
+        assert_eq!(
+            coeffs.len(),
+            livs.len() + 1,
+            "coefficient vector arity mismatch"
+        );
+        Affine::new(
+            coeffs[0],
+            livs.iter().copied().zip(coeffs[1..].iter().copied()),
+        )
     }
 }
 
@@ -223,6 +225,8 @@ impl Sub for Affine {
 
 impl Sub for &Affine {
     type Output = Affine;
+    // Subtraction genuinely is addition of the negation here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: &Affine) -> Affine {
         self + &rhs.clone().neg()
     }

@@ -189,6 +189,9 @@ pub enum Expr {
 impl Expr {
     /// Rank of the expression's value, given the program's declarations.
     /// Literals report rank 0 (they conform with anything).
+    // `program` is kept in the signature for when gathers consult the
+    // table's declaration; today only the recursion threads it through.
+    #[allow(clippy::only_used_in_recursion)]
     pub fn rank(&self, program: &Program) -> usize {
         match self {
             Expr::Ref { section, .. } => section.result_rank(),
@@ -266,7 +269,11 @@ pub struct Program {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
     /// A section has a different number of subscripts than the array's rank.
-    SectionRankMismatch { array: String, expected: usize, found: usize },
+    SectionRankMismatch {
+        array: String,
+        expected: usize,
+        found: usize,
+    },
     /// Elementwise operands have different (non-zero) ranks.
     RankConflict { context: String },
     /// `transpose` applied to a non-rank-2 operand.
@@ -278,7 +285,11 @@ pub enum ValidationError {
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationError::SectionRankMismatch { array, expected, found } => write!(
+            ValidationError::SectionRankMismatch {
+                array,
+                expected,
+                found,
+            } => write!(
                 f,
                 "section of {array} has {found} subscripts, expected {expected}"
             ),
@@ -303,10 +314,7 @@ impl Program {
 
     /// Find an array by name.
     pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
-        self.arrays
-            .iter()
-            .position(|d| d.name == name)
-            .map(ArrayId)
+        self.arrays.iter().position(|d| d.name == name).map(ArrayId)
     }
 
     /// All statements, visiting loop and conditional bodies depth-first.
@@ -339,7 +347,12 @@ impl Program {
             if errs.is_err() {
                 return;
             }
-            if let Stmt::Assign { array, section, rhs } = s {
+            if let Stmt::Assign {
+                array,
+                section,
+                rhs,
+            } = s
+            {
                 if array.0 >= self.arrays.len() {
                     errs = Err(ValidationError::UnknownArray(array.0));
                     return;
@@ -526,11 +539,14 @@ mod tests {
         let v = b.array("V", &[10]);
         let a_ref = b.full_ref(a);
         let v_ref = b.full_ref(v);
-        b.assign_full(a, Expr::Bin {
-            op: BinOp::Add,
-            lhs: Box::new(a_ref),
-            rhs: Box::new(v_ref),
-        });
+        b.assign_full(
+            a,
+            Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(a_ref),
+                rhs: Box::new(v_ref),
+            },
+        );
         let prog = b.finish();
         assert!(matches!(
             prog.validate(),
@@ -556,9 +572,12 @@ mod tests {
         let mut b = ProgramBuilder::new("bad3");
         let v = b.array("V", &[10]);
         let v_ref = b.full_ref(v);
-        b.assign_full(v, Expr::Transpose {
-            operand: Box::new(v_ref),
-        });
+        b.assign_full(
+            v,
+            Expr::Transpose {
+                operand: Box::new(v_ref),
+            },
+        );
         let prog = b.finish();
         assert!(matches!(
             prog.validate(),
@@ -585,7 +604,10 @@ mod tests {
                 rhs.referenced_arrays(&mut reads);
             }
         });
-        let names: Vec<&str> = reads.iter().map(|id| prog.decl(*id).name.as_str()).collect();
+        let names: Vec<&str> = reads
+            .iter()
+            .map(|id| prog.decl(*id).name.as_str())
+            .collect();
         assert!(names.contains(&"A"));
         assert!(names.contains(&"V"));
     }

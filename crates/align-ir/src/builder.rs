@@ -187,7 +187,11 @@ impl ProgramBuilder {
 
     /// `array(section) = rhs`.
     pub fn assign(&mut self, array: ArrayId, section: Section, rhs: Expr) {
-        self.push(Stmt::Assign { array, section, rhs });
+        self.push(Stmt::Assign {
+            array,
+            section,
+            rhs,
+        });
     }
 
     /// `array = rhs` (whole-array assignment).

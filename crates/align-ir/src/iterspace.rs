@@ -68,11 +68,7 @@ impl IterationSpace {
     /// i.e. `other` is an enclosing prefix of this nest.
     pub fn extends(&self, other: &IterationSpace) -> bool {
         other.levels.len() <= self.levels.len()
-            && other
-                .levels
-                .iter()
-                .zip(&self.levels)
-                .all(|(a, b)| a == b)
+            && other.levels.iter().zip(&self.levels).all(|(a, b)| a == b)
     }
 
     /// Enumerate every LIV vector of the space, outermost LIV first.
@@ -192,7 +188,8 @@ impl IterationSpace {
     /// Convenience constructor for a single constant-bound loop
     /// `do liv = lo, hi, stride`.
     pub fn single_loop(liv: LivId, lo: i64, hi: i64, stride: i64) -> Self {
-        IterationSpace::scalar().enter_loop(liv, AffineTriplet::constant(Triplet::new(lo, hi, stride)))
+        IterationSpace::scalar()
+            .enter_loop(liv, AffineTriplet::constant(Triplet::new(lo, hi, stride)))
     }
 }
 
@@ -258,8 +255,10 @@ mod tests {
     #[test]
     fn trapezoidal_nest() {
         // do k = 1,4 ; do j = 1,k  -> 1+2+3+4 = 10 points
-        let s = IterationSpace::single_loop(k(), 1, 4, 1)
-            .enter_loop(j(), AffineTriplet::range(Affine::constant(1), Affine::liv(k())));
+        let s = IterationSpace::single_loop(k(), 1, 4, 1).enter_loop(
+            j(),
+            AffineTriplet::range(Affine::constant(1), Affine::liv(k())),
+        );
         assert_eq!(s.size(), 10);
         let pts = s.points();
         assert_eq!(pts.len(), 10);
@@ -296,8 +295,10 @@ mod tests {
 
     #[test]
     fn subranges_trapezoidal_inner_not_split() {
-        let s = IterationSpace::single_loop(k(), 1, 9, 1)
-            .enter_loop(j(), AffineTriplet::range(Affine::constant(1), Affine::liv(k())));
+        let s = IterationSpace::single_loop(k(), 1, 9, 1).enter_loop(
+            j(),
+            AffineTriplet::range(Affine::constant(1), Affine::liv(k())),
+        );
         let subs = s.subranges(3);
         // outer split into 3, inner kept whole -> 3 sub-spaces
         assert_eq!(subs.len(), 3);

@@ -37,9 +37,7 @@ pub mod triplet;
 pub mod weight;
 
 pub use affine::{Affine, LivId};
-pub use ast::{
-    ArrayDecl, ArrayId, BinOp, Expr, Program, Section, SectionSpec, Stmt, UnaryOp,
-};
+pub use ast::{ArrayDecl, ArrayId, BinOp, Expr, Program, Section, SectionSpec, Stmt, UnaryOp};
 pub use builder::ProgramBuilder;
 pub use iterspace::IterationSpace;
 pub use triplet::Triplet;

@@ -29,11 +29,7 @@ pub fn figure1(n: i64) -> Program {
     let ik = Affine::liv(k);
     let a_row = b.sec_ref(a, vec![idx(ik.clone()), rng(1, n)]);
     let v_sec = b.sec_ref(v, vec![rng(ik.clone(), Affine::new(n - 1, [(k, 1)]))]);
-    b.assign(
-        a,
-        Section::new(vec![idx(ik), rng(1, n)]),
-        add(a_row, v_sec),
-    );
+    b.assign(a, Section::new(vec![idx(ik), rng(1, n)]), add(a_row, v_sec));
     b.end_loop();
     let p = b.finish();
     p.validate().expect("figure1 must be well formed");
@@ -187,7 +183,11 @@ pub fn stencil2d(n: i64, steps: i64) -> Program {
         mul(Expr::Lit(0.25), sum),
     );
     let a_inner = b.sec_ref(a, vec![rng(2, n - 1), rng(2, n - 1)]);
-    b.assign(bb, Section::new(vec![rng(2, n - 1), rng(2, n - 1)]), a_inner);
+    b.assign(
+        bb,
+        Section::new(vec![rng(2, n - 1), rng(2, n - 1)]),
+        a_inner,
+    );
     b.end_loop();
     let p = b.finish();
     p.validate().expect("stencil2d must be well formed");
@@ -213,7 +213,10 @@ pub fn skewed_sweep(n: i64) -> Program {
     let a_sec = b.sec_ref(a, vec![rng(ik.clone(), Affine::new(n - 1, [(k, 1)]))]);
     let b_sec = b.sec_ref(
         bb,
-        vec![rng(Affine::new(n + 1, [(k, -1)]), Affine::new(2 * n, [(k, -1)]))],
+        vec![rng(
+            Affine::new(n + 1, [(k, -1)]),
+            Affine::new(2 * n, [(k, -1)]),
+        )],
     );
     b.assign(c, Section::new(vec![rng(1, n)]), add(a_sec, b_sec));
     b.end_loop();
@@ -274,7 +277,10 @@ pub fn nested_mobile(n: i64) -> Program {
     ]);
     let a_sec = b.sec_ref(
         a,
-        vec![idx(ik.clone()), rng(ij.clone(), Affine::new(half - 1, [(j, 1)]))],
+        vec![
+            idx(ik.clone()),
+            rng(ij.clone(), Affine::new(half - 1, [(j, 1)])),
+        ],
     );
     let v_sec = b.sec_ref(
         v,

@@ -312,7 +312,14 @@ mod tests {
 
     #[test]
     fn closed_form_sums_match_direct_summation() {
-        for (lo, hi, s) in [(1, 100, 1), (1, 100, 3), (7, 63, 4), (-10, 10, 5), (3, 2, 1), (9, -9, -3)] {
+        for (lo, hi, s) in [
+            (1, 100, 1),
+            (1, 100, 3),
+            (7, 63, 4),
+            (-10, 10, 5),
+            (3, 2, 1),
+            (9, -9, -3),
+        ] {
             let t = Triplet::new(lo, hi, s);
             let direct_1: i64 = t.iter().sum();
             let direct_2: i64 = t.iter().map(|i| i * i).sum();
@@ -330,7 +337,8 @@ mod tests {
             let t = Triplet::new(lo, hi, s);
             let s0 = t.count();
             let paper_s1 = (s * s0 * s0 + (2 * lo - s) * s0) / 2;
-            let paper_s2 = (2 * s * s * s0 * s0 * s0 + (6 * s * lo - 3 * s * s) * s0 * s0
+            let paper_s2 = (2 * s * s * s0 * s0 * s0
+                + (6 * s * lo - 3 * s * s) * s0 * s0
                 + (6 * lo * lo - 6 * s * lo + s * s) * s0)
                 / 6;
             assert_eq!(t.sum_i(), paper_s1);
@@ -343,7 +351,10 @@ mod tests {
         let t = Triplet::new(1, 100, 3);
         for m in 1..=7 {
             let pieces = t.split(m);
-            let merged: Vec<i64> = pieces.iter().flat_map(|p| p.iter().collect::<Vec<_>>()).collect();
+            let merged: Vec<i64> = pieces
+                .iter()
+                .flat_map(|p| p.iter().collect::<Vec<_>>())
+                .collect();
             let original: Vec<i64> = t.iter().collect();
             assert_eq!(merged, original, "split({m}) lost elements");
             assert!(pieces.len() <= m);
@@ -400,10 +411,18 @@ mod tests {
     fn affine_triplet_extent_divisibility() {
         let k = LivId(0);
         // 1 : 2k : 2 -> extent k  (span 2k-1 has constant -1 not divisible by 2)
-        let sec = AffineTriplet::new(Affine::constant(1), Affine::new(0, [(k, 2)]), Affine::constant(2));
+        let sec = AffineTriplet::new(
+            Affine::constant(1),
+            Affine::new(0, [(k, 2)]),
+            Affine::constant(2),
+        );
         assert_eq!(sec.extent_affine(), None);
         // 2 : 2k : 2 -> extent k
-        let sec = AffineTriplet::new(Affine::constant(2), Affine::new(0, [(k, 2)]), Affine::constant(2));
+        let sec = AffineTriplet::new(
+            Affine::constant(2),
+            Affine::new(0, [(k, 2)]),
+            Affine::constant(2),
+        );
         assert_eq!(sec.extent_affine(), Some(Affine::liv(k)));
     }
 

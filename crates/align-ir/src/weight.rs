@@ -26,7 +26,9 @@ pub struct WeightPoly {
 impl WeightPoly {
     /// The constant weight 1 (a scalar-sized object).
     pub fn one() -> Self {
-        WeightPoly { factors: Vec::new() }
+        WeightPoly {
+            factors: Vec::new(),
+        }
     }
 
     /// A constant weight.
@@ -214,8 +216,10 @@ mod tests {
     fn nest_sum() {
         // weight (k) over {k=1..4, j=1..k} = Σ_k k*k = 30
         let w = WeightPoly::from_affine(Affine::liv(k()));
-        let s = IterationSpace::single_loop(k(), 1, 4, 1)
-            .enter_loop(j(), AffineTriplet::range(Affine::constant(1), Affine::liv(k())));
+        let s = IterationSpace::single_loop(k(), 1, 4, 1).enter_loop(
+            j(),
+            AffineTriplet::range(Affine::constant(1), Affine::liv(k())),
+        );
         assert_eq!(w.sum_over(&s), 30);
     }
 

@@ -1,17 +1,16 @@
 //! E13 — cost model vs the communication simulator on every paper program.
 
 use alignment_core::pipeline::{align_program, PipelineConfig};
+use bench::BenchGroup;
 use commsim::{simulate, Machine, SimOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_model_validation");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("cost_model_validation");
     for (name, program) in align_ir::programs::paper_programs() {
         let (adg, result) = align_program(&program, &PipelineConfig::default());
         let machine = Machine::new(vec![4; result.template_rank], vec![8; result.template_rank]);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &adg, |b, g| {
-            b.iter(|| simulate(g, &result.alignment, &machine, SimOptions::default()))
+        group.bench(name, || {
+            simulate(&adg, &result.alignment, &machine, SimOptions::default())
         });
         let sim = simulate(&adg, &result.alignment, &machine, SimOptions::default());
         println!(
@@ -23,6 +22,3 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -5,7 +5,7 @@ use adg::build_adg;
 use alignment_core::axis::{solve_axes, template_rank};
 use alignment_core::stride::{solve_strides, solve_strides_with};
 use alignment_core::{CostModel, ProgramAlignment};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::BenchGroup;
 
 fn fresh(adg: &adg::Adg) -> ProgramAlignment {
     let t = template_rank(adg);
@@ -15,23 +15,18 @@ fn fresh(adg: &adg::Adg) -> ProgramAlignment {
     a
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("example5_mobile_stride");
-    group.sample_size(20);
+fn main() {
+    let mut group = BenchGroup::new("example5_mobile_stride");
     for trips in [25i64, 50, 100] {
         let program = align_ir::programs::example5(1000, 20, trips);
         let adg = build_adg(&program);
-        group.bench_with_input(BenchmarkId::new("mobile", trips), &adg, |b, g| {
-            b.iter(|| {
-                let mut a = fresh(g);
-                solve_strides(g, &mut a)
-            })
+        group.bench(format!("mobile/{trips}"), || {
+            let mut a = fresh(&adg);
+            solve_strides(&adg, &mut a)
         });
-        group.bench_with_input(BenchmarkId::new("static", trips), &adg, |b, g| {
-            b.iter(|| {
-                let mut a = fresh(g);
-                solve_strides_with(g, &mut a, false)
-            })
+        group.bench(format!("static/{trips}"), || {
+            let mut a = fresh(&adg);
+            solve_strides_with(&adg, &mut a, false)
         });
     }
     group.finish();
@@ -49,6 +44,3 @@ fn bench(c: &mut Criterion) {
         model.total_cost(&mobile).general
     );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,21 +3,20 @@
 
 use alignment_core::mobile_offset::MobileOffsetConfig;
 use alignment_core::pipeline::{align_program, PipelineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_mobile_offset");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("fig1_mobile_offset");
     for n in [32i64, 64, 128] {
         let program = align_ir::programs::figure1(n);
-        group.bench_with_input(BenchmarkId::new("mobile", n), &program, |b, p| {
-            b.iter(|| align_program(p, &PipelineConfig::default()))
+        group.bench(format!("mobile/{n}"), || {
+            align_program(&program, &PipelineConfig::default())
         });
         let mut static_cfg = PipelineConfig::default();
         static_cfg.offset = MobileOffsetConfig::static_only();
         static_cfg.disable_replication = true;
-        group.bench_with_input(BenchmarkId::new("static", n), &program, |b, p| {
-            b.iter(|| align_program(p, &static_cfg))
+        group.bench(format!("static/{n}"), || {
+            align_program(&program, &static_cfg)
         });
     }
     group.finish();
@@ -34,6 +33,3 @@ fn bench(c: &mut Criterion) {
         fixed.total_cost.shift, mobile.total_cost.shift, mobile.total_cost.broadcast
     );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

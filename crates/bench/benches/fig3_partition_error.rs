@@ -6,7 +6,7 @@ use alignment_core::axis::{solve_axes, template_rank};
 use alignment_core::mobile_offset::{solve_all_offsets, MobileOffsetConfig, OffsetStrategy};
 use alignment_core::stride::solve_strides;
 use alignment_core::{CostModel, ProgramAlignment};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::BenchGroup;
 use std::collections::HashSet;
 
 fn solve(adg: &adg::Adg, strategy: OffsetStrategy) -> f64 {
@@ -16,23 +16,25 @@ fn solve(adg: &adg::Adg, strategy: OffsetStrategy) -> f64 {
     solve_axes(adg, &mut a);
     solve_strides(adg, &mut a);
     let reps = vec![HashSet::new(); t];
-    solve_all_offsets(adg, &mut a, &reps, MobileOffsetConfig::with_strategy(strategy));
+    solve_all_offsets(
+        adg,
+        &mut a,
+        &reps,
+        MobileOffsetConfig::with_strategy(strategy),
+    );
     CostModel::new(adg).total_cost(&a).shift
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let program = align_ir::programs::skewed_sweep(48);
     let adg = build_adg(&program);
-    let mut group = c.benchmark_group("fig3_partition_error");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig3_partition_error");
     for m in [1usize, 2, 3, 5, 8] {
-        group.bench_with_input(BenchmarkId::new("fixed_partition", m), &adg, |b, g| {
-            b.iter(|| solve(g, OffsetStrategy::FixedPartition(m)))
+        group.bench(format!("fixed_partition/{m}"), || {
+            solve(&adg, OffsetStrategy::FixedPartition(m))
         });
     }
-    group.bench_with_input(BenchmarkId::new("unrolling", 0), &adg, |b, g| {
-        b.iter(|| solve(g, OffsetStrategy::Unrolling))
-    });
+    group.bench("unrolling", || solve(&adg, OffsetStrategy::Unrolling));
     group.finish();
 
     let exact = solve(&adg, OffsetStrategy::Unrolling);
@@ -45,6 +47,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,20 +2,19 @@
 //! broadcast baseline, plus the raw min-cut solve time.
 
 use alignment_core::pipeline::{align_program, PipelineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_replication");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("fig4_replication");
     for trips in [50i64, 100, 200] {
         let program = align_ir::programs::figure4(100, 200, trips);
-        group.bench_with_input(BenchmarkId::new("min_cut_pipeline", trips), &program, |b, p| {
-            b.iter(|| align_program(p, &PipelineConfig::default()))
+        group.bench(format!("min_cut_pipeline/{trips}"), || {
+            align_program(&program, &PipelineConfig::default())
         });
         let mut base = PipelineConfig::default();
         base.disable_replication = true;
-        group.bench_with_input(BenchmarkId::new("required_only", trips), &program, |b, p| {
-            b.iter(|| align_program(p, &base))
+        group.bench(format!("required_only/{trips}"), || {
+            align_program(&program, &base)
         });
     }
     group.finish();
@@ -32,6 +31,3 @@ fn bench(c: &mut Criterion) {
         (baseline.total_cost.broadcast / with_cut.total_cost.broadcast.max(1.0)).round()
     );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E16 — the distribution phase: grid-shape sweeps through the `distrib`
+//! solver. How long does the (grid, layout) search take as the processor
+//! count grows, and which shapes does the cost model pick?
+
+use alignment_core::pipeline::{align_program, PipelineConfig};
+use bench::BenchGroup;
+use distrib::{solve_distribution, SolveConfig};
+
+fn main() {
+    let workloads = [
+        ("figure1", align_ir::programs::figure1(32)),
+        ("stencil2d", align_ir::programs::stencil2d(32, 4)),
+        ("example5", align_ir::programs::example5(200, 10, 20)),
+    ];
+    let mut group = BenchGroup::new("grid_shapes");
+    let mut picks = Vec::new();
+    for (name, program) in workloads {
+        let (adg, result) = align_program(&program, &PipelineConfig::default());
+        for nprocs in [4usize, 16, 64] {
+            let cfg = SolveConfig::new(nprocs);
+            group.bench(format!("{name}/{nprocs}p"), || {
+                solve_distribution(&adg, &result.alignment, &cfg)
+            });
+            let report = solve_distribution(&adg, &result.alignment, &cfg);
+            picks.push(format!(
+                "[{name} on {nprocs}p] best: {} (cost {:.1}, {} candidates)",
+                report.best().distribution,
+                report.best().cost.total(),
+                report.candidates_evaluated
+            ));
+        }
+    }
+    group.finish();
+    for line in picks {
+        println!("{line}");
+    }
+}

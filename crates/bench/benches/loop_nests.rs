@@ -3,32 +3,24 @@
 
 use alignment_core::mobile_offset::OffsetStrategy;
 use alignment_core::pipeline::{align_program, PipelineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("loop_nests");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("loop_nests");
     for n in [8i64, 12, 16] {
         let program = align_ir::programs::nested_mobile(n);
-        group.bench_with_input(BenchmarkId::new("fixed_m3", n), &program, |b, p| {
-            b.iter(|| {
-                align_program(
-                    p,
-                    &PipelineConfig::with_strategy(OffsetStrategy::FixedPartition(3)),
-                )
-            })
+        group.bench(format!("fixed_m3/{n}"), || {
+            align_program(
+                &program,
+                &PipelineConfig::with_strategy(OffsetStrategy::FixedPartition(3)),
+            )
         });
-        group.bench_with_input(BenchmarkId::new("unrolling", n), &program, |b, p| {
-            b.iter(|| {
-                align_program(
-                    p,
-                    &PipelineConfig::with_strategy(OffsetStrategy::Unrolling),
-                )
-            })
+        group.bench(format!("unrolling/{n}"), || {
+            align_program(
+                &program,
+                &PipelineConfig::with_strategy(OffsetStrategy::Unrolling),
+            )
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -6,8 +6,7 @@ use alignment_core::axis::{solve_axes, template_rank};
 use alignment_core::mobile_offset::{solve_all_offsets, MobileOffsetConfig, OffsetStrategy};
 use alignment_core::stride::solve_strides;
 use alignment_core::ProgramAlignment;
-use bench::{random_loop_program, RandomProgramConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{random_loop_program, BenchGroup, RandomProgramConfig};
 use std::collections::HashSet;
 
 fn solve(adg: &adg::Adg, strategy: OffsetStrategy) {
@@ -17,10 +16,15 @@ fn solve(adg: &adg::Adg, strategy: OffsetStrategy) {
     solve_axes(adg, &mut a);
     solve_strides(adg, &mut a);
     let reps = vec![HashSet::new(); t];
-    solve_all_offsets(adg, &mut a, &reps, MobileOffsetConfig::with_strategy(strategy));
+    solve_all_offsets(
+        adg,
+        &mut a,
+        &reps,
+        MobileOffsetConfig::with_strategy(strategy),
+    );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let program = random_loop_program(RandomProgramConfig {
         seed: 3,
         trips: 24,
@@ -32,7 +36,10 @@ fn bench(c: &mut Criterion) {
         ("single_range", OffsetStrategy::SingleRange),
         ("fixed_m3", OffsetStrategy::FixedPartition(3)),
         ("fixed_m5", OffsetStrategy::FixedPartition(5)),
-        ("zero_crossing", OffsetStrategy::ZeroCrossing { max_rounds: 4 }),
+        (
+            "zero_crossing",
+            OffsetStrategy::ZeroCrossing { max_rounds: 4 },
+        ),
         (
             "recursive_refinement",
             OffsetStrategy::RecursiveRefinement { max_rounds: 4 },
@@ -43,15 +50,9 @@ fn bench(c: &mut Criterion) {
         ),
         ("unrolling", OffsetStrategy::Unrolling),
     ];
-    let mut group = c.benchmark_group("offset_algorithms");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("offset_algorithms");
     for (name, strategy) in strategies {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &adg, |b, g| {
-            b.iter(|| solve(g, strategy))
-        });
+        group.bench(name, || solve(&adg, strategy));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,30 +1,28 @@
 //! E15 — scaling of the two solver substrates: the simplex LP behind rounded
 //! linear programming and the Dinic max-flow behind replication labeling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{BenchGroup, Rng};
 use lp::{Problem, Relation};
 use netflow::FlowNetwork;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A feasible random LP with `n` variables and `m` inequality constraints.
 fn random_lp(n: usize, m: usize, seed: u64) -> Problem {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut p = Problem::new();
     let vars: Vec<_> = (0..n)
-        .map(|i| p.add_nonneg_var(format!("x{i}"), rng.gen_range(0.1..2.0)))
+        .map(|i| p.add_nonneg_var(format!("x{i}"), rng.range_f64(0.1, 2.0)))
         .collect();
     for _ in 0..m {
         let mut terms = Vec::new();
         for &v in &vars {
-            if rng.gen_bool(0.3) {
-                terms.push((v, rng.gen_range(-2.0..2.0)));
+            if rng.bool_with(0.3) {
+                terms.push((v, rng.range_f64(-2.0, 2.0)));
             }
         }
         if terms.is_empty() {
             continue;
         }
-        let rhs = rng.gen_range(1.0..10.0);
+        let rhs = rng.range_f64(1.0, 10.0);
         p.add_constraint(terms, Relation::Le, rhs);
     }
     p
@@ -32,45 +30,33 @@ fn random_lp(n: usize, m: usize, seed: u64) -> Problem {
 
 /// A layered random flow network with `n` vertices.
 fn random_network(n: usize, seed: u64) -> FlowNetwork {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut g = FlowNetwork::new(n);
     for v in 0..n - 1 {
         for _ in 0..3 {
-            let to = rng.gen_range(v + 1..n);
-            g.add_edge(v, to, rng.gen_range(1..100));
+            let to = rng.range_usize(v + 1, n);
+            g.add_edge(v, to, rng.range_i64(1, 99) as u64);
         }
     }
     g
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp_scaling");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("lp_scaling");
     for n in [20usize, 50, 100, 200] {
         let p = random_lp(n, n, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| p.solve().unwrap())
-        });
+        group.bench(format!("{n}"), || p.solve().unwrap());
     }
     group.finish();
 
-    let mut group = c.benchmark_group("maxflow_scaling");
-    group.sample_size(20);
+    let mut group = BenchGroup::new("maxflow_scaling");
     for n in [50usize, 200, 800, 2000] {
         let g = random_network(n, 11);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter_batched(
-                || g.clone(),
-                |mut g| {
-                    let n = g.num_vertices();
-                    g.max_flow(0, n - 1)
-                },
-                criterion::BatchSize::SmallInput,
-            )
+        group.bench(format!("{n}"), || {
+            let mut g = g.clone();
+            let n = g.num_vertices();
+            g.max_flow(0, n - 1)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

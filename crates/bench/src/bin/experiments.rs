@@ -15,9 +15,7 @@ use align_ir::{programs, Affine, Program};
 use alignment_core::axis::{solve_axes, template_rank};
 use alignment_core::mobile_offset::{solve_all_offsets, MobileOffsetConfig, OffsetStrategy};
 use alignment_core::pipeline::{align_program, PipelineConfig};
-use alignment_core::replication::{
-    brute_force_axis_cost, label_axis, ReplicationConfig,
-};
+use alignment_core::replication::{brute_force_axis_cost, label_axis, ReplicationConfig};
 use alignment_core::stride::{solve_strides, solve_strides_with};
 use alignment_core::{CostModel, ProgramAlignment};
 use bench::{random_loop_program, RandomProgramConfig, Table};
@@ -30,7 +28,11 @@ fn main() {
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
 
     let experiments: Vec<(&str, &str, fn())> = vec![
-        ("e1", "Figure 1 / Example 4 — mobile offset alignment", e1 as fn()),
+        (
+            "e1",
+            "Figure 1 / Example 4 — mobile offset alignment",
+            e1 as fn(),
+        ),
         ("e2", "Example 1 — static offset alignment", e2),
         ("e3", "Example 2 — stride alignment", e3),
         ("e4", "Example 3 — axis alignment", e4),
@@ -283,7 +285,12 @@ fn e7() {
         OffsetStrategy::StateSpaceSearch { max_steps: 4 },
         OffsetStrategy::Unrolling,
     ];
-    let mut t = Table::new(&["strategy", "mean shift cost", "mean ratio to exact", "mean time (ms)"]);
+    let mut t = Table::new(&[
+        "strategy",
+        "mean shift cost",
+        "mean ratio to exact",
+        "mean time (ms)",
+    ]);
     let seeds = 0..6u64;
     let programs_list: Vec<Program> = seeds
         .map(|seed| {
@@ -415,8 +422,16 @@ fn e9() {
         let exact = offsets_with(&adg, OffsetStrategy::Unrolling);
         t.row(vec![
             n.to_string(),
-            reports.iter().map(|r| r.num_vars).sum::<usize>().to_string(),
-            reports.iter().map(|r| r.num_subranges).sum::<usize>().to_string(),
+            reports
+                .iter()
+                .map(|r| r.num_vars)
+                .sum::<usize>()
+                .to_string(),
+            reports
+                .iter()
+                .map(|r| r.num_subranges)
+                .sum::<usize>()
+                .to_string(),
             format!("{cost3:.0}"),
             format!("{exact:.0}"),
         ]);
@@ -461,7 +476,13 @@ fn e10() {
 // --- E11: Theorem 1 -----------------------------------------------------------------------
 
 fn e11() {
-    let mut t = Table::new(&["program", "axis", "min-cut cost", "brute-force cost", "optimal?"]);
+    let mut t = Table::new(&[
+        "program",
+        "axis",
+        "min-cut cost",
+        "brute-force cost",
+        "optimal?",
+    ]);
     let mut checked = 0;
     let mut matched = 0;
     for (name, p) in programs::paper_programs() {
@@ -509,7 +530,12 @@ fn e11() {
 // --- E12: mobile stride search ---------------------------------------------------------------
 
 fn e12() {
-    let mut t = Table::new(&["program", "static general", "mobile general", "mobile strides used"]);
+    let mut t = Table::new(&[
+        "program",
+        "static general",
+        "mobile general",
+        "mobile strides used",
+    ]);
     for (label, p) in [
         ("example2", programs::example2(256)),
         ("example5", programs::example5_default()),
@@ -558,8 +584,8 @@ fn e13() {
             let block = vec![8usize; t_rank];
             let machine = Machine::new(full_grid, block);
             let sim = simulate(&adg, &result.alignment, &machine, SimOptions::default());
-            let model = result.total_cost.shift + result.total_cost.broadcast
-                + result.total_cost.general;
+            let model =
+                result.total_cost.shift + result.total_cost.broadcast + result.total_cost.general;
             t.row(vec![
                 name.to_string(),
                 machine.num_processors().to_string(),
@@ -577,7 +603,13 @@ fn e13() {
 // --- E14: iteration ----------------------------------------------------------------------------
 
 fn e14() {
-    let mut t = Table::new(&["program", "iterations", "replicated ports", "mobile ports", "total cost"]);
+    let mut t = Table::new(&[
+        "program",
+        "iterations",
+        "replicated ports",
+        "mobile ports",
+        "total cost",
+    ]);
     for (name, p) in programs::paper_programs() {
         let mut cfg = PipelineConfig::default();
         cfg.max_iterations = 4;
@@ -642,8 +674,16 @@ fn e15() {
         t.row(vec![
             statements.to_string(),
             adg.num_edges().to_string(),
-            reports.iter().map(|r| r.num_vars).sum::<usize>().to_string(),
-            reports.iter().map(|r| r.num_constraints).sum::<usize>().to_string(),
+            reports
+                .iter()
+                .map(|r| r.num_vars)
+                .sum::<usize>()
+                .to_string(),
+            reports
+                .iter()
+                .map(|r| r.num_constraints)
+                .sum::<usize>()
+                .to_string(),
             format!("{lp_ms:.1}"),
             format!("{cut_ms:.1}"),
         ]);

@@ -1,0 +1,160 @@
+//! A minimal timing harness for the `harness = false` bench targets.
+//!
+//! The container building this repository cannot reach a crate registry, so
+//! criterion is replaced by this self-calibrating timer. It keeps the shape
+//! of the criterion API the benches were written against: a named group, one
+//! measurement per (name, parameter) pair, and a markdown summary table.
+//!
+//! Calibration: each benchmark is run once to estimate its duration, then
+//! repeated so that total measurement time is roughly `target_time`, bounded
+//! to `[min_samples, max_samples]` samples. Reported statistics are the
+//! minimum, median and mean of the per-sample wall-clock times.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id within the group (e.g. `mobile/64`).
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean sample.
+    pub mean: Duration,
+}
+
+/// A named group of benchmarks, mirroring criterion's `benchmark_group`.
+pub struct BenchGroup {
+    name: String,
+    target_time: Duration,
+    min_samples: usize,
+    max_samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// A group with the default calibration (roughly 0.3 s per benchmark,
+    /// 5..=200 samples).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchGroup {
+            name: name.into(),
+            target_time: Duration::from_millis(300),
+            min_samples: 5,
+            max_samples: 200,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the per-benchmark time budget.
+    pub fn target_time(mut self, t: Duration) -> Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Override the sample-count bounds.
+    pub fn sample_bounds(mut self, min: usize, max: usize) -> Self {
+        self.min_samples = min.max(1);
+        self.max_samples = max.max(self.min_samples);
+        self
+    }
+
+    /// Measure `f`, recording the result under `id`. The closure's return
+    /// value is passed through `std::hint::black_box` so the work is not
+    /// optimised away.
+    pub fn bench<R>(&mut self, id: impl Into<String>, mut f: impl FnMut() -> R) -> &Measurement {
+        let id = id.into();
+        // Calibration run (also warms caches).
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+
+        let wanted = (self.target_time.as_secs_f64() / estimate.as_secs_f64()).ceil() as usize;
+        let samples = wanted.clamp(self.min_samples, self.max_samples);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        self.results.push(Measurement {
+            id,
+            samples,
+            min,
+            median,
+            mean,
+        });
+        self.results.last().unwrap()
+    }
+
+    /// Print the group's results as a markdown table. Call once per group,
+    /// after all benches have run.
+    pub fn finish(&self) {
+        println!("\n### bench group `{}`\n", self.name);
+        println!("| benchmark | samples | min | median | mean |");
+        println!("|---|---:|---:|---:|---:|");
+        for m in &self.results {
+            println!(
+                "| {} | {} | {} | {} | {} |",
+                m.id,
+                m.samples,
+                fmt_duration(m.min),
+                fmt_duration(m.median),
+                fmt_duration(m.mean)
+            );
+        }
+        println!();
+    }
+
+    /// The measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Human-readable duration with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_measurements() {
+        let mut g = BenchGroup::new("test")
+            .target_time(Duration::from_millis(5))
+            .sample_bounds(3, 10);
+        let m = g.bench("sum", || (0..1000u64).sum::<u64>()).clone();
+        assert_eq!(m.id, "sum");
+        assert!((3..=10).contains(&m.samples));
+        assert!(m.min <= m.median && m.median <= m.mean.max(m.median));
+        assert_eq!(g.results().len(), 1);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -6,8 +6,12 @@
 //! the same configurations. This library holds the pieces both share:
 //! workload generators and small formatting helpers.
 
+pub mod harness;
 pub mod random_programs;
+pub mod rng;
 pub mod table;
 
+pub use harness::BenchGroup;
 pub use random_programs::{random_loop_program, RandomProgramConfig};
+pub use rng::Rng;
 pub use table::Table;

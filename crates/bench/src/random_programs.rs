@@ -7,10 +7,9 @@
 //! offset-alignment problem has genuine conflicts and zero crossings — the
 //! regime the Section 4.2 strategies differ in.
 
+use crate::rng::Rng;
 use align_ir::builder::{add, rng, ProgramBuilder};
 use align_ir::{Affine, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the generator.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +46,7 @@ impl Default for RandomProgramConfig {
 
 /// Generate a random loop program.
 pub fn random_loop_program(config: RandomProgramConfig) -> Program {
-    let mut rng_ = StdRng::seed_from_u64(config.seed);
+    let mut rng_ = Rng::new(config.seed);
     let mut b = ProgramBuilder::new(format!("random(seed={})", config.seed));
     let n = config.array_size;
     let window = n / 2;
@@ -57,22 +56,30 @@ pub fn random_loop_program(config: RandomProgramConfig) -> Program {
 
     let k = b.begin_loop(1, config.trips);
     for _ in 0..config.statements.max(1) {
-        let dst = arrays[rng_.gen_range(0..arrays.len())];
-        let s1 = arrays[rng_.gen_range(0..arrays.len())];
-        let s2 = arrays[rng_.gen_range(0..arrays.len())];
-        let shift1 = rng_.gen_range(0..=config.max_shift);
-        let shift2 = rng_.gen_range(0..=config.max_shift);
+        let dst = arrays[rng_.range_usize(0, arrays.len())];
+        let s1 = arrays[rng_.range_usize(0, arrays.len())];
+        let s2 = arrays[rng_.range_usize(0, arrays.len())];
+        let shift1 = rng_.range_i64(0, config.max_shift);
+        let shift2 = rng_.range_i64(0, config.max_shift);
         // Optionally skew one operand by the LIV so its optimal offset is
         // mobile and crosses the other operand's somewhere mid-loop.
-        let skew1 = if config.allow_skew && rng_.gen_bool(0.5) { 1 } else { 0 };
-        let skew2 = if config.allow_skew && rng_.gen_bool(0.3) { -1 } else { 0 };
+        let skew1 = if config.allow_skew && rng_.bool_with(0.5) {
+            1
+        } else {
+            0
+        };
+        let skew2 = if config.allow_skew && rng_.bool_with(0.3) {
+            -1
+        } else {
+            0
+        };
         let lo1 = Affine::new(1 + shift1, [(k, skew1)]);
         let hi1 = Affine::new(window + shift1, [(k, skew1)]);
         let lo2 = Affine::new(1 + shift2, [(k, skew2)]);
         let hi2 = Affine::new(window + shift2, [(k, skew2)]);
         let e1 = b.sec_ref(s1, vec![rng(lo1, hi1)]);
         let e2 = b.sec_ref(s2, vec![rng(lo2, hi2)]);
-        let dst_lo = rng_.gen_range(1..=config.max_shift + 1);
+        let dst_lo = rng_.range_i64(1, config.max_shift + 1);
         b.assign(
             dst,
             align_ir::Section::new(vec![rng(dst_lo, dst_lo + window - 1)]),

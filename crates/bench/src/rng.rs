@@ -1,0 +1,109 @@
+//! A small deterministic pseudo-random number generator (SplitMix64).
+//!
+//! The container building this repository has no access to a crate registry,
+//! so the workloads that used to lean on the `rand` crate use this generator
+//! instead. It is seeded explicitly everywhere, which is what the experiment
+//! harness needs anyway: every random workload is reproducible from its seed.
+
+/// SplitMix64: a tiny, high-quality, splittable generator (Steele, Lea,
+/// Flood — "Fast splittable pseudorandom number generators", OOPSLA'14).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `i64` in the inclusive range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A uniform `usize` in the half-open range `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// A uniform `f64` in the half-open range `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.range_i64(-3, 9);
+            assert!((-3..=9).contains(&v));
+            let u = r.range_usize(2, 5);
+            assert!((2..5).contains(&u));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_with_respects_extremes() {
+        let mut r = Rng::new(3);
+        assert!(!(0..100).any(|_| r.bool_with(0.0)));
+        assert!((0..100).all(|_| r.bool_with(1.0)));
+    }
+
+    #[test]
+    fn f64_looks_uniform() {
+        let mut r = Rng::new(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -24,5 +24,5 @@
 pub mod machine;
 pub mod simulate;
 
-pub use machine::Machine;
+pub use machine::{Machine, TemplateDistribution};
 pub use simulate::{simulate, EdgeTraffic, SimOptions, SimReport};

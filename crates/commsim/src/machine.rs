@@ -1,6 +1,21 @@
 //! The virtual machine: a processor grid and a block-cyclic distribution of
 //! the template onto it.
 
+/// Anything that maps template cells to owning processors. The simulator is
+/// generic over this trait, so it can price both the built-in [`Machine`]
+/// (a uniform block-cyclic grid) and richer distributions — in particular
+/// the per-axis block / cyclic / block-cyclic `ProgramDistribution` of the
+/// `distrib` crate — without depending on where they are defined.
+pub trait TemplateDistribution {
+    /// Total number of processors.
+    fn num_processors(&self) -> usize;
+
+    /// Linear processor id owning a full template coordinate. `None`
+    /// coordinates (replicated axes) pin to processor coordinate 0 for
+    /// ranking purposes; callers treat replicated traffic separately.
+    fn owner(&self, coords: &[Option<i64>]) -> usize;
+}
+
 /// A distributed-memory machine: a Cartesian grid of processors, one grid
 /// dimension per template axis, with a block size per axis. Template cell `c`
 /// along axis `t` is owned by processor coordinate
@@ -31,7 +46,7 @@ impl Machine {
         let block = grid
             .iter()
             .zip(extents)
-            .map(|(&g, &e)| ((e.max(1) as usize) + g - 1) / g)
+            .map(|(&g, &e)| (e.max(1) as usize).div_ceil(g))
             .collect();
         Machine::new(grid, block)
     }
@@ -70,6 +85,16 @@ impl Machine {
             id = id * self.grid[t] + self.owner_axis(t, coord);
         }
         id
+    }
+}
+
+impl TemplateDistribution for Machine {
+    fn num_processors(&self) -> usize {
+        Machine::num_processors(self)
+    }
+
+    fn owner(&self, coords: &[Option<i64>]) -> usize {
+        Machine::owner(self, coords)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The simulation proper: walk every edge, iteration and element and count
 //! where the data has to move.
 
-use crate::machine::Machine;
+use crate::machine::TemplateDistribution;
 use adg::{Adg, Edge, EdgeId};
 use align_ir::LivId;
 use alignment_core::position::{OffsetAlign, PortAlignment, ProgramAlignment};
@@ -70,11 +70,13 @@ impl SimReport {
     }
 }
 
-/// Simulate the residual communication of `alignment` on `machine`.
-pub fn simulate(
+/// Simulate the residual communication of `alignment` on `machine` — any
+/// [`TemplateDistribution`]: the built-in block-cyclic [`crate::Machine`] or
+/// an explicit per-axis distribution such as `distrib::ProgramDistribution`.
+pub fn simulate<D: TemplateDistribution + ?Sized>(
     adg: &Adg,
     alignment: &ProgramAlignment,
-    machine: &Machine,
+    machine: &D,
     opts: SimOptions,
 ) -> SimReport {
     let mut report = SimReport {
@@ -91,11 +93,11 @@ pub fn simulate(
     report
 }
 
-fn simulate_edge(
+fn simulate_edge<D: TemplateDistribution + ?Sized>(
     adg: &Adg,
     edge: &Edge,
     alignment: &ProgramAlignment,
-    machine: &Machine,
+    machine: &D,
     opts: SimOptions,
 ) -> EdgeTraffic {
     let src_port = adg.port(edge.src);
@@ -108,8 +110,7 @@ fn simulate_edge(
         return traffic;
     }
     // Sample iterations if the loop is long.
-    let iter_stride = (points.len() + opts.max_iterations_per_edge - 1)
-        / opts.max_iterations_per_edge;
+    let iter_stride = points.len().div_ceil(opts.max_iterations_per_edge);
     let iter_scale = iter_stride as f64;
 
     for point in points.iter().step_by(iter_stride.max(1)) {
@@ -122,8 +123,7 @@ fn simulate_edge(
         if total_elements == 0 {
             continue;
         }
-        let per_iter =
-            element_traffic(&extents, src_align, dst_align, machine, point, opts);
+        let per_iter = element_traffic(&extents, src_align, dst_align, machine, point, opts);
         traffic.element_moves += per_iter.element_moves * iter_scale * edge.control_weight;
         traffic.messages += per_iter.messages * iter_scale * edge.control_weight;
         traffic.broadcast_elements +=
@@ -134,11 +134,11 @@ fn simulate_edge(
 
 /// Traffic of one traversal: enumerate (or sample) the elements of the object
 /// and compare owners under the two alignments.
-fn element_traffic(
+fn element_traffic<D: TemplateDistribution + ?Sized>(
     extents: &[i64],
     src: &PortAlignment,
     dst: &PortAlignment,
-    machine: &Machine,
+    machine: &D,
     point: &[(LivId, i64)],
     opts: SimOptions,
 ) -> EdgeTraffic {
@@ -209,6 +209,7 @@ fn element_traffic(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::Machine;
     use adg::build_adg;
     use align_ir::programs;
     use alignment_core::pipeline::{align_program, PipelineConfig};
@@ -237,17 +238,17 @@ mod tests {
         use alignment_core::position::OffsetAlign;
         let adg = build_adg(&programs::example1(64));
         let mut a = identity(&adg, 1);
-        let (pid, _) = adg
-            .ports()
-            .find(|(_, p)| p.label.contains("B(2:"))
-            .unwrap();
+        let (pid, _) = adg.ports().find(|(_, p)| p.label.contains("B(2:")).unwrap();
         a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(1));
         let m = Machine::block_distribution(vec![4], &[64]);
         let r = simulate(&adg, &a, &m, SimOptions::default());
         // 63 elements, block 16: elements at positions 16, 32, 48 shift into
         // the next block (plus possibly one at the top boundary).
-        assert!(r.total.element_moves >= 3.0 && r.total.element_moves <= 5.0,
-            "expected a handful of boundary moves, got {}", r.total.element_moves);
+        assert!(
+            r.total.element_moves >= 3.0 && r.total.element_moves <= 5.0,
+            "expected a handful of boundary moves, got {}",
+            r.total.element_moves
+        );
         assert!(r.total.messages >= 3.0);
     }
 
@@ -260,10 +261,7 @@ mod tests {
         use alignment_core::position::OffsetAlign;
         let adg = build_adg(&programs::example1(64));
         let mut a = identity(&adg, 1);
-        let (pid, _) = adg
-            .ports()
-            .find(|(_, p)| p.label.contains("B(2:"))
-            .unwrap();
+        let (pid, _) = adg.ports().find(|(_, p)| p.label.contains("B(2:")).unwrap();
         a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(1));
         let m = Machine::cyclic(vec![4]);
         let r = simulate(&adg, &a, &m, SimOptions::default());
@@ -307,10 +305,7 @@ mod tests {
         use alignment_core::position::OffsetAlign;
         let adg = build_adg(&programs::example1(1000));
         let mut a = identity(&adg, 1);
-        let (pid, _) = adg
-            .ports()
-            .find(|(_, p)| p.label.contains("B(2:"))
-            .unwrap();
+        let (pid, _) = adg.ports().find(|(_, p)| p.label.contains("B(2:")).unwrap();
         a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(1));
         let m = Machine::cyclic(vec![4]);
         let exact = simulate(&adg, &a, &m, SimOptions::default());

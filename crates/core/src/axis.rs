@@ -410,9 +410,11 @@ mod tests {
         // C's source port must have the swapped map.
         let c_source = adg
             .nodes()
-            .find(|(_, n)| matches!(n.kind, NodeKind::Source { array } if {
-                array.0 == 1
-            }))
+            .find(|(_, n)| {
+                matches!(n.kind, NodeKind::Source { array } if {
+                    array.0 == 1
+                })
+            })
             .unwrap()
             .1;
         assert_eq!(alignment.port(c_source.ports[0]).axis_map, vec![1, 0]);
@@ -441,7 +443,9 @@ mod tests {
             let mut alignment = fresh_alignment(&adg);
             let cost = solve_axes(&adg, &mut alignment);
             assert_eq!(cost, 0.0, "{name} should need no axis communication");
-            alignment.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            alignment
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

@@ -147,11 +147,7 @@ impl SymAffine {
     pub fn scale(&self, s: f64) -> SymAffine {
         SymAffine {
             constant: self.constant.scale(s),
-            per_liv: self
-                .per_liv
-                .iter()
-                .map(|(l, e)| (*l, e.scale(s)))
-                .collect(),
+            per_liv: self.per_liv.iter().map(|(l, e)| (*l, e.scale(s))).collect(),
         }
     }
 
@@ -413,7 +409,10 @@ impl<'a> ConstraintGen<'a> {
         let node = self.adg.node(nid).clone();
         match &node.kind {
             NodeKind::Source { .. } | NodeKind::Sink { .. } => {}
-            NodeKind::Elementwise { .. } | NodeKind::Merge | NodeKind::Fanout | NodeKind::Branch => {
+            NodeKind::Elementwise { .. }
+            | NodeKind::Merge
+            | NodeKind::Fanout
+            | NodeKind::Branch => {
                 let ports = &node.ports;
                 for w in ports.windows(2) {
                     self.equate_ports(w[0], w[1]);
@@ -508,8 +507,7 @@ impl<'a> ConstraintGen<'a> {
                     // Section element 1 is array element `lo`; with the
                     // position convention `stride*i + offset` this yields
                     // off_sec = off_arr + (lo - step)·stride_arr.
-                    let shift = self
-                        .subscript_times_stride(&(&t.lo - &t.stride), &stride);
+                    let shift = self.subscript_times_stride(&(&t.lo - &t.stride), &stride);
                     self.equate_shifted(sec, arr, &shift);
                 }
                 SectionSpec::Index(x) => {
@@ -613,7 +611,12 @@ mod tests {
         // construction.
         for (name, prog) in programs::paper_programs() {
             let adg = build_adg(&prog);
-            let rank = adg.port_ids().map(|p| adg.port(p).rank).max().unwrap_or(1).max(1);
+            let rank = adg
+                .port_ids()
+                .map(|p| adg.port(p).rank)
+                .max()
+                .unwrap_or(1)
+                .max(1);
             let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
             let alignment = ProgramAlignment::identity(rank, &ranks);
             for axis in 0..rank {

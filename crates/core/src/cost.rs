@@ -127,6 +127,69 @@ impl<'a> CostModel<'a> {
             .collect()
     }
 
+    /// Estimated extent of each template axis under `alignment`: the number
+    /// of cells needed to hold every object position the program touches.
+    ///
+    /// Positions are affine in the loop induction variables, so extremes are
+    /// attained at corner elements of each object; iteration points are
+    /// enumerated (sampled past `max_points` per edge endpoint). Replicated
+    /// offsets occupy the whole axis and contribute nothing. Negative
+    /// coordinates (possible under negative fixed offsets) widen the span:
+    /// the extent returned is the full touched span's length, so block sizes
+    /// computed from it cover every cell; owners of negative cells wrap
+    /// euclideanly, consistently across the machine models. This is the
+    /// template-shape input of the distribution phase.
+    pub fn template_extents(&self, alignment: &ProgramAlignment, max_points: usize) -> Vec<i64> {
+        let t = alignment.template_rank;
+        // Min/max are over *observed* coordinates only: seeding them with 0
+        // would inflate every axis by a phantom origin cell (positions are
+        // 1-based), skewing the load-balance comparisons downstream.
+        let mut hi = vec![i64::MIN; t];
+        let mut lo = vec![i64::MAX; t];
+        for (_, e) in self.adg.edges() {
+            let points = e.space.points();
+            let stride = (points.len() / max_points.max(1)).max(1);
+            // Positions are affine in the LIVs, so extremes are attained at
+            // the iteration-space endpoints: the strided sample must always
+            // include the final point or growing positions get undercounted.
+            let sampled = points
+                .iter()
+                .step_by(stride)
+                .chain(points.last().filter(|_| (points.len() - 1) % stride != 0));
+            for point in sampled {
+                // Zero-weight points move no data: the positions there are
+                // unconstrained by the alignment LPs (loop-boundary
+                // transformer ports are pinned only at entry/exit) and can
+                // carry arbitrarily large mobile coefficients. Only places
+                // where data actually sits shape the template.
+                if e.weight.eval(point) == 0 || e.control_weight == 0.0 {
+                    continue;
+                }
+                for &pid in &[e.src, e.dst] {
+                    let port = self.adg.port(pid);
+                    let pa = alignment.port(pid);
+                    let extents: Vec<i64> = port
+                        .extents
+                        .iter()
+                        .map(|a| a.eval_assoc(point).max(1))
+                        .collect();
+                    for corner in corner_indices(&extents) {
+                        for (axis, coord) in pa.position_of(&corner, point).iter().enumerate() {
+                            if let Some(c) = coord {
+                                hi[axis] = hi[axis].max(*c);
+                                lo[axis] = lo[axis].min(*c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        hi.into_iter()
+            .zip(lo)
+            .map(|(h, l)| if h < l { 1 } else { (h - l + 1).max(1) })
+            .collect()
+    }
+
     /// The shift (grid-metric) cost restricted to one template axis — the
     /// quantity the per-axis offset LP minimises.
     pub fn shift_cost_on_axis(&self, alignment: &ProgramAlignment, axis: usize) -> f64 {
@@ -142,13 +205,42 @@ impl<'a> CostModel<'a> {
                 if let (OffsetAlign::Fixed(a), OffsetAlign::Fixed(b)) =
                     (&src.offsets[axis], &dst.offsets[axis])
                 {
-                    total +=
-                        w * (a.eval_assoc(&point) - b.eval_assoc(&point)).abs() as f64;
+                    total += w * (a.eval_assoc(&point) - b.eval_assoc(&point)).abs() as f64;
                 }
             }
         }
         total
     }
+}
+
+/// The corner index vectors of an object with the given body-axis extents:
+/// every combination of first (1) and last (extent) element per axis. Affine
+/// position maps attain their per-axis extremes at these corners.
+fn corner_indices(extents: &[i64]) -> Vec<Vec<i64>> {
+    let mut corners = vec![Vec::new()];
+    for &e in extents {
+        corners = corners
+            .into_iter()
+            .flat_map(|c| {
+                // A degenerate axis (extent <= 1) has a single corner; never
+                // emit the duplicate (adjacent-only dedup would miss it when
+                // a later axis interleaves the copies).
+                let mut out = Vec::with_capacity(2);
+                let mut lo = c.clone();
+                lo.push(1);
+                if e > 1 {
+                    let mut hi = c;
+                    hi.push(e);
+                    out.push(lo);
+                    out.push(hi);
+                } else {
+                    out.push(lo);
+                }
+                out
+            })
+            .collect();
+    }
+    corners
 }
 
 /// Cost of moving an object of weight `w` between two positions at one
@@ -189,8 +281,7 @@ fn point_cost(
     for axis in 0..t {
         match (&src.offsets[axis], &dst.offsets[axis]) {
             (OffsetAlign::Fixed(a), OffsetAlign::Fixed(b)) => {
-                cost.shift +=
-                    w * (a.eval_assoc(point) - b.eval_assoc(point)).abs() as f64;
+                cost.shift += w * (a.eval_assoc(point) - b.eval_assoc(point)).abs() as f64;
             }
             (OffsetAlign::Fixed(_), OffsetAlign::Replicated) => {
                 cost.broadcast += w;
@@ -247,10 +338,7 @@ mod tests {
     fn stride_mismatch_charges_general() {
         let adg = build_adg(&programs::example1(64));
         let mut a = identity_alignment(&adg, 1);
-        let (pid, _) = adg
-            .ports()
-            .find(|(_, p)| p.label.contains("B(2:"))
-            .unwrap();
+        let (pid, _) = adg.ports().find(|(_, p)| p.label.contains("B(2:")).unwrap();
         a.ports[pid.0].strides[0] = Affine::constant(2);
         let cost = CostModel::new(&adg).total_cost(&a);
         assert!(cost.general > 0.0);
@@ -339,17 +427,47 @@ mod tests {
     }
 
     #[test]
+    fn template_extents_cover_touched_positions() {
+        // example1 at n=64: positions span template cells 0..=64 (B(2:N)
+        // shifted by -1 stays within), so the extent is at most 65 and at
+        // least 63.
+        let adg = build_adg(&programs::example1(64));
+        let a = identity_alignment(&adg, 1);
+        let ext = CostModel::new(&adg).template_extents(&a, 64);
+        assert_eq!(ext.len(), 1);
+        assert!((63..=65).contains(&ext[0]), "{ext:?}");
+
+        // figure1 at n=16: under the identity alignment V's single body axis
+        // maps to template axis 0, so axis 0 must reach V's top element
+        // (extent 2n = 32 -> cell 32) while axis 1 covers A's columns.
+        let adg = build_adg(&programs::figure1(16));
+        let a = identity_alignment(&adg, 2);
+        let ext = CostModel::new(&adg).template_extents(&a, 64);
+        assert_eq!(ext.len(), 2);
+        assert!(ext[0] >= 32 && ext[1] >= 16, "{ext:?}");
+    }
+
+    #[test]
+    fn corner_indices_enumerate_extremes() {
+        assert_eq!(corner_indices(&[]), vec![Vec::<i64>::new()]);
+        assert_eq!(corner_indices(&[5]), vec![vec![1], vec![5]]);
+        assert_eq!(
+            corner_indices(&[2, 3]),
+            vec![vec![1, 1], vec![1, 3], vec![2, 1], vec![2, 3]]
+        );
+        // Degenerate axes contribute a single corner, in any position.
+        assert_eq!(corner_indices(&[1]), vec![vec![1]]);
+        assert_eq!(corner_indices(&[1, 4]), vec![vec![1, 1], vec![1, 4]]);
+        assert_eq!(corner_indices(&[4, 1]), vec![vec![1, 1], vec![4, 1]]);
+    }
+
+    #[test]
     fn shift_cost_on_axis_matches_total_for_single_axis_programs() {
         let adg = build_adg(&programs::example1(32));
         let mut a = identity_alignment(&adg, 1);
-        let (pid, _) = adg
-            .ports()
-            .find(|(_, p)| p.label.contains("B(2:"))
-            .unwrap();
+        let (pid, _) = adg.ports().find(|(_, p)| p.label.contains("B(2:")).unwrap();
         a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(-1));
         let model = CostModel::new(&adg);
-        assert!(
-            (model.total_cost(&a).shift - model.shift_cost_on_axis(&a, 0)).abs() < 1e-9
-        );
+        assert!((model.total_cost(&a).shift - model.shift_cost_on_axis(&a, 0)).abs() < 1e-9);
     }
 }

@@ -245,7 +245,7 @@ pub fn solve_axis_offsets(
         );
         let improved = best_report
             .as_ref()
-            .map_or(true, |b| report.exact_cost < b.exact_cost - 1e-9);
+            .is_none_or(|b| report.exact_cost < b.exact_cost - 1e-9);
         if improved {
             best_report = Some(report.clone());
             best_offsets = Some(offsets.clone());
@@ -266,6 +266,63 @@ pub fn solve_axis_offsets(
         }
     }
 
+    // Rounding safety net: on hard instances the LP can end in a degenerate
+    // vertex whose coefficients are huge; rounding then destroys the span
+    // cancellations and the exact cost explodes far past the LP objective
+    // (the a-priori bound says it should stay within a small factor). When
+    // that happens, retry with other subrange configurations — every retry
+    // goes through the same hard node constraints, so feasibility is kept —
+    // and keep whichever candidate is exact-best.
+    let blown_up = |r: &OffsetSolveReport| {
+        !r.exact_cost.is_finite()
+            || (r.exact_cost > 4.0 * (r.lp_objective.abs() + 1.0) && r.exact_cost > 100.0)
+    };
+    if best_report.as_ref().is_some_and(blown_up) {
+        let total_points: u64 = cost_edges.iter().map(|(_, e)| e.space.size()).sum();
+        // Last rung: the static restriction. Pinning the array homes removes
+        // most of the degeneracy that defeats the simplex on hard mobile
+        // instances, so a mobile solve that keeps failing degrades to the
+        // (always meaningful) static solution instead of to garbage.
+        let ladder = [
+            (OffsetStrategy::FixedPartition(5), false),
+            (OffsetStrategy::SingleRange, false),
+            (OffsetStrategy::Unrolling, false),
+            (OffsetStrategy::FixedPartition(5), true),
+        ];
+        for (alt, force_static) in ladder {
+            if matches!(alt, OffsetStrategy::Unrolling) && total_points > 4096 {
+                continue;
+            }
+            let alt_subranges: BTreeMap<EdgeId, Vec<Subrange>> = cost_edges
+                .iter()
+                .map(|(id, e)| (*id, initial_subranges(e, alt)))
+                .collect();
+            let alt_config = MobileOffsetConfig {
+                forbid_mobile: config.forbid_mobile || force_static,
+                ..config
+            };
+            let (report, offsets) = solve_once(
+                adg,
+                alignment,
+                axis,
+                replicated,
+                &alt_subranges,
+                &cost_edges,
+                alt_config,
+            );
+            let improved = best_report
+                .as_ref()
+                .is_none_or(|b| report.exact_cost < b.exact_cost - 1e-9);
+            if improved {
+                best_report = Some(report);
+                best_offsets = Some(offsets);
+            }
+            if !best_report.as_ref().is_some_and(blown_up) {
+                break;
+            }
+        }
+    }
+
     // Write the best offsets into the alignment.
     let offsets = best_offsets.expect("at least one solve ran");
     for pid in adg.port_ids() {
@@ -277,7 +334,12 @@ pub fn solve_axis_offsets(
     }
     let mut report = best_report.expect("at least one solve ran");
     report.rounds = rounds;
-    report.exact_cost = CostModel::new(adg).shift_cost_on_axis(alignment, axis);
+    // Keep the infinity marker when only the infeasible fallback was
+    // available: the written zeros violate the node constraints, so their
+    // edge-metric cost would be a meaningless (over-optimistic) number.
+    if report.exact_cost.is_finite() {
+        report.exact_cost = CostModel::new(adg).shift_cost_on_axis(alignment, axis);
+    }
     report
 }
 
@@ -292,14 +354,45 @@ fn solve_once(
     cost_edges: &[(EdgeId, &Edge)],
     config: MobileOffsetConfig,
 ) -> (OffsetSolveReport, Vec<Option<Affine>>) {
-    let OffsetLp { mut problem, vars } =
-        build_offset_constraints(adg, alignment, axis, replicated);
+    let OffsetLp { mut problem, vars } = build_offset_constraints(adg, alignment, axis, replicated);
+    // Snapshot of the hard node constraints alone (no surrogates, no static
+    // pins): rounding the LP optimum can break the equalities the fractional
+    // solution satisfied, and a rounded candidate that violates them places
+    // objects somewhere the program semantics forbid. Such candidates are
+    // detected below and priced at infinity.
+    let hard_constraints = problem.clone();
 
     if config.forbid_mobile {
-        // Static baseline: every LIV coefficient is pinned to zero.
-        for pv in vars.port_vars.iter().flatten() {
-            for &v in &pv[1..] {
-                problem.add_constraint(vec![(v, 1.0)], Relation::Eq, 0.0);
+        // Static baseline: the *homes* of the declared arrays may not move —
+        // their ports' LIV coefficients are pinned to zero. A home port is
+        // one carrying the whole array (same rank and extents as the array's
+        // source). Derived values (section values, operator results) must
+        // stay free: their positions are tied to moving subscripts by hard
+        // node constraints, so pinning them too would make the LP infeasible
+        // — a view sliding over a static array is still a static alignment.
+        let homes: std::collections::BTreeMap<usize, (usize, Vec<Affine>)> = adg
+            .nodes()
+            .filter_map(|(_, n)| match n.kind {
+                adg::NodeKind::Source { array } => n.output_ports().first().map(|&p| {
+                    let port = adg.port(p);
+                    (array.0, (port.rank, port.extents.clone()))
+                }),
+                _ => None,
+            })
+            .collect();
+        for pid in adg.port_ids() {
+            let port = adg.port(pid);
+            let Some(array) = port.array else { continue };
+            let is_home = homes
+                .get(&array.0)
+                .is_some_and(|(rank, extents)| port.rank == *rank && port.extents == *extents);
+            if !is_home {
+                continue;
+            }
+            if let Some(pv) = &vars.port_vars[pid.0] {
+                for &v in &pv[1..] {
+                    problem.add_constraint(vec![(v, 1.0)], Relation::Eq, 0.0);
+                }
             }
         }
     }
@@ -364,16 +457,39 @@ fn solve_once(
         }
     };
 
-    // Exact cost of this candidate on this axis.
-    let mut candidate = alignment.clone();
-    for pid in adg.port_ids() {
-        if replicated.contains(&pid) {
-            candidate.port_mut(pid).offsets[axis] = OffsetAlign::Replicated;
-        } else if let Some(a) = &offsets[pid.0] {
-            candidate.port_mut(pid).offsets[axis] = OffsetAlign::Fixed(a.clone());
+    // Does the rounded candidate still satisfy the hard node constraints?
+    let rounded_feasible = solution.is_ok() && {
+        let mut values = vec![0.0; hard_constraints.num_vars()];
+        for pid in adg.port_ids() {
+            let (Some(slots), Some(a)) = (&vars.port_vars[pid.0], &offsets[pid.0]) else {
+                continue;
+            };
+            values[slots[0].0] = a.constant_part() as f64;
+            for (slot, liv) in slots[1..].iter().zip(&vars.port_livs[pid.0]) {
+                values[slot.0] = a.coeff(*liv) as f64;
+            }
         }
-    }
-    let exact_cost = CostModel::new(adg).shift_cost_on_axis(&candidate, axis);
+        hard_constraints.is_feasible(&values, 1e-6)
+    };
+
+    // Exact cost of this candidate on this axis. An infeasible solve's
+    // all-zero fallback — or a rounded solution that broke the hard node
+    // constraints — may place objects where the program semantics forbid;
+    // its edge-cost is meaningless, so it is priced at infinity and only
+    // written when no feasible candidate exists at all.
+    let exact_cost = if rounded_feasible {
+        let mut candidate = alignment.clone();
+        for pid in adg.port_ids() {
+            if replicated.contains(&pid) {
+                candidate.port_mut(pid).offsets[axis] = OffsetAlign::Replicated;
+            } else if let Some(a) = &offsets[pid.0] {
+                candidate.port_mut(pid).offsets[axis] = OffsetAlign::Fixed(a.clone());
+            }
+        }
+        CostModel::new(adg).shift_cost_on_axis(&candidate, axis)
+    } else {
+        f64::INFINITY
+    };
 
     (
         OffsetSolveReport {
@@ -438,24 +554,18 @@ fn refine_subranges(
             continue;
         }
         let mut new_list = Vec::with_capacity(entry.len() + 1);
-        let mut changed = false;
         for sub in entry.drain(..) {
             match crossing_ordinal(&sub.space, &span) {
                 Some(at) if sub.space.size() > 1 => {
                     for piece in split_space_at(&sub.space, at) {
                         new_list.push(make_subrange(edge, piece));
                     }
-                    changed = true;
                     splits += 1;
                 }
                 _ => new_list.push(sub),
             }
         }
-        if changed {
-            *entry = new_list;
-        } else {
-            *entry = new_list;
-        }
+        *entry = new_list;
     }
     let _ = adg;
     splits
@@ -476,7 +586,11 @@ fn crossing_ordinal(space: &IterationSpace, span: &Affine) -> Option<i64> {
     let mut prev_sign: Option<i64> = None;
     let mut seen: Vec<i64> = Vec::new();
     for p in &pts {
-        let v = p.iter().find(|(l, _)| *l == outer).map(|(_, v)| *v).unwrap_or(0);
+        let v = p
+            .iter()
+            .find(|(l, _)| *l == outer)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
         if seen.last() == Some(&v) {
             continue;
         }
@@ -510,10 +624,8 @@ fn split_space_at(space: &IterationSpace, at: i64) -> Vec<IterationSpace> {
     let (a, b) = t.split_at(at);
     let mut out = Vec::new();
     for piece in [a, b].into_iter().flatten() {
-        let mut s = IterationSpace::scalar().enter_loop(
-            outer.liv,
-            align_ir::triplet::AffineTriplet::constant(piece),
-        );
+        let mut s = IterationSpace::scalar()
+            .enter_loop(outer.liv, align_ir::triplet::AffineTriplet::constant(piece));
         for lvl in &levels[1..] {
             s = s.enter_loop(lvl.liv, lvl.range.clone());
         }
@@ -585,11 +697,8 @@ mod tests {
     fn figure1_mobile_offsets_remove_all_communication() {
         // Paper Figure 1 / Example 4: V needs the mobile alignment
         // [k, i - k + 1]; with it the loop runs without residual communication.
-        let (adg, alignment) = solve_program(
-            &programs::figure1(32),
-            2,
-            OffsetStrategy::FixedPartition(3),
-        );
+        let (adg, alignment) =
+            solve_program(&programs::figure1(32), 2, OffsetStrategy::FixedPartition(3));
         let cost = CostModel::new(&adg).total_cost(&alignment);
         assert_eq!(
             cost.shift, 0.0,
@@ -606,6 +715,11 @@ mod tests {
         let prog = programs::figure1(32);
         let adg = build_adg(&prog);
         let mut static_alignment = identity_alignment(&adg, 2);
+        // The offset constraints assume the axis and stride phases ran (raw
+        // identity axis maps are inconsistent for rank-changing sections,
+        // which the feasibility check would rightly reject).
+        crate::axis::solve_axes(&adg, &mut static_alignment);
+        crate::stride::solve_strides(&adg, &mut static_alignment);
         let reps = vec![HashSet::new(); 2];
         solve_all_offsets(
             &adg,
@@ -614,8 +728,7 @@ mod tests {
             MobileOffsetConfig::static_only(),
         );
         let static_cost = CostModel::new(&adg).total_cost(&static_alignment);
-        let (_, mobile_alignment) =
-            solve_program(&prog, 2, OffsetStrategy::FixedPartition(3));
+        let (_, mobile_alignment) = solve_program(&prog, 2, OffsetStrategy::FixedPartition(3));
         let mobile_cost = CostModel::new(&adg).total_cost(&mobile_alignment);
         assert!(
             mobile_cost.shift < static_cost.shift,
@@ -626,8 +739,11 @@ mod tests {
 
     #[test]
     fn skewed_sweep_mobile_offsets() {
-        let (adg, alignment) =
-            solve_program(&programs::skewed_sweep(24), 1, OffsetStrategy::FixedPartition(3));
+        let (adg, alignment) = solve_program(
+            &programs::skewed_sweep(24),
+            1,
+            OffsetStrategy::FixedPartition(3),
+        );
         let cost = CostModel::new(&adg).total_cost(&alignment);
         // A and B slide in opposite directions; zero cost is impossible for
         // both, but the mobile solution must beat the static identity.
@@ -698,10 +814,8 @@ mod tests {
         let adg = build_adg(&prog);
         let mut alignment = identity_alignment(&adg, 2);
         // Replicate every rank-1 (t-valued) port along axis 1.
-        let replicated: HashSet<PortId> = adg
-            .port_ids()
-            .filter(|&p| adg.port(p).rank == 1)
-            .collect();
+        let replicated: HashSet<PortId> =
+            adg.port_ids().filter(|&p| adg.port(p).rank == 1).collect();
         solve_axis_offsets(
             &adg,
             &mut alignment,
@@ -716,8 +830,14 @@ mod tests {
 
     #[test]
     fn strategy_names_and_bounds() {
-        assert_eq!(OffsetStrategy::FixedPartition(3).name(), "fixed-partition(m=3)");
-        assert!((OffsetStrategy::FixedPartition(3).error_bound().unwrap() - (1.0 + 2.0 / 9.0)).abs() < 1e-12);
+        assert_eq!(
+            OffsetStrategy::FixedPartition(3).name(),
+            "fixed-partition(m=3)"
+        );
+        assert!(
+            (OffsetStrategy::FixedPartition(3).error_bound().unwrap() - (1.0 + 2.0 / 9.0)).abs()
+                < 1e-12
+        );
         assert!((OffsetStrategy::FixedPartition(5).error_bound().unwrap() - 1.08).abs() < 1e-12);
         assert_eq!(OffsetStrategy::Unrolling.error_bound(), Some(1.0));
         assert_eq!(

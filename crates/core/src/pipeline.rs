@@ -104,12 +104,8 @@ pub fn align_adg(adg: &Adg, config: &PipelineConfig) -> AlignmentResult {
             sets
         };
 
-        offset_reports = solve_all_offsets(
-            adg,
-            &mut alignment,
-            &replicated_per_axis,
-            config.offset,
-        );
+        offset_reports =
+            solve_all_offsets(adg, &mut alignment, &replicated_per_axis, config.offset);
 
         if config.disable_replication || iterations >= max_iters {
             break;
@@ -157,13 +153,13 @@ fn read_only_mobile_ports(adg: &Adg, alignment: &ProgramAlignment) -> Vec<HashSe
             continue;
         }
         let pa = alignment.port(pid);
-        for axis in 0..t {
+        for (axis, axis_set) in out.iter_mut().enumerate().take(t) {
             if pa.axis_map.contains(&axis) {
                 continue; // body axis
             }
             if let crate::position::OffsetAlign::Fixed(a) = &pa.offsets[axis] {
                 if !a.is_constant() {
-                    out[axis].insert(pid);
+                    axis_set.insert(pid);
                 }
             }
         }
@@ -210,15 +206,12 @@ mod tests {
         // broadcast of V.
         assert_eq!(result.total_cost.general, 0.0, "{}", result.total_cost);
         assert_eq!(result.total_cost.shift, 0.0, "{}", result.total_cost);
-        assert!(
-            result.alignment.num_mobile() > 0 || result.alignment.num_replicated() > 0
-        );
+        assert!(result.alignment.num_mobile() > 0 || result.alignment.num_replicated() > 0);
     }
 
     #[test]
     fn figure4_broadcast_collapses_to_loop_entry() {
-        let (_, with_rep) =
-            align_program(&programs::figure4_default(), &PipelineConfig::default());
+        let (_, with_rep) = align_program(&programs::figure4_default(), &PipelineConfig::default());
         let mut no_rep_cfg = PipelineConfig::default();
         no_rep_cfg.disable_replication = true;
         let (_, no_rep) = align_program(&programs::figure4_default(), &no_rep_cfg);
@@ -246,11 +239,19 @@ mod tests {
     }
 
     #[test]
-    fn disable_replication_yields_no_replicated_ports() {
+    fn disable_replication_skips_the_min_cut_labeling() {
         let mut cfg = PipelineConfig::default();
         cfg.disable_replication = true;
+        // The min-cut labeling is skipped entirely...
         let (_, result) = align_program(&programs::figure4(16, 8, 4), &cfg);
-        assert_eq!(result.alignment.num_replicated(), 0);
         assert!(result.replication.is_none());
+        // ...but the replication the program semantics force (figure4's
+        // spread input) is still applied — that is exactly the ablation
+        // baseline where data is re-broadcast on every iteration.
+        assert!(result.alignment.num_replicated() >= 1);
+        // A program without spreads or lookup tables has nothing forced.
+        let (_, plain) = align_program(&programs::figure1(16), &cfg);
+        assert_eq!(plain.alignment.num_replicated(), 0);
+        assert!(plain.replication.is_none());
     }
 }

@@ -120,17 +120,9 @@ impl PortAlignment {
     /// The template coordinates of element `index` (1-based, one entry per
     /// body axis) at iteration `point`. Space-axis coordinates are the
     /// (evaluated) space offsets; replicated axes yield `None`.
-    pub fn position_of(
-        &self,
-        index: &[i64],
-        point: &[(LivId, i64)],
-    ) -> Vec<Option<i64>> {
+    pub fn position_of(&self, index: &[i64], point: &[(LivId, i64)]) -> Vec<Option<i64>> {
         assert_eq!(index.len(), self.rank(), "index arity mismatch");
-        let mut coords: Vec<Option<i64>> = self
-            .offsets
-            .iter()
-            .map(|o| o.eval(point))
-            .collect();
+        let mut coords: Vec<Option<i64>> = self.offsets.iter().map(|o| o.eval(point)).collect();
         for (b, &i) in index.iter().enumerate() {
             let t = self.axis_map[b];
             let stride = self.strides[b].eval_assoc(point);
@@ -293,10 +285,7 @@ mod tests {
         let a = PortAlignment {
             axis_map: vec![0],
             strides: vec![Affine::constant(1)],
-            offsets: vec![
-                OffsetAlign::Fixed(Affine::zero()),
-                OffsetAlign::Replicated,
-            ],
+            offsets: vec![OffsetAlign::Fixed(Affine::zero()), OffsetAlign::Replicated],
         };
         a.validate().unwrap();
         assert!(a.is_replicated());

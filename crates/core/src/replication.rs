@@ -150,11 +150,9 @@ fn build_cut_problem(
                 // port itself is marked replicated in the result.
             }
             NodeKind::Source { .. } | NodeKind::Sink { .. }
-                if config.pin_sources_nonreplicated =>
+                if config.pin_sources_nonreplicated && pins[nid.0] == Pin::Free =>
             {
-                if pins[nid.0] == Pin::Free {
-                    pins[nid.0] = Pin::N;
-                }
+                pins[nid.0] = Pin::N;
             }
             _ => {}
         }
@@ -393,7 +391,13 @@ mod tests {
         // iteration (100 * 200 = 20000 elements) into a single broadcast at
         // loop entry (100 elements).
         let (adg, alignment) = prepared(&programs::figure4_default());
-        let labeling = label_axis(&adg, &alignment, 1, &HashSet::new(), &ReplicationConfig::default());
+        let labeling = label_axis(
+            &adg,
+            &alignment,
+            1,
+            &HashSet::new(),
+            &ReplicationConfig::default(),
+        );
         // The cut must be far below the per-iteration broadcast volume.
         assert!(
             labeling.broadcast_cost <= 200.0,
@@ -414,7 +418,13 @@ mod tests {
         // Along template axis 0 every object spans the axis (t and B both
         // have a body axis there), so nothing can replicate.
         let (adg, alignment) = prepared(&programs::figure4(16, 8, 4));
-        let labeling = label_axis(&adg, &alignment, 0, &HashSet::new(), &ReplicationConfig::default());
+        let labeling = label_axis(
+            &adg,
+            &alignment,
+            0,
+            &HashSet::new(),
+            &ReplicationConfig::default(),
+        );
         assert!(labeling.replicated_nodes.is_empty());
     }
 
@@ -425,8 +435,13 @@ mod tests {
         for (name, prog) in programs::paper_programs() {
             let (adg, alignment) = prepared(&prog);
             for axis in 0..alignment.template_rank {
-                let labeling =
-                    label_axis(&adg, &alignment, axis, &HashSet::new(), &ReplicationConfig::default());
+                let labeling = label_axis(
+                    &adg,
+                    &alignment,
+                    axis,
+                    &HashSet::new(),
+                    &ReplicationConfig::default(),
+                );
                 if let Some(best) = brute_force_axis_cost(
                     &adg,
                     &alignment,

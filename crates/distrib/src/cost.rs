@@ -1,0 +1,354 @@
+//! The distribution cost model: what a candidate (grid, layout) pair costs
+//! on top of a fixed alignment.
+//!
+//! The alignment cost model (`alignment_core::CostModel`) prices residual
+//! communication in *template* terms: grid-metric shift distances, broadcast
+//! volumes, general-communication volumes. This module translates those into
+//! *machine* terms for a concrete [`ProgramDistribution`]:
+//!
+//! * a shift by `d` along an axis only moves the elements whose owning
+//!   processor changes — a `1/block` fraction under a block layout,
+//!   everything under a cyclic layout ([`AxisDistribution::moved_fraction`]);
+//! * a broadcast into a replicated axis costs one tree stage per
+//!   `log2(grid)` doubling along that axis;
+//! * an axis or stride mismatch is an all-to-all redistribution: every
+//!   element moves with probability `(p-1)/p`, weighted by a routing factor;
+//! * uneven per-processor cell counts serialise the computation itself,
+//!   charged as the template's worst per-axis load imbalance times the total
+//!   data volume.
+//!
+//! The model is deliberately cheaper than running the `commsim` simulator on
+//! every candidate — the solver evaluates hundreds of (grid, layout) pairs —
+//! and the simulator remains the exact cross-check (see the golden tests).
+
+use crate::distribution::ProgramDistribution;
+use adg::Adg;
+use alignment_core::position::{OffsetAlign, ProgramAlignment};
+use alignment_core::CostModel;
+use commsim::TemplateDistribution;
+use std::collections::HashMap;
+
+/// Machine parameters of the distribution cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct DistribCostParams {
+    /// Per-element routing penalty of general (all-to-all) communication.
+    pub general_factor: f64,
+    /// Per-element cost of one broadcast tree stage.
+    pub broadcast_hop_cost: f64,
+    /// Weight of compute load imbalance relative to communication.
+    pub imbalance_weight: f64,
+    /// Iteration points sampled per edge (longer loops are strided). The
+    /// sample is taken once, when the [`DistributionCostModel`] builds its
+    /// cache.
+    pub max_points_per_edge: usize,
+}
+
+impl Default for DistribCostParams {
+    fn default() -> Self {
+        DistribCostParams {
+            general_factor: 4.0,
+            broadcast_hop_cost: 1.0,
+            imbalance_weight: 1.0,
+            max_points_per_edge: 128,
+        }
+    }
+}
+
+/// A distribution cost, broken down by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistributionCost {
+    /// Element moves from offset shifts crossing ownership boundaries.
+    pub shift: f64,
+    /// Element·stage volume of broadcasts into replicated axes.
+    pub broadcast: f64,
+    /// Element moves from axis/stride mismatches (all-to-all routing).
+    pub general: f64,
+    /// Load-imbalance penalty (idle-processor work, in element units).
+    pub imbalance: f64,
+}
+
+impl DistributionCost {
+    /// The scalar the solver ranks by.
+    pub fn total(&self) -> f64 {
+        self.shift + self.broadcast + self.general + self.imbalance
+    }
+
+    /// True when the distribution induces no cost at all.
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0.0
+    }
+}
+
+impl std::fmt::Display for DistributionCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shift={:.1} broadcast={:.1} general={:.1} imbalance={:.1}",
+            self.shift, self.broadcast, self.general, self.imbalance
+        )
+    }
+}
+
+/// What one (edge, iteration point) contributes along one template axis,
+/// independent of any candidate distribution.
+#[derive(Debug, Clone, Copy)]
+enum AxisEffect {
+    /// Both ends fixed: a grid-metric shift by this distance.
+    Shift(i64),
+    /// Fixed tail into a replicated head: a broadcast along the axis.
+    Broadcast,
+    /// No communication (zero distance, or replicated tail).
+    Free,
+}
+
+/// One sampled (edge, iteration point), pre-evaluated against the alignment.
+#[derive(Debug, Clone)]
+struct SampledPoint {
+    /// Data weight (element count x control weight x sampling scale).
+    weight: f64,
+    /// Axis/stride mismatch: the whole object is redistributed.
+    mismatch: bool,
+    /// Per-template-axis effect (empty when `mismatch`).
+    effects: Vec<AxisEffect>,
+}
+
+/// Prices candidate distributions for one (ADG, alignment) pair.
+///
+/// The solver prices hundreds to thousands of (grid, layout) candidates, so
+/// everything that depends only on the ADG and the alignment — iteration
+/// points, weights, offset distances — is evaluated once at construction
+/// (sampling long loops down to `DistribCostParams::default`'s
+/// `max_points_per_edge`); pricing a candidate is then a single pass over
+/// the cached samples.
+pub struct DistributionCostModel<'a> {
+    adg: &'a Adg,
+    alignment: &'a ProgramAlignment,
+    samples: Vec<SampledPoint>,
+    /// Total data volume over all edges (the imbalance scale factor).
+    total_volume: f64,
+}
+
+impl<'a> DistributionCostModel<'a> {
+    /// Build a model for an aligned program with the default sampling cap.
+    pub fn new(adg: &'a Adg, alignment: &'a ProgramAlignment) -> Self {
+        Self::with_max_points(
+            adg,
+            alignment,
+            DistribCostParams::default().max_points_per_edge,
+        )
+    }
+
+    /// Build a model sampling at most `max_points` iteration points per edge.
+    pub fn with_max_points(
+        adg: &'a Adg,
+        alignment: &'a ProgramAlignment,
+        max_points: usize,
+    ) -> Self {
+        let mut samples = Vec::new();
+        for (_, edge) in adg.edges() {
+            let src = alignment.port(edge.src);
+            let dst = alignment.port(edge.dst);
+            let points = edge.space.points();
+            if points.is_empty() {
+                continue;
+            }
+            let stride = (points.len() / max_points.max(1)).max(1);
+            let scale = stride as f64;
+            for point in points.iter().step_by(stride) {
+                let w = edge.weight.eval(point) as f64 * edge.control_weight * scale;
+                if w == 0.0 {
+                    continue;
+                }
+                // Axis / stride agreement (the discrete metric): any mismatch
+                // redistributes the whole object arbitrarily.
+                let rank = src.rank().min(dst.rank());
+                let mismatch = src.rank() != dst.rank()
+                    || (0..rank).any(|b| {
+                        src.axis_map.get(b) != dst.axis_map.get(b)
+                            || src.strides[b].eval_assoc(point) != dst.strides[b].eval_assoc(point)
+                    });
+                let effects = if mismatch {
+                    Vec::new()
+                } else {
+                    (0..src.template_rank().min(dst.template_rank()))
+                        .map(|axis| match (&src.offsets[axis], &dst.offsets[axis]) {
+                            (OffsetAlign::Fixed(a), OffsetAlign::Fixed(b)) => {
+                                match a.eval_assoc(point) - b.eval_assoc(point) {
+                                    0 => AxisEffect::Free,
+                                    d => AxisEffect::Shift(d),
+                                }
+                            }
+                            (OffsetAlign::Fixed(_), OffsetAlign::Replicated) => {
+                                AxisEffect::Broadcast
+                            }
+                            (OffsetAlign::Replicated, _) => AxisEffect::Free,
+                        })
+                        .collect()
+                };
+                samples.push(SampledPoint {
+                    weight: w,
+                    mismatch,
+                    effects,
+                });
+            }
+        }
+        DistributionCostModel {
+            adg,
+            alignment,
+            samples,
+            total_volume: adg.total_edge_data(),
+        }
+    }
+
+    /// Estimated template extents under the alignment (the shape candidate
+    /// distributions must cover).
+    pub fn template_extents(&self) -> Vec<i64> {
+        CostModel::new(self.adg).template_extents(self.alignment, 128)
+    }
+
+    /// Price one candidate distribution.
+    pub fn cost(&self, dist: &ProgramDistribution, params: &DistribCostParams) -> DistributionCost {
+        let p = dist.num_processors() as f64;
+        let t = dist.template_rank();
+        // moved_fraction is O(period) per distinct shift distance; memoise
+        // per (axis, distance) across the whole sample walk.
+        let mut moved: HashMap<(usize, i64), f64> = HashMap::new();
+        let mut cost = DistributionCost::default();
+
+        for sample in &self.samples {
+            let w = sample.weight;
+            if sample.mismatch {
+                cost.general += w * (p - 1.0) / p * params.general_factor;
+                continue;
+            }
+            for (axis, effect) in sample.effects.iter().enumerate().take(t) {
+                match *effect {
+                    AxisEffect::Shift(d) => {
+                        let frac = *moved
+                            .entry((axis, d))
+                            .or_insert_with(|| dist.axes[axis].moved_fraction(d));
+                        cost.shift += w * frac;
+                    }
+                    AxisEffect::Broadcast => {
+                        // A broadcast tree doubles reached processors per
+                        // stage along the replicated axis.
+                        let g_axis = dist.axes[axis].nprocs;
+                        let stages = (g_axis.max(1) as f64).log2().ceil();
+                        cost.broadcast += w * stages * params.broadcast_hop_cost;
+                    }
+                    AxisEffect::Free => {}
+                }
+            }
+        }
+
+        cost.imbalance = dist.imbalance() * self.total_volume * params.imbalance_weight;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use adg::build_adg;
+    use align_ir::programs;
+    use alignment_core::pipeline::{align_program, PipelineConfig};
+
+    fn identity(adg: &Adg, t: usize) -> ProgramAlignment {
+        let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+        ProgramAlignment::identity(t, &ranks)
+    }
+
+    #[test]
+    fn aligned_program_on_any_distribution_has_no_shift_cost() {
+        // example1 aligned: no residual communication, so every distribution
+        // is communication-free and differs only in imbalance.
+        let (adg, result) = align_program(&programs::example1(64), &PipelineConfig::default());
+        let model = DistributionCostModel::new(&adg, &result.alignment);
+        for layout in [Layout::Block, Layout::Cyclic, Layout::BlockCyclic(4)] {
+            let d = ProgramDistribution::new(&model.template_extents(), &[4], &[layout]);
+            let c = model.cost(&d, &DistribCostParams::default());
+            assert_eq!(c.shift, 0.0, "{layout}: {c}");
+            assert_eq!(c.general, 0.0, "{layout}: {c}");
+            assert_eq!(c.broadcast, 0.0, "{layout}: {c}");
+        }
+    }
+
+    #[test]
+    fn block_beats_cyclic_for_unit_shifts() {
+        // Shift B's section-value port by one cell (the edge misalignment
+        // example1 exists to create): block layouts only move boundary
+        // elements, cyclic moves everything.
+        use align_ir::Affine;
+        use alignment_core::position::OffsetAlign;
+        let adg = build_adg(&programs::example1(64));
+        let mut a = identity(&adg, 1);
+        let (pid, _) = adg
+            .ports()
+            .find(|(_, p)| p.label.contains("B(2:"))
+            .expect("section def port for B");
+        a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(1));
+        let model = DistributionCostModel::new(&adg, &a);
+        let params = DistribCostParams::default();
+        let ext = model.template_extents();
+        let block = model.cost(
+            &ProgramDistribution::new(&ext, &[4], &[Layout::Block]),
+            &params,
+        );
+        let cyclic = model.cost(
+            &ProgramDistribution::new(&ext, &[4], &[Layout::Cyclic]),
+            &params,
+        );
+        assert!(
+            block.shift < cyclic.shift / 4.0,
+            "block {block} vs cyclic {cyclic}"
+        );
+    }
+
+    #[test]
+    fn single_processor_grid_is_communication_free() {
+        let adg = build_adg(&programs::figure1(16));
+        let a = identity(&adg, 2);
+        let model = DistributionCostModel::new(&adg, &a);
+        let ext = model.template_extents();
+        let d = ProgramDistribution::new(&ext, &[1, 1], &[Layout::Block, Layout::Block]);
+        let c = model.cost(&d, &DistribCostParams::default());
+        assert_eq!(c.shift, 0.0, "{c}");
+        assert_eq!(c.broadcast, 0.0, "one stage of log2(1) = 0 hops: {c}");
+    }
+
+    #[test]
+    fn broadcast_scales_with_grid_log() {
+        let (adg, result) = align_program(&programs::figure4(16, 8, 4), &PipelineConfig::default());
+        let model = DistributionCostModel::new(&adg, &result.alignment);
+        let params = DistribCostParams::default();
+        let ext = model.template_extents();
+        let narrow = model.cost(
+            &ProgramDistribution::new(&ext, &[4, 2], &[Layout::Block, Layout::Block]),
+            &params,
+        );
+        let wide = model.cost(
+            &ProgramDistribution::new(&ext, &[1, 8], &[Layout::Block, Layout::Block]),
+            &params,
+        );
+        // Replication in figure4 is along the spread axis; more processors
+        // there means more broadcast stages.
+        assert!(
+            wide.broadcast >= narrow.broadcast,
+            "wide {wide} vs narrow {narrow}"
+        );
+    }
+
+    #[test]
+    fn imbalance_charged_for_uneven_blocks() {
+        let adg = build_adg(&programs::example1(64));
+        let a = identity(&adg, 1);
+        let model = DistributionCostModel::new(&adg, &a);
+        let params = DistribCostParams::default();
+        // 65-cell template over 4 procs: last block is short.
+        let skew = ProgramDistribution::new(&[65], &[4], &[Layout::Block]);
+        let even = ProgramDistribution::new(&[64], &[4], &[Layout::Block]);
+        assert!(model.cost(&skew, &params).imbalance > 0.0);
+        assert_eq!(model.cost(&even, &params).imbalance, 0.0);
+    }
+}

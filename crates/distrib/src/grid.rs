@@ -1,0 +1,136 @@
+//! Processor-grid shape enumeration.
+//!
+//! The distribution phase first chooses the *shape* of the processor grid:
+//! how the `P` physical processors are arranged as a Cartesian grid with one
+//! dimension per template axis. A template axis given a grid dimension of 1
+//! is effectively serialised (all its cells live on the same processor
+//! coordinate), so the enumeration includes degenerate shapes such as
+//! `[P, 1]` and `[1, P]` — on many programs those are exactly the shapes the
+//! cost model prefers, because they eliminate all communication along the
+//! serialised axis.
+
+/// All divisors of `n` in increasing order.
+pub fn divisors(n: usize) -> Vec<usize> {
+    assert!(n > 0, "divisors of zero are undefined");
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Every ordered factorisation of `nprocs` into exactly `rank` factors —
+/// i.e. every grid shape `[g_0, ..., g_{rank-1}]` with `∏ g_i = nprocs`.
+/// Shapes are ordered lexicographically. For `rank == 0` the only shape is
+/// the empty grid, valid when `nprocs == 1`.
+pub fn enumerate_grids(nprocs: usize, rank: usize) -> Vec<Vec<usize>> {
+    assert!(nprocs > 0, "need at least one processor");
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(rank);
+    fill(nprocs, rank, &mut current, &mut out);
+    out
+}
+
+fn fill(remaining: usize, slots: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if slots == 0 {
+        if remaining == 1 {
+            out.push(current.clone());
+        }
+        return;
+    }
+    if slots == 1 {
+        current.push(remaining);
+        out.push(current.clone());
+        current.pop();
+        return;
+    }
+    for d in divisors(remaining) {
+        current.push(d);
+        fill(remaining / d, slots - 1, current, out);
+        current.pop();
+    }
+}
+
+/// The number of grid shapes `enumerate_grids` would return, without
+/// materialising them — a sizing estimate for callers planning sweeps (the
+/// solver itself counts full (grid, layout) candidates instead).
+pub fn count_grids(nprocs: usize, rank: usize) -> usize {
+    match rank {
+        0 => usize::from(nprocs == 1),
+        1 => 1,
+        _ => divisors(nprocs)
+            .into_iter()
+            .map(|d| count_grids(nprocs / d, rank - 1))
+            .sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisors_are_sorted_and_complete() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(divisors(17), vec![1, 17]);
+    }
+
+    #[test]
+    fn grids_multiply_to_nprocs() {
+        for rank in 1..=3 {
+            for p in [1usize, 4, 16, 24] {
+                for g in enumerate_grids(p, rank) {
+                    assert_eq!(g.len(), rank);
+                    assert_eq!(g.iter().product::<usize>(), p, "{g:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank2_grid_count_is_divisor_count() {
+        assert_eq!(enumerate_grids(16, 2).len(), divisors(16).len());
+        assert_eq!(
+            enumerate_grids(16, 2),
+            vec![vec![1, 16], vec![2, 8], vec![4, 4], vec![8, 2], vec![16, 1]]
+        );
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for rank in 0..=4 {
+            for p in [1usize, 2, 12, 16, 36] {
+                assert_eq!(
+                    count_grids(p, rank),
+                    enumerate_grids(p, rank).len(),
+                    "p={p} rank={rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_present() {
+        let grids = enumerate_grids(8, 2);
+        assert!(grids.contains(&vec![1, 8]));
+        assert!(grids.contains(&vec![8, 1]));
+    }
+
+    #[test]
+    fn rank_zero_only_for_one_processor() {
+        assert_eq!(enumerate_grids(1, 0), vec![Vec::<usize>::new()]);
+        assert!(enumerate_grids(2, 0).is_empty());
+    }
+}

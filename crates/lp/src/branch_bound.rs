@@ -65,7 +65,7 @@ pub fn solve_milp(problem: &Problem, max_nodes: usize) -> Result<Solution, Solve
                     sol.values[v.index()] = sol.values[v.index()].round();
                 }
                 sol.objective = problem.eval_objective(&sol.values);
-                if best.as_ref().map_or(true, |b| sol.objective < b.objective) {
+                if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
                     best = Some(sol);
                 }
             }

@@ -31,6 +31,7 @@
 
 pub mod branch_bound;
 pub mod model;
+pub mod presolve;
 pub mod simplex;
 
 pub use branch_bound::solve_milp;

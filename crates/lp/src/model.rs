@@ -199,19 +199,22 @@ impl Problem {
     /// summed.
     pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, relation: Relation, rhs: f64) {
         for (v, _) in &terms {
-            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references unknown variable"
+            );
         }
-        self.constraints.push(Constraint { terms, relation, rhs });
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
     }
 
     /// Evaluate the objective at a candidate point (used by tests and by the
     /// branch-and-bound wrapper).
     pub fn eval_objective(&self, values: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(values)
-            .map(|(v, x)| v.obj * x)
-            .sum()
+        self.vars.iter().zip(values).map(|(v, x)| v.obj * x).sum()
     }
 
     /// Check whether a candidate point satisfies all constraints and bounds
@@ -239,10 +242,22 @@ impl Problem {
         true
     }
 
-    /// Solve the LP relaxation (integrality flags ignored) with the two-phase
-    /// simplex. Returns the optimal solution or an error.
+    /// Solve the LP relaxation (integrality flags ignored): equality-chain
+    /// presolve first (the hard node constraints of the alignment RLPs are
+    /// mostly pairwise equalities, which would otherwise bloat and
+    /// destabilise the tableau), then the two-phase simplex on what remains.
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        simplex::solve(self)
+        let pre = crate::presolve::Presolve::new(self)?;
+        if pre.reduced.num_vars() == 0 {
+            let values = pre.restore(&[]);
+            let objective = pre.objective_offset;
+            return Ok(Solution { values, objective });
+        }
+        let sol = simplex::solve(&pre.reduced)?;
+        Ok(Solution {
+            values: pre.restore(&sol.values),
+            objective: sol.objective + pre.objective_offset,
+        })
     }
 }
 

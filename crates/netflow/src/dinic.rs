@@ -65,7 +65,10 @@ impl FlowNetwork {
     ///
     /// Self-loops are ignored (they can never carry s-t flow).
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) {
-        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "vertex out of range"
+        );
         if from == to {
             return;
         }

@@ -26,6 +26,8 @@ mod tests {
         g.add_edge(1, 3, 2);
         g.add_edge(2, 3, 3);
         g.add_edge(1, 2, 1);
-        assert_eq!(g.max_flow(0, 3), 4);
+        // 0->1->3 carries 2, 0->2->3 carries 2, 0->1->2->3 carries 1; the
+        // cut {0} has capacity 3 + 2 = 5, so 5 is optimal.
+        assert_eq!(g.max_flow(0, 3), 5);
     }
 }

@@ -15,8 +15,8 @@
 //! Any static stride for `V` costs two general communications per iteration;
 //! the mobile stride `V(i) ->_k [k*i]` costs one.
 
-use array_alignment::core_::stride::{solve_strides, solve_strides_with};
 use array_alignment::core_::axis::{solve_axes, template_rank};
+use array_alignment::core_::stride::{solve_strides, solve_strides_with};
 use array_alignment::prelude::*;
 
 fn main() {

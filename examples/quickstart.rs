@@ -49,7 +49,12 @@ fn main() {
     // Confirm on a simulated 4-processor machine.
     let machine = Machine::new(vec![2, 2], vec![(n / 2) as usize, (n / 2) as usize]);
     let mobile_sim = simulate(&adg, &result.alignment, &machine, SimOptions::default());
-    let static_sim = simulate(&adg, &static_result.alignment, &machine, SimOptions::default());
+    let static_sim = simulate(
+        &adg,
+        &static_result.alignment,
+        &machine,
+        SimOptions::default(),
+    );
     println!(
         "simulated elements moved: mobile+replicated = {:.0}, static = {:.0}",
         mobile_sim.total_elements(),

@@ -13,7 +13,10 @@
 //! * [`core`] (`alignment-core`) — the alignment analysis itself (axis,
 //!   mobile stride, replication, mobile offset, pipeline);
 //! * [`sim`] (`commsim`) — the distributed-memory communication simulator
-//!   used to validate alignments.
+//!   used to validate alignments;
+//! * [`distrib`] — the distribution phase: processor-grid shapes, block /
+//!   cyclic / block-cyclic layouts per template axis, and the cost-driven
+//!   search combining both phases (`align_then_distribute`).
 //!
 //! ## Quick start
 //!
@@ -33,6 +36,12 @@
 //! let machine = Machine::new(vec![2, 2], vec![16, 16]);
 //! let report = simulate(&adg, &result.alignment, &machine, SimOptions::default());
 //! assert_eq!(report.total.element_moves, 0.0);
+//!
+//! // Or let the distribution phase pick the machine: search grid shapes and
+//! // per-axis layouts for 16 processors in one call.
+//! let full = align_then_distribute(&program, 16, &FullPipelineConfig::default());
+//! let chosen = &full.best().distribution;
+//! assert_eq!(chosen.grid().iter().product::<usize>(), 16);
 //! ```
 
 pub use adg;
@@ -42,6 +51,7 @@ pub use alignment_core;
 pub use alignment_core as core_;
 pub use commsim;
 pub use commsim as sim;
+pub use distrib;
 pub use lp;
 pub use netflow;
 
@@ -53,7 +63,13 @@ pub mod prelude {
         align_program, AlignmentResult, CommCost, CostModel, MobileOffsetConfig, OffsetStrategy,
         PipelineConfig, ProgramAlignment,
     };
-    pub use commsim::{simulate, Machine, SimOptions, SimReport};
+    pub use commsim::{simulate, Machine, SimOptions, SimReport, TemplateDistribution};
+    pub use distrib::{
+        align_then_distribute, distribute_alignment, solve_distribution, AxisDistribution,
+        DistribCostParams, DistributionCost, DistributionCostModel, DistributionReport,
+        FullPipelineConfig, FullPipelineResult, Layout, ProgramDistribution, RankedDistribution,
+        SolveConfig,
+    };
 }
 
 #[cfg(test)]
