@@ -235,6 +235,13 @@ pub struct Adg {
     nodes: Vec<Node>,
     ports: Vec<Port>,
     edges: Vec<Edge>,
+    /// Outgoing edges of each port (indexed by `PortId::0`), maintained at
+    /// construction so `out_edges` / `in_edge` are lookups, not scans. Only
+    /// definition ports accumulate entries here.
+    out_adj: Vec<Vec<EdgeId>>,
+    /// Incoming edges of each port. Well-formed graphs keep at most one entry
+    /// per use port; `validate` reports the violation otherwise.
+    in_adj: Vec<Vec<EdgeId>>,
 }
 
 impl Adg {
@@ -297,6 +304,8 @@ impl Adg {
             is_def,
             label: label.into(),
         });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
         self.nodes[node.0].ports.push(id);
         id
     }
@@ -326,7 +335,22 @@ impl Adg {
             space,
             control_weight,
         });
+        self.out_adj[src.0].push(id);
+        self.in_adj[dst.0].push(id);
         id
+    }
+
+    /// Re-source an existing edge onto a different definition port, keeping
+    /// the adjacency index consistent (used by [`Adg::insert_fanouts`]).
+    fn reroute_edge_src(&mut self, id: EdgeId, new_src: PortId) {
+        assert!(
+            self.ports[new_src.0].is_def,
+            "edge source {new_src} must be a definition port"
+        );
+        let old_src = self.edges[id.0].src;
+        self.out_adj[old_src.0].retain(|&e| e != id);
+        self.edges[id.0].src = new_src;
+        self.out_adj[new_src.0].push(id);
     }
 
     /// Number of nodes.
@@ -387,17 +411,15 @@ impl Adg {
         self.ports.iter().enumerate().map(|(i, p)| (PortId(i), p))
     }
 
-    /// The edges leaving a definition port.
-    pub fn out_edges(&self, port: PortId) -> Vec<EdgeId> {
-        self.edges()
-            .filter(|(_, e)| e.src == port)
-            .map(|(id, _)| id)
-            .collect()
+    /// The edges leaving a definition port (an indexed lookup — the graph
+    /// maintains per-port adjacency at construction).
+    pub fn out_edges(&self, port: PortId) -> &[EdgeId] {
+        &self.out_adj[port.0]
     }
 
-    /// The edge arriving at a use port, if any.
+    /// The edge arriving at a use port, if any (indexed lookup).
     pub fn in_edge(&self, port: PortId) -> Option<EdgeId> {
-        self.edges().find(|(_, e)| e.dst == port).map(|(id, _)| id)
+        self.in_adj[port.0].first().copied()
     }
 
     /// Nodes of a given kind predicate (convenience for tests/reports).
@@ -420,7 +442,7 @@ impl Adg {
             .filter(|&p| self.ports[p.0].is_def)
             .collect();
         for def in def_ports {
-            let outs = self.out_edges(def);
+            let outs = self.out_edges(def).to_vec();
             if outs.len() <= 1 {
                 continue;
             }
@@ -435,8 +457,7 @@ impl Adg {
                 format!("{}@fanout-in", dport.label),
             );
             // One output port per original consumer.
-            for eid in &outs {
-                let edge = self.edges[eid.0].clone();
+            for &eid in &outs {
                 let fan_out = self.add_port(
                     fan,
                     dport.rank,
@@ -445,8 +466,7 @@ impl Adg {
                     true,
                     format!("{}@fanout-out", dport.label),
                 );
-                self.edges[eid.0].src = fan_out;
-                let _ = edge;
+                self.reroute_edge_src(eid, fan_out);
             }
             // Single edge def -> fanout-in.
             self.add_edge(def, fan_in, dport.size(), dport.space.clone(), 1.0);
@@ -484,10 +504,16 @@ impl Adg {
         }
         for pid in self.port_ids() {
             if !self.ports[pid.0].is_def {
-                let n = self.edges().filter(|(_, e)| e.dst == pid).count();
+                let n = self.in_adj[pid.0].len();
                 if n > 1 {
                     return Err(format!("use port {pid} has {n} incoming edges"));
                 }
+            }
+        }
+        // The index must agree with the edge list itself.
+        for (eid, e) in self.edges() {
+            if !self.out_adj[e.src.0].contains(&eid) || !self.in_adj[e.dst.0].contains(&eid) {
+                return Err(format!("edge {eid} missing from the adjacency index"));
             }
         }
         Ok(())
@@ -621,6 +647,24 @@ mod tests {
         }
         // The original def now feeds only the fanout.
         assert_eq!(g.out_edges(d).len(), 1);
+    }
+
+    #[test]
+    fn adjacency_index_matches_scans() {
+        // After construction *and* after fanout rerouting, the indexed
+        // out_edges/in_edge agree with a brute-force scan of the edge list.
+        let mut g = tiny_graph();
+        g.insert_fanouts();
+        for pid in g.port_ids() {
+            let scan_out: Vec<EdgeId> = g
+                .edges()
+                .filter(|(_, e)| e.src == pid)
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(g.out_edges(pid), scan_out.as_slice(), "{pid}");
+            let scan_in = g.edges().find(|(_, e)| e.dst == pid).map(|(id, _)| id);
+            assert_eq!(g.in_edge(pid), scan_in, "{pid}");
+        }
     }
 
     #[test]

@@ -431,6 +431,67 @@ impl Program {
         }
     }
 
+    /// Number of top-level statements — the granularity at which the phase
+    /// analysis may cut the program (a top-level loop is an atom; cutting
+    /// inside a loop body would need loop distribution, which the IR does not
+    /// model).
+    pub fn num_top_level_stmts(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The sub-program consisting of top-level statements `range` (with the
+    /// same declarations and LIV numbering). This is the program-segmentation
+    /// primitive of the dynamic-redistribution analysis: each phase is a
+    /// contiguous run of top-level statements re-analysed as a program of its
+    /// own. Arrays untouched by the slice keep their declarations (their ADG
+    /// sources simply stay edge-less).
+    pub fn subprogram(&self, range: std::ops::Range<usize>) -> Program {
+        assert!(
+            range.end <= self.body.len() && range.start <= range.end,
+            "subprogram range {range:?} out of bounds for {} statements",
+            self.body.len()
+        );
+        Program {
+            name: format!("{}[{}..{}]", self.name, range.start, range.end),
+            arrays: self.arrays.clone(),
+            body: self.body[range].to_vec(),
+            num_livs: self.num_livs,
+        }
+    }
+
+    /// The top-level statement ranges induced by cutting at the given
+    /// boundaries (a boundary `b` cuts between statements `b-1` and `b`).
+    /// Boundaries are deduplicated, sorted, and clamped to the interior; the
+    /// returned ranges cover the body exactly (a single `(0, n)` range when
+    /// no interior boundary survives, including for the empty program).
+    pub fn segment_ranges(&self, boundaries: &[usize]) -> Vec<(usize, usize)> {
+        let n = self.body.len();
+        let mut cuts: Vec<usize> = boundaries
+            .iter()
+            .copied()
+            .filter(|&b| b > 0 && b < n)
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for b in cuts.into_iter().chain(std::iter::once(n)) {
+            out.push((start, b));
+            start = b;
+        }
+        out
+    }
+
+    /// Split the program at the given top-level boundaries (see
+    /// [`Program::segment_ranges`] for the boundary conventions); the
+    /// returned segments cover the body exactly.
+    pub fn split_at(&self, boundaries: &[usize]) -> Vec<Program> {
+        self.segment_ranges(boundaries)
+            .into_iter()
+            .map(|(lo, hi)| self.subprogram(lo..hi))
+            .collect()
+    }
+
     /// Maximum loop-nest depth of the program.
     pub fn max_nest_depth(&self) -> usize {
         fn depth(stmts: &[Stmt]) -> usize {

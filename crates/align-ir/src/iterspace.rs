@@ -75,28 +75,41 @@ impl IterationSpace {
     ///
     /// For trapezoidal nests the inner bounds are re-evaluated for every
     /// assignment of the outer LIVs. The empty space yields one empty vector.
+    /// Callers that walk the points once should prefer
+    /// [`IterationSpace::for_each_point`], which streams them without
+    /// materialising the whole `Vec<Vec<_>>`.
     pub fn points(&self) -> Vec<Vec<(LivId, i64)>> {
         let mut out = Vec::new();
-        let mut current: Vec<(LivId, i64)> = Vec::new();
-        self.enumerate(0, &mut current, &mut out);
+        self.for_each_point(|p| out.push(p.to_vec()));
         out
+    }
+
+    /// Visit every LIV vector of the space in enumeration order without
+    /// allocating per point: the closure borrows a scratch association list
+    /// that is reused across calls. This is the streaming counterpart of
+    /// [`IterationSpace::points`] for the cost model and the simulator, whose
+    /// walks over long loops dominated the profile when every point was a
+    /// fresh heap vector.
+    pub fn for_each_point(&self, mut visit: impl FnMut(&[(LivId, i64)])) {
+        let mut current: Vec<(LivId, i64)> = Vec::with_capacity(self.levels.len());
+        self.enumerate(0, &mut current, &mut visit);
     }
 
     fn enumerate(
         &self,
         level: usize,
         current: &mut Vec<(LivId, i64)>,
-        out: &mut Vec<Vec<(LivId, i64)>>,
+        visit: &mut impl FnMut(&[(LivId, i64)]),
     ) {
         if level == self.levels.len() {
-            out.push(current.clone());
+            visit(current);
             return;
         }
         let lvl = &self.levels[level];
         let range = lvl.range.at(current);
         for v in range.iter() {
             current.push((lvl.liv, v));
-            self.enumerate(level + 1, current, out);
+            self.enumerate(level + 1, current, visit);
             current.pop();
         }
     }
@@ -304,6 +317,23 @@ mod tests {
         assert_eq!(subs.len(), 3);
         let total: u64 = subs.iter().map(|x| x.size()).sum();
         assert_eq!(total, s.size());
+    }
+
+    #[test]
+    fn streaming_matches_materialised_points() {
+        let s = IterationSpace::single_loop(k(), 1, 4, 1).enter_loop(
+            j(),
+            AffineTriplet::range(Affine::constant(1), Affine::liv(k())),
+        );
+        let mut streamed = Vec::new();
+        s.for_each_point(|p| streamed.push(p.to_vec()));
+        assert_eq!(streamed, s.points());
+        let mut count = 0u64;
+        IterationSpace::scalar().for_each_point(|p| {
+            assert!(p.is_empty());
+            count += 1;
+        });
+        assert_eq!(count, 1);
     }
 
     #[test]

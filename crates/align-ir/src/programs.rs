@@ -297,6 +297,115 @@ pub fn nested_mobile(n: i64) -> Program {
     p
 }
 
+/// An FFT-like two-phase kernel whose best distribution flips mid-program:
+/// a row phase (nearest-neighbour shifts along the *column* axis) followed by
+/// a column phase (the same shifts along the *row* axis).
+///
+/// ```fortran
+/// real A(n,n)
+/// do k = 1, trips                          ! phase 1: work within rows
+///   A(1:n,1:n-1) = A(1:n,1:n-1) + A(1:n,2:n)
+/// enddo
+/// do k = 1, trips                          ! phase 2: work within columns
+///   A(1:n-1,1:n) = A(1:n-1,1:n) + A(2:n,1:n)
+/// enddo
+/// ```
+///
+/// Phase 1's residual shift lives on template axis 1, so serialising that
+/// axis (`[P, 1]` grids) makes it free; phase 2 inverts the pattern and
+/// prefers `[1, P]`. A static distribution must lose one of the phases every
+/// iteration; a dynamic distribution pays one transpose-style all-to-all at
+/// the boundary instead. This is the motivating workload of the
+/// phase-analysis subsystem (`crates/phases`).
+pub fn fft_like(n: i64, trips: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("fft_like(n={n},trips={trips})"));
+    let a = b.array("A", &[n, n]);
+    let _k = b.begin_loop(1, trips);
+    let left = b.sec_ref(a, vec![rng(1, n), rng(1, n - 1)]);
+    let right = b.sec_ref(a, vec![rng(1, n), rng(2, n)]);
+    b.assign(
+        a,
+        Section::new(vec![rng(1, n), rng(1, n - 1)]),
+        add(left, right),
+    );
+    b.end_loop();
+    let _k2 = b.begin_loop(1, trips);
+    let upper = b.sec_ref(a, vec![rng(1, n - 1), rng(1, n)]);
+    let lower = b.sec_ref(a, vec![rng(2, n), rng(1, n)]);
+    b.assign(
+        a,
+        Section::new(vec![rng(1, n - 1), rng(1, n)]),
+        add(upper, lower),
+    );
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("fft_like must be well formed");
+    p
+}
+
+/// A multigrid-style V-cycle fragment: fine-grid relaxation, restriction to a
+/// coarse array, coarse-grid relaxation, and prolongation back. The fine and
+/// coarse phases touch templates of very different extents, so the best
+/// block sizes (and with enough processors, grid shapes) differ per phase —
+/// a second motivating workload for dynamic redistribution.
+///
+/// ```fortran
+/// real A(n,n), C(n/2,n/2)
+/// do k = 1, fine_steps                     ! fine relaxation
+///   A(2:n-1,2:n-1) = 0.25*(A(1:n-2,2:n-1)+A(3:n,2:n-1)+A(2:n-1,1:n-2)+A(2:n-1,3:n))
+/// enddo
+/// C(1:n/2,1:n/2) = A(1:n-1:2,1:n-1:2)      ! restriction
+/// do k = 1, coarse_steps                   ! coarse relaxation
+///   C(2:m-1,2:m-1) = 0.25*(C(1:m-2,2:m-1)+C(3:m,2:m-1)+C(2:m-1,1:m-2)+C(2:m-1,3:m))
+/// enddo
+/// A(1:n-1:2,1:n-1:2) = A(1:n-1:2,1:n-1:2) + C(1:n/2,1:n/2)   ! prolongation
+/// ```
+pub fn multigrid_vcycle(n: i64, fine_steps: i64, coarse_steps: i64) -> Program {
+    assert!(
+        n >= 8 && n % 2 == 0,
+        "multigrid_vcycle requires even n >= 8"
+    );
+    let m = n / 2;
+    let mut b = ProgramBuilder::new(format!(
+        "multigrid_vcycle(n={n},fine={fine_steps},coarse={coarse_steps})"
+    ));
+    let a = b.array("A", &[n, n]);
+    let c = b.array("C", &[m, m]);
+
+    let relax = |b: &mut ProgramBuilder, arr, e: i64| {
+        let north = b.sec_ref(arr, vec![rng(1, e - 2), rng(2, e - 1)]);
+        let south = b.sec_ref(arr, vec![rng(3, e), rng(2, e - 1)]);
+        let west = b.sec_ref(arr, vec![rng(2, e - 1), rng(1, e - 2)]);
+        let east = b.sec_ref(arr, vec![rng(2, e - 1), rng(3, e)]);
+        let sum = add(add(north, south), add(west, east));
+        b.assign(
+            arr,
+            Section::new(vec![rng(2, e - 1), rng(2, e - 1)]),
+            mul(Expr::Lit(0.25), sum),
+        );
+    };
+
+    let _k = b.begin_loop(1, fine_steps);
+    relax(&mut b, a, n);
+    b.end_loop();
+
+    let fine_even = vec![rng_s(1, n - 1, 2), rng_s(1, n - 1, 2)];
+    let a_even = b.sec_ref(a, fine_even.clone());
+    b.assign(c, Section::new(vec![rng(1, m), rng(1, m)]), a_even);
+
+    let _k2 = b.begin_loop(1, coarse_steps);
+    relax(&mut b, c, m);
+    b.end_loop();
+
+    let a_even2 = b.sec_ref(a, fine_even.clone());
+    let c_full = b.full_ref(c);
+    b.assign(a, Section::new(fine_even), add(a_even2, c_full));
+
+    let p = b.finish();
+    p.validate().expect("multigrid_vcycle must be well formed");
+    p
+}
+
 /// All paper programs with their default parameters, with stable labels.
 /// Used by the experiment harness to sweep "every program in the paper".
 pub fn paper_programs() -> Vec<(&'static str, Program)> {
@@ -377,6 +486,34 @@ mod tests {
     #[should_panic(expected = "even n")]
     fn nested_mobile_rejects_odd_n() {
         nested_mobile(7);
+    }
+
+    #[test]
+    fn phase_flip_workloads_validate() {
+        let f = fft_like(16, 4);
+        f.validate().unwrap();
+        assert_eq!(f.num_top_level_stmts(), 2, "two phases, two loops");
+        let m = multigrid_vcycle(16, 3, 3);
+        m.validate().unwrap();
+        assert_eq!(m.num_top_level_stmts(), 4);
+    }
+
+    #[test]
+    fn subprogram_slices_top_level_statements() {
+        let p = fft_like(8, 2);
+        let first = p.subprogram(0..1);
+        assert_eq!(first.num_top_level_stmts(), 1);
+        assert_eq!(first.arrays.len(), p.arrays.len());
+        first.validate().unwrap();
+        let segments = p.split_at(&[1]);
+        assert_eq!(segments.len(), 2);
+        assert_eq!(
+            segments.iter().map(|s| s.body.len()).sum::<usize>(),
+            p.body.len()
+        );
+        // Out-of-range and duplicate boundaries are ignored.
+        assert_eq!(p.split_at(&[0, 1, 1, 9]).len(), 2);
+        assert_eq!(p.split_at(&[]).len(), 1);
     }
 
     #[test]

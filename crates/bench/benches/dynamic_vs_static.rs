@@ -1,0 +1,43 @@
+//! Dynamic redistribution vs. the best static distribution: solve times for
+//! the three-stage pipeline and the simulated traffic of both plans on the
+//! phase-flip workloads.
+
+use bench::BenchGroup;
+use commsim::SimOptions;
+use phases::{align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig};
+
+fn main() {
+    let workloads = [
+        ("fft_like/32x40", align_ir::programs::fft_like(32, 40)),
+        ("fft_like/64x20", align_ir::programs::fft_like(64, 20)),
+        (
+            "multigrid/32",
+            align_ir::programs::multigrid_vcycle(32, 4, 4),
+        ),
+    ];
+    let mut group = BenchGroup::new("dynamic_vs_static");
+    let mut lines = Vec::new();
+    for (name, program) in workloads {
+        let cfg = DynamicConfig::default();
+        for nprocs in [8usize, 16] {
+            group.bench(format!("{name}/{nprocs}p"), || {
+                align_then_distribute_dynamic(&program, nprocs, &cfg)
+            });
+            let result = align_then_distribute_dynamic(&program, nprocs, &cfg);
+            let opts = SimOptions::default();
+            let dynamic = simulate_dynamic(&result, opts).total_elements();
+            let fixed = simulate_static(&result, opts).total_elements();
+            lines.push(format!(
+                "[{name} on {nprocs}p] {} phases, redistributes: {} | sim elements: dynamic {:.0} vs static {:.0}",
+                result.phases.len(),
+                result.dynamic.redistributes(),
+                dynamic,
+                fixed,
+            ));
+        }
+    }
+    group.finish();
+    for line in lines {
+        println!("{line}");
+    }
+}

@@ -20,6 +20,8 @@ use alignment_core::stride::{solve_strides, solve_strides_with};
 use alignment_core::{CostModel, ProgramAlignment};
 use bench::{random_loop_program, RandomProgramConfig, Table};
 use commsim::{simulate, Machine, SimOptions};
+use distrib::{solve_distribution, DistributionCostModel, ProgramDistribution, SolveConfig};
+use phases::{align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -47,6 +49,9 @@ fn main() {
         ("e13", "Cost model vs. simulated communication", e13),
         ("e14", "Section 6 — replication/offset iteration", e14),
         ("e15", "Solver scaling (LP and max-flow)", e15),
+        ("e16", "Processor scaling (1..=4096 processors)", e16),
+        ("e17", "Block-size sensitivity", e17),
+        ("e18", "Dynamic redistribution vs. best static", e18),
     ];
 
     for (id, title, run) in experiments {
@@ -690,4 +695,154 @@ fn e15() {
     }
     println!("{t}");
     println!("Both phases stay low-order polynomial in the ADG size, as the paper assumes.");
+}
+
+// --- E16: processor scaling ---------------------------------------------------------------------
+
+fn e16() {
+    let workloads = [
+        ("stencil2d(64)", programs::stencil2d(64, 4)),
+        ("figure1(64)", programs::figure1(64)),
+        ("fft_like(64)", programs::fft_like(64, 8)),
+    ];
+    let mut t = Table::new(&[
+        "workload",
+        "P",
+        "best distribution",
+        "model cost",
+        "candidates",
+        "solve (ms)",
+    ]);
+    for (name, program) in &workloads {
+        let (adg, result) = align_program(program, &PipelineConfig::default());
+        for p in [1usize, 4, 16, 64, 256, 1024, 4096] {
+            let cfg = SolveConfig::new(p);
+            let start = Instant::now();
+            let report = solve_distribution(&adg, &result.alignment, &cfg);
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            t.row(vec![
+                name.to_string(),
+                p.to_string(),
+                report.best().distribution.to_string(),
+                format!("{:.0}", report.best().cost.total()),
+                report.candidates_evaluated.to_string(),
+                format!("{ms:.1}"),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("The search stays sub-second to 4096 processors (beam search past the");
+    println!("exhaustive cutoff); once the grid outgrows the template, extra processors");
+    println!("stop helping — the model charges the idle-processor imbalance.");
+}
+
+// --- E17: block-size sensitivity ----------------------------------------------------------------
+
+fn e17() {
+    let mut t = Table::new(&[
+        "workload",
+        "layout",
+        "shift",
+        "general",
+        "imbalance",
+        "total",
+    ]);
+    for (name, program, nprocs) in [
+        ("stencil2d(64) P=16", programs::stencil2d(64, 4), 16usize),
+        ("example1(256) P=8", programs::example1(256), 8),
+    ] {
+        let (adg, result) = align_program(&program, &PipelineConfig::default());
+        let model = DistributionCostModel::new(&adg, &result.alignment);
+        let extents = model.template_extents();
+        let rank = extents.len();
+        let grid: Vec<usize> = match rank {
+            1 => vec![nprocs],
+            _ => {
+                let mut g = vec![1; rank];
+                let side = (nprocs as f64).sqrt() as usize;
+                g[0] = side;
+                g[1] = nprocs / side;
+                g
+            }
+        };
+        let params = distrib::DistribCostParams::default();
+        for block in [0usize, 1, 2, 4, 8, 16] {
+            let layout = match block {
+                0 => distrib::Layout::Block,
+                1 => distrib::Layout::Cyclic,
+                b => distrib::Layout::BlockCyclic(b),
+            };
+            let dist = ProgramDistribution::new(&extents, &grid, &vec![layout; rank]);
+            let cost = model.cost(&dist, &params);
+            t.row(vec![
+                name.to_string(),
+                dist.to_string(),
+                format!("{:.0}", cost.shift),
+                format!("{:.0}", cost.general),
+                format!("{:.0}", cost.imbalance),
+                format!("{:.0}", cost.total()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("Nearest-neighbour workloads degrade monotonically as the block shrinks");
+    println!("towards CYCLIC (every shift crosses an ownership boundary); the imbalance");
+    println!("term is what keeps pure BLOCK honest on ragged extents.");
+}
+
+// --- E18: dynamic redistribution ----------------------------------------------------------------
+
+fn e18() {
+    let mut t = Table::new(&[
+        "workload",
+        "P",
+        "phases",
+        "plan",
+        "sim dynamic",
+        "sim static",
+        "winner",
+    ]);
+    for (name, program) in [
+        ("fft_like(32,40)", programs::fft_like(32, 40)),
+        ("fft_like(32,1)", programs::fft_like(32, 1)),
+        ("multigrid(32)", programs::multigrid_vcycle(32, 4, 4)),
+        ("stencil2d(32)", programs::stencil2d(32, 4)),
+    ] {
+        for p in [8usize, 16] {
+            let result = align_then_distribute_dynamic(&program, p, &DynamicConfig::default());
+            let opts = SimOptions::default();
+            let dynamic = simulate_dynamic(&result, opts).total_elements();
+            let fixed = simulate_static(&result, opts).total_elements();
+            let plan: Vec<String> = result
+                .dynamic
+                .per_phase
+                .iter()
+                .map(|d| {
+                    let g: Vec<String> = d.grid().iter().map(usize::to_string).collect();
+                    g.join("x")
+                })
+                .collect();
+            t.row(vec![
+                name.to_string(),
+                p.to_string(),
+                result.phases.len().to_string(),
+                plan.join(" -> "),
+                format!("{dynamic:.0}"),
+                format!("{fixed:.0}"),
+                if dynamic + 1e-9 < fixed {
+                    "dynamic".into()
+                } else if fixed + 1e-9 < dynamic {
+                    "static".into()
+                } else {
+                    "tie".into()
+                },
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("On the transpose-heavy FFT workload the dynamic plan redistributes once");
+    println!("between the row and column phases and beats every static distribution in");
+    println!("the exact simulator; with a single trip per phase the boundary all-to-all");
+    println!("cannot pay for itself and the DAG keeps one distribution (no regression on");
+    println!("single-topology programs).");
 }

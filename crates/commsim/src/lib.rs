@@ -25,4 +25,4 @@ pub mod machine;
 pub mod simulate;
 
 pub use machine::{Machine, TemplateDistribution};
-pub use simulate::{simulate, EdgeTraffic, SimOptions, SimReport};
+pub use simulate::{redistribution_traffic, simulate, EdgeTraffic, SimOptions, SimReport};

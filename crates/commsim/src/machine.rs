@@ -14,6 +14,18 @@ pub trait TemplateDistribution {
     /// coordinates (replicated axes) pin to processor coordinate 0 for
     /// ranking purposes; callers treat replicated traffic separately.
     fn owner(&self, coords: &[Option<i64>]) -> usize;
+
+    /// Processor-grid extent along each template axis (product =
+    /// `num_processors`). Exposing the per-axis structure lets the
+    /// redistribution simulator reason about *sets* of owners — a position
+    /// replicated along an axis is held by every processor coordinate of
+    /// that grid dimension, which a single linear id cannot express.
+    fn grid_dims(&self) -> Vec<usize>;
+
+    /// Owner coordinate of template cell `c` along axis `axis` alone.
+    /// Composing per-axis coordinates mixed-radix (axis 0 most significant)
+    /// must agree with [`TemplateDistribution::owner`].
+    fn owner_coord(&self, axis: usize, c: i64) -> usize;
 }
 
 /// A distributed-memory machine: a Cartesian grid of processors, one grid
@@ -95,6 +107,14 @@ impl TemplateDistribution for Machine {
 
     fn owner(&self, coords: &[Option<i64>]) -> usize {
         Machine::owner(self, coords)
+    }
+
+    fn grid_dims(&self) -> Vec<usize> {
+        self.grid.clone()
+    }
+
+    fn owner_coord(&self, axis: usize, c: i64) -> usize {
+        self.owner_axis(axis, c)
     }
 }
 

@@ -105,15 +105,22 @@ fn simulate_edge<D: TemplateDistribution + ?Sized>(
     let dst_align = alignment.port(edge.dst);
 
     let mut traffic = EdgeTraffic::default();
-    let points = edge.space.points();
-    if points.is_empty() {
+    let num_points = edge.space.size() as usize;
+    if num_points == 0 {
         return traffic;
     }
-    // Sample iterations if the loop is long.
-    let iter_stride = points.len().div_ceil(opts.max_iterations_per_edge);
+    // Sample iterations if the loop is long, streaming the points rather
+    // than materialising the whole enumeration.
+    let iter_stride = num_points.div_ceil(opts.max_iterations_per_edge).max(1);
     let iter_scale = iter_stride as f64;
+    let mut idx = 0usize;
 
-    for point in points.iter().step_by(iter_stride.max(1)) {
+    edge.space.for_each_point(|point| {
+        let take = idx.is_multiple_of(iter_stride);
+        idx += 1;
+        if !take {
+            return;
+        }
         let extents: Vec<i64> = src_port
             .extents
             .iter()
@@ -121,31 +128,23 @@ fn simulate_edge<D: TemplateDistribution + ?Sized>(
             .collect();
         let total_elements: i64 = extents.iter().product::<i64>().max(0);
         if total_elements == 0 {
-            continue;
+            return;
         }
         let per_iter = element_traffic(&extents, src_align, dst_align, machine, point, opts);
         traffic.element_moves += per_iter.element_moves * iter_scale * edge.control_weight;
         traffic.messages += per_iter.messages * iter_scale * edge.control_weight;
         traffic.broadcast_elements +=
             per_iter.broadcast_elements * iter_scale * edge.control_weight;
-    }
+    });
     traffic
 }
 
-/// Traffic of one traversal: enumerate (or sample) the elements of the object
-/// and compare owners under the two alignments.
-fn element_traffic<D: TemplateDistribution + ?Sized>(
-    extents: &[i64],
-    src: &PortAlignment,
-    dst: &PortAlignment,
-    machine: &D,
-    point: &[(LivId, i64)],
-    opts: SimOptions,
-) -> EdgeTraffic {
+/// Visit a bounded sample of the (1-based) element indices of an object with
+/// the given extents: every axis is strided so the sampled count stays within
+/// `budget`, and each visited index represents `scale` real elements.
+fn for_each_sampled_index(extents: &[i64], budget: usize, mut visit: impl FnMut(&[i64], f64)) {
     let total: i64 = extents.iter().product::<i64>().max(1);
-    // Per-axis sampling stride so the sampled element count stays bounded.
-    let budget = opts.max_elements_per_object.max(1) as f64;
-    let shrink = ((total as f64) / budget).powf(1.0 / extents.len().max(1) as f64);
+    let shrink = ((total as f64) / budget.max(1) as f64).powf(1.0 / extents.len().max(1) as f64);
     let strides: Vec<i64> = extents
         .iter()
         .map(|_| (shrink.ceil() as i64).max(1))
@@ -158,28 +157,9 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
     let sampled: i64 = sampled_per_axis.iter().product::<i64>().max(1);
     let scale = total as f64 / sampled as f64;
 
-    let dst_replicated = dst.offsets.iter().any(OffsetAlign::is_replicated)
-        && !src.offsets.iter().any(OffsetAlign::is_replicated);
-
-    let mut moves = 0.0;
-    let mut broadcast = 0.0;
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
-
     let mut index = vec![1i64; extents.len()];
     loop {
-        let src_pos = src.position_of(&index, point);
-        let src_owner = machine.owner(&src_pos);
-        if dst_replicated {
-            broadcast += scale;
-            pairs.insert((src_owner, usize::MAX));
-        } else {
-            let dst_pos = dst.position_of(&index, point);
-            let dst_owner = machine.owner(&dst_pos);
-            if src_owner != dst_owner {
-                moves += scale;
-                pairs.insert((src_owner, dst_owner));
-            }
-        }
+        visit(&index, scale);
         // Advance the multi-index (last axis fastest), stepping by the
         // sampling stride.
         let mut carry = true;
@@ -198,6 +178,128 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
             break;
         }
     }
+}
+
+/// Traffic of one traversal: enumerate (or sample) the elements of the object
+/// and compare owners under the two alignments.
+fn element_traffic<D: TemplateDistribution + ?Sized>(
+    extents: &[i64],
+    src: &PortAlignment,
+    dst: &PortAlignment,
+    machine: &D,
+    point: &[(LivId, i64)],
+    opts: SimOptions,
+) -> EdgeTraffic {
+    let dst_replicated = dst.offsets.iter().any(OffsetAlign::is_replicated)
+        && !src.offsets.iter().any(OffsetAlign::is_replicated);
+
+    let mut moves = 0.0;
+    let mut broadcast = 0.0;
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+
+    for_each_sampled_index(extents, opts.max_elements_per_object, |index, scale| {
+        let src_pos = src.position_of(index, point);
+        let src_owner = machine.owner(&src_pos);
+        if dst_replicated {
+            broadcast += scale;
+            pairs.insert((src_owner, usize::MAX));
+        } else {
+            let dst_pos = dst.position_of(index, point);
+            let dst_owner = machine.owner(&dst_pos);
+            if src_owner != dst_owner {
+                moves += scale;
+                pairs.insert((src_owner, dst_owner));
+            }
+        }
+    });
+
+    EdgeTraffic {
+        element_moves: moves,
+        messages: pairs.len() as f64,
+        broadcast_elements: broadcast,
+    }
+}
+
+/// Decompose a linear processor id into per-axis grid coordinates (axis 0
+/// most significant — the composition order of `owner`).
+fn decompose(mut id: usize, dims: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0usize; dims.len()];
+    for (t, &g) in dims.iter().enumerate().rev() {
+        coords[t] = id % g.max(1);
+        id /= g.max(1);
+    }
+    coords
+}
+
+/// Exact (sampled) traffic of redistributing one object between two
+/// (alignment, distribution) pairs over the *same* physical processors — the
+/// inter-phase step of a dynamic distribution.
+///
+/// For every element the destination owner is computed under the target
+/// alignment and distribution; the element moves unless some copy of it
+/// already lives on that processor under the source pair. Replication is
+/// handled per axis: a position replicated along a source axis is held at
+/// every processor coordinate of that grid dimension (a *collapse* into a
+/// single position is therefore free), while a destination that replicates a
+/// previously single position charges a broadcast of the object (*spread*).
+///
+/// `extents` are the object's per-axis element counts, `point` the iteration
+/// point at which mobile offsets are evaluated (boundary objects are loop
+/// invariant, so this is usually the empty point).
+pub fn redistribution_traffic<S, D>(
+    extents: &[i64],
+    src: &PortAlignment,
+    src_dist: &S,
+    dst: &PortAlignment,
+    dst_dist: &D,
+    point: &[(LivId, i64)],
+    opts: SimOptions,
+) -> EdgeTraffic
+where
+    S: TemplateDistribution + ?Sized,
+    D: TemplateDistribution + ?Sized,
+{
+    assert_eq!(
+        src_dist.num_processors(),
+        dst_dist.num_processors(),
+        "redistribution keeps the machine; only the mapping changes"
+    );
+    let src_dims = src_dist.grid_dims();
+    // A spread happens on any axis the destination replicates but the source
+    // does not — judged per axis, so a source replicated along some *other*
+    // axis still pays for the newly replicated one.
+    let spread = dst.offsets.iter().enumerate().any(|(t, o)| {
+        o.is_replicated() && !src.offsets.get(t).is_some_and(OffsetAlign::is_replicated)
+    });
+
+    let mut moves = 0.0;
+    let mut broadcast = 0.0;
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+
+    for_each_sampled_index(extents, opts.max_elements_per_object, |index, scale| {
+        let src_pos = src.position_of(index, point);
+        if spread {
+            broadcast += scale;
+            pairs.insert((src_dist.owner(&src_pos), usize::MAX));
+            return;
+        }
+        let dst_pos = dst.position_of(index, point);
+        let dst_owner = dst_dist.owner(&dst_pos);
+        // Does any source copy already live on dst_owner? Decompose the
+        // destination owner in the source grid's radix and compare axis by
+        // axis; replicated source axes hold copies at every coordinate.
+        let dst_in_src = decompose(dst_owner, &src_dims);
+        let held = src_dims.iter().enumerate().all(|(t, _)| {
+            match src_pos.get(t).copied().flatten() {
+                Some(c) => src_dist.owner_coord(t, c) == dst_in_src[t],
+                None => true, // replicated along t: a copy at every coordinate
+            }
+        });
+        if !held {
+            moves += scale;
+            pairs.insert((src_dist.owner(&src_pos), dst_owner));
+        }
+    });
 
     EdgeTraffic {
         element_moves: moves,
@@ -295,6 +397,80 @@ mod tests {
             aligned.total_elements(),
             naive.total_elements()
         );
+    }
+
+    #[test]
+    fn redistribution_between_identical_pairs_is_free() {
+        let a = PortAlignment::identity(2, 2);
+        let m = Machine::new(vec![2, 2], vec![8, 8]);
+        let t = redistribution_traffic(&[16, 16], &a, &m, &a, &m, &[], SimOptions::default());
+        assert_eq!(t.element_moves, 0.0);
+        assert_eq!(t.broadcast_elements, 0.0);
+    }
+
+    #[test]
+    fn grid_flip_moves_most_elements() {
+        // Row-distributed -> column-distributed on 4 processors: everything
+        // off the block diagonal moves (the FFT transpose pattern).
+        let a = PortAlignment::identity(2, 2);
+        let rows = Machine::new(vec![4, 1], vec![4, 16]);
+        let cols = Machine::new(vec![1, 4], vec![16, 4]);
+        let t = redistribution_traffic(&[16, 16], &a, &rows, &a, &cols, &[], SimOptions::default());
+        // 16x16 elements; each row block holds 4x16; under cols each element
+        // stays only if its column block index equals its row block index:
+        // 4x4 per processor stay -> 256 - 64 = 192 move.
+        assert!((t.element_moves - 192.0).abs() < 1e-9, "{t:?}");
+        assert!(t.messages >= 12.0, "{t:?}");
+    }
+
+    #[test]
+    fn replicated_source_collapse_is_free_spread_charges_broadcast() {
+        use alignment_core::position::OffsetAlign as OA;
+        let single = PortAlignment::identity(1, 2);
+        let mut replicated = PortAlignment::identity(1, 2);
+        replicated.offsets[1] = OA::Replicated;
+        let m = Machine::new(vec![2, 2], vec![8, 8]);
+        // Collapse: every processor column already holds a copy, so landing
+        // on any single position is local.
+        let collapse = redistribution_traffic(
+            &[16],
+            &replicated,
+            &m,
+            &single,
+            &m,
+            &[],
+            SimOptions::default(),
+        );
+        assert_eq!(collapse.element_moves, 0.0, "{collapse:?}");
+        assert_eq!(collapse.broadcast_elements, 0.0);
+        // Spread: a single position becoming replicated broadcasts the data.
+        let spread = redistribution_traffic(
+            &[16],
+            &single,
+            &m,
+            &replicated,
+            &m,
+            &[],
+            SimOptions::default(),
+        );
+        assert_eq!(spread.broadcast_elements, 16.0, "{spread:?}");
+    }
+
+    #[test]
+    fn newly_replicated_axis_charges_spread_despite_other_source_replication() {
+        // src replicated on axis 0 only; dst replicated on axes 0 and 1.
+        // Axis 1 is *newly* replicated, so the move is a broadcast even
+        // though the source was already replicated elsewhere.
+        use alignment_core::position::OffsetAlign as OA;
+        let mut src = PortAlignment::identity(1, 3);
+        src.axis_map = vec![2];
+        src.offsets[0] = OA::Replicated;
+        let mut dst = src.clone();
+        dst.offsets[1] = OA::Replicated;
+        let m = Machine::new(vec![2, 2, 2], vec![8, 8, 8]);
+        let t = redistribution_traffic(&[16], &src, &m, &dst, &m, &[], SimOptions::default());
+        assert_eq!(t.broadcast_elements, 16.0, "{t:?}");
+        assert_eq!(t.element_moves, 0.0);
     }
 
     #[test]

@@ -239,6 +239,31 @@ impl OffsetVars {
         Some(out)
     }
 
+    /// The LP value vector induced by a concrete alignment: every port's
+    /// offset coefficients on `axis` written into its variable slots. Ports
+    /// without variables (replicated on the axis) contribute nothing. The
+    /// vector is sized to `num_vars` so it can cover problems that appended
+    /// extra variables after the layout was built.
+    pub fn values_from(
+        &self,
+        alignment: &ProgramAlignment,
+        axis: usize,
+        num_vars: usize,
+    ) -> Vec<f64> {
+        let mut values = vec![0.0; num_vars];
+        for (idx, slots) in self.port_vars.iter().enumerate() {
+            let Some(slots) = slots else { continue };
+            let crate::position::OffsetAlign::Fixed(a) = &alignment.ports[idx].offsets[axis] else {
+                continue;
+            };
+            values[slots[0].0] = a.constant_part() as f64;
+            for (slot, liv) in slots[1..].iter().zip(&self.port_livs[idx]) {
+                values[slot.0] = a.coeff(*liv) as f64;
+            }
+        }
+        values
+    }
+
     /// Read the solved offset of a port back as an [`Affine`] with rounded
     /// integer coefficients (the "R" of RLP).
     pub fn rounded_offset(&self, p: PortId, solution: &lp::Solution) -> Option<Affine> {
@@ -262,13 +287,43 @@ pub struct OffsetLp {
     pub vars: OffsetVars,
 }
 
-/// Build offset variables and node constraints for template axis `axis`.
+/// Build offset variables and node constraints for template axis `axis`,
+/// then pin the first source-node definition port to offset 0 so the
+/// (translation-invariant) LP solution is deterministic.
 ///
 /// `alignment` must already carry the axis maps and strides decided by the
 /// earlier phases. `replicated` lists the ports labelled R on this axis
 /// (their variables and constraints are omitted, per Section 5.1: edges with
 /// a replicated endpoint are discarded before offset alignment).
 pub fn build_offset_constraints(
+    adg: &Adg,
+    alignment: &ProgramAlignment,
+    axis: usize,
+    replicated: &HashSet<PortId>,
+) -> OffsetLp {
+    let OffsetLp { mut problem, vars } = build_node_constraints(adg, alignment, axis, replicated);
+    // Pin the first source-node definition port to offset 0 on this axis, so
+    // the (translation-invariant) solution is deterministic.
+    if let Some((_, node)) = adg
+        .nodes()
+        .find(|(_, n)| matches!(n.kind, NodeKind::Source { .. }))
+    {
+        if let Some(&p) = node.output_ports().first() {
+            if let Some(vs) = &vars.port_vars[p.0] {
+                for &v in vs {
+                    problem.add_constraint(vec![(v, 1.0)], Relation::Eq, 0.0);
+                }
+            }
+        }
+    }
+    OffsetLp { problem, vars }
+}
+
+/// The hard node constraints alone, without the deterministic source pin.
+/// This is the system the cost model evaluates candidate alignments against
+/// when pricing constraint violations: a valid alignment may sit at any
+/// translation, so the pin must not count as a violation.
+pub fn build_node_constraints(
     adg: &Adg,
     alignment: &ProgramAlignment,
     axis: usize,
@@ -308,21 +363,6 @@ pub fn build_offset_constraints(
     };
     for nid in adg.node_ids() {
         gen.node_constraints(nid);
-    }
-
-    // Pin the first source-node definition port to offset 0 on this axis, so
-    // the (translation-invariant) solution is deterministic.
-    if let Some((_, node)) = adg
-        .nodes()
-        .find(|(_, n)| matches!(n.kind, NodeKind::Source { .. }))
-    {
-        if let Some(&p) = node.output_ports().first() {
-            if let Some(vs) = &vars.port_vars[p.0] {
-                for &v in vs {
-                    problem.add_constraint(vec![(v, 1.0)], Relation::Eq, 0.0);
-                }
-            }
-        }
     }
 
     OffsetLp { problem, vars }

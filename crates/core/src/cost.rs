@@ -15,10 +15,21 @@
 //! Costs are evaluated *exactly*, by enumerating the edge's iteration space;
 //! this is the reference the approximate RLP formulations are judged against
 //! in the Figure 3 experiments.
+//!
+//! Besides the edge metrics, [`CostModel::total_cost`] prices **hard
+//! node-constraint violations**: an "alignment" that breaks a node's internal
+//! relation (a section value not sitting on its section, a transpose output
+//! not swapped, elementwise operands on different axes) does not correspond
+//! to any executable data placement, so it is charged a penalty that dwarfs
+//! every legitimate communication cost. This closes the historical hole where
+//! the naive identity assignment — infeasible on almost every program —
+//! evaluated as spuriously free because only edges were priced.
 
+use crate::constraints::{affine_mul, build_node_constraints};
 use crate::position::{OffsetAlign, PortAlignment, ProgramAlignment};
-use adg::{Adg, Edge, EdgeId};
-use align_ir::LivId;
+use adg::{Adg, Edge, EdgeId, NodeKind, PortId};
+use align_ir::{LivId, SectionSpec};
+use std::collections::HashSet;
 
 /// A communication cost, broken down the way the paper's examples report it.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -32,6 +43,11 @@ pub struct CommCost {
     /// Element-weighted volume of *broadcast* communication (data flowing
     /// from a non-replicated tail to a replicated head).
     pub broadcast: f64,
+    /// Penalty charged for hard node-constraint violations (already scaled —
+    /// see [`CostModel::constraint_violation`]). Any alignment the pipeline
+    /// emits has zero here; a positive value marks an alignment that places
+    /// data where the program semantics forbid (e.g. the naive identity).
+    pub violation: f64,
 }
 
 impl CommCost {
@@ -46,14 +62,20 @@ impl CommCost {
             general: self.general + other.general,
             shift: self.shift + other.shift,
             broadcast: self.broadcast + other.broadcast,
+            violation: self.violation + other.violation,
         }
     }
 
     /// A single scalar for comparisons: general communication is weighted as
     /// `general_factor` element-moves per element (it requires all-to-all
     /// routing), broadcasts as `broadcast_factor`, shifts as their distance.
+    /// Violation penalties pass through unweighted (they are pre-scaled to
+    /// dominate every edge cost).
     pub fn total_with(&self, general_factor: f64, broadcast_factor: f64) -> f64 {
-        self.general * general_factor + self.shift + self.broadcast * broadcast_factor
+        self.general * general_factor
+            + self.shift
+            + self.broadcast * broadcast_factor
+            + self.violation
     }
 
     /// Default scalarisation: general communication counted at 4 element-move
@@ -62,9 +84,10 @@ impl CommCost {
         self.total_with(4.0, 2.0)
     }
 
-    /// True if no communication at all is required.
+    /// True if no communication at all is required (and the alignment is
+    /// feasible).
     pub fn is_zero(&self) -> bool {
-        self.general == 0.0 && self.shift == 0.0 && self.broadcast == 0.0
+        self.general == 0.0 && self.shift == 0.0 && self.broadcast == 0.0 && self.violation == 0.0
     }
 }
 
@@ -74,7 +97,11 @@ impl std::fmt::Display for CommCost {
             f,
             "general={:.1} shift={:.1} broadcast={:.1}",
             self.general, self.shift, self.broadcast
-        )
+        )?;
+        if self.violation > 0.0 {
+            write!(f, " violation={:.1}", self.violation)?;
+        }
+        Ok(())
     }
 }
 
@@ -94,31 +121,142 @@ impl<'a> CostModel<'a> {
         self.adg
     }
 
-    /// Exact cost of one edge under `alignment`.
+    /// Exact cost of one edge under `alignment` (edge metrics only — node
+    /// constraint violations are priced by [`CostModel::total_cost`]).
     pub fn edge_cost(&self, edge: &Edge, alignment: &ProgramAlignment) -> CommCost {
         let src = alignment.port(edge.src);
         let dst = alignment.port(edge.dst);
         let mut cost = CommCost::zero();
-        for point in edge.space.points() {
-            let w = edge.weight.eval(&point) as f64 * edge.control_weight;
+        edge.space.for_each_point(|point| {
+            let w = edge.weight.eval(point) as f64 * edge.control_weight;
             if w == 0.0 {
-                continue;
+                return;
             }
-            cost = cost.add(&point_cost(src, dst, &point, w));
-        }
+            cost = cost.add(&point_cost(src, dst, point, w));
+        });
         cost
     }
 
-    /// Exact cost of the whole program under `alignment`.
+    /// Exact cost of the whole program under `alignment`: every edge's
+    /// realignment cost plus the penalty for hard node-constraint violations.
     pub fn total_cost(&self, alignment: &ProgramAlignment) -> CommCost {
         let mut cost = CommCost::zero();
         for (_, e) in self.adg.edges() {
             cost = cost.add(&self.edge_cost(e, alignment));
         }
+        cost.violation = self.constraint_violation(alignment);
         cost
     }
 
+    /// Penalty for hard node-constraint violations, pre-scaled so that any
+    /// violation dominates every legitimate edge cost: the number of violated
+    /// constraint units (offset residual magnitudes plus one per broken
+    /// axis/stride relation) times the program's total edge data volume times
+    /// a large factor. Zero exactly when the alignment is realisable.
+    ///
+    /// Offset relations are checked against the same per-axis node-constraint
+    /// system the RLP solves ([`build_node_constraints`]); axis and stride
+    /// relations are checked structurally per node kind. This replaces the
+    /// post-hoc feasibility gate the offset solver used to apply after
+    /// rounding — pricing the violation keeps infeasible candidates
+    /// comparable (and reliably losing) instead of special-cased.
+    pub fn constraint_violation(&self, alignment: &ProgramAlignment) -> f64 {
+        let mut units = self.structural_violation_units(alignment);
+        for axis in 0..alignment.template_rank {
+            units += self.offset_violation_units(alignment, axis);
+        }
+        units * self.violation_scale()
+    }
+
+    /// The violation penalty restricted to the offset relations of one
+    /// template axis (what the per-axis RLP can break by rounding).
+    pub fn offset_violation_on_axis(&self, alignment: &ProgramAlignment, axis: usize) -> f64 {
+        self.offset_violation_units(alignment, axis) * self.violation_scale()
+    }
+
+    fn violation_scale(&self) -> f64 {
+        // Any single violated unit must outweigh every feasible alignment's
+        // edge cost; shifts are bounded by data volume times template-sized
+        // distances, so data volume times a large factor is a safe dominator.
+        self.adg.total_edge_data().max(1.0) * 1e3
+    }
+
+    fn offset_violation_units(&self, alignment: &ProgramAlignment, axis: usize) -> f64 {
+        let replicated: HashSet<PortId> = self
+            .adg
+            .port_ids()
+            .filter(|&p| alignment.port(p).offsets[axis].is_replicated())
+            .collect();
+        let sys = build_node_constraints(self.adg, alignment, axis, &replicated);
+        let values = sys
+            .vars
+            .values_from(alignment, axis, sys.problem.num_vars());
+        sys.problem.violation(&values, 1e-6)
+    }
+
+    /// One unit per node whose axis-map / stride relation the alignment
+    /// breaks (the discrete-metric half of the hard node constraints; the
+    /// offset half is measured by [`CostModel::offset_violation_units`]).
+    fn structural_violation_units(&self, alignment: &ProgramAlignment) -> f64 {
+        let mut units = 0.0;
+        for (_, node) in self.adg.nodes() {
+            let a = |p: PortId| alignment.port(p);
+            let broken = match &node.kind {
+                NodeKind::Source { .. } | NodeKind::Sink { .. } => false,
+                NodeKind::Elementwise { .. }
+                | NodeKind::Merge
+                | NodeKind::Fanout
+                | NodeKind::Branch => node
+                    .ports
+                    .windows(2)
+                    .any(|w| !same_body_alignment(a(w[0]), a(w[1]))),
+                NodeKind::Gather => !same_body_alignment(a(node.ports[1]), a(node.ports[2])),
+                NodeKind::Transformer { .. } => {
+                    // Strides may substitute the LIV across the boundary;
+                    // only the axis assignment must be preserved.
+                    a(node.ports[0]).axis_map != a(node.ports[1]).axis_map
+                }
+                NodeKind::Transpose => {
+                    let (i, o) = (a(node.ports[0]), a(node.ports[1]));
+                    i.rank() != 2
+                        || o.rank() != 2
+                        || o.axis_map != [i.axis_map[1], i.axis_map[0]]
+                        || o.strides != [i.strides[1].clone(), i.strides[0].clone()]
+                }
+                NodeKind::Spread { dim, .. } => {
+                    let (i, o) = (a(node.ports[0]), a(node.ports[1]));
+                    (0..i.rank()).any(|b| {
+                        let ob = if b < *dim { b } else { b + 1 };
+                        o.axis_map.get(ob) != i.axis_map.get(b)
+                            || o.strides.get(ob) != i.strides.get(b)
+                    })
+                }
+                NodeKind::Reduce { dim } => {
+                    let (i, o) = (a(node.ports[0]), a(node.ports[1]));
+                    (0..i.rank()).filter(|b| b != dim).any(|b| {
+                        let ob = if b < *dim { b } else { b - 1 };
+                        o.axis_map.get(ob) != i.axis_map.get(b)
+                            || o.strides.get(ob) != i.strides.get(b)
+                    })
+                }
+                NodeKind::Section { section } => {
+                    !section_maps_hold(a(node.ports[0]), a(node.ports[1]), section)
+                }
+                NodeKind::SectionAssign { section } => {
+                    let (old, val, out) = (a(node.ports[0]), a(node.ports[1]), a(node.ports[2]));
+                    !same_body_alignment(old, out) || !section_maps_hold(old, val, section)
+                }
+            };
+            if broken {
+                units += 1.0;
+            }
+        }
+        units
+    }
+
     /// Per-edge cost breakdown (edge id, cost), skipping zero-cost edges.
+    /// Edge metrics only — the violation penalty is not attributable to
+    /// single edges.
     pub fn edge_breakdown(&self, alignment: &ProgramAlignment) -> Vec<(EdgeId, CommCost)> {
         self.adg
             .edges()
@@ -147,23 +285,26 @@ impl<'a> CostModel<'a> {
         let mut hi = vec![i64::MIN; t];
         let mut lo = vec![i64::MAX; t];
         for (_, e) in self.adg.edges() {
-            let points = e.space.points();
-            let stride = (points.len() / max_points.max(1)).max(1);
-            // Positions are affine in the LIVs, so extremes are attained at
-            // the iteration-space endpoints: the strided sample must always
-            // include the final point or growing positions get undercounted.
-            let sampled = points
-                .iter()
-                .step_by(stride)
-                .chain(points.last().filter(|_| (points.len() - 1) % stride != 0));
-            for point in sampled {
+            let total = e.space.size() as usize;
+            if total == 0 {
+                continue;
+            }
+            let stride = (total / max_points.max(1)).max(1);
+            let mut idx = 0usize;
+            e.space.for_each_point(|point| {
+                // Positions are affine in the LIVs, so extremes are attained
+                // at the iteration-space endpoints: the strided sample must
+                // always include the final point or growing positions get
+                // undercounted.
+                let take = idx.is_multiple_of(stride) || idx + 1 == total;
+                idx += 1;
                 // Zero-weight points move no data: the positions there are
                 // unconstrained by the alignment LPs (loop-boundary
                 // transformer ports are pinned only at entry/exit) and can
                 // carry arbitrarily large mobile coefficients. Only places
                 // where data actually sits shape the template.
-                if e.weight.eval(point) == 0 || e.control_weight == 0.0 {
-                    continue;
+                if !take || e.weight.eval(point) == 0 || e.control_weight == 0.0 {
+                    return;
                 }
                 for &pid in &[e.src, e.dst] {
                     let port = self.adg.port(pid);
@@ -182,7 +323,7 @@ impl<'a> CostModel<'a> {
                         }
                     }
                 }
-            }
+            });
         }
         hi.into_iter()
             .zip(lo)
@@ -197,20 +338,84 @@ impl<'a> CostModel<'a> {
         for (_, e) in self.adg.edges() {
             let src = alignment.port(e.src);
             let dst = alignment.port(e.dst);
-            for point in e.space.points() {
-                let w = e.weight.eval(&point) as f64 * e.control_weight;
+            e.space.for_each_point(|point| {
+                let w = e.weight.eval(point) as f64 * e.control_weight;
                 if w == 0.0 {
-                    continue;
+                    return;
                 }
                 if let (OffsetAlign::Fixed(a), OffsetAlign::Fixed(b)) =
                     (&src.offsets[axis], &dst.offsets[axis])
                 {
-                    total += w * (a.eval_assoc(&point) - b.eval_assoc(&point)).abs() as f64;
+                    total += w * (a.eval_assoc(point) - b.eval_assoc(point)).abs() as f64;
                 }
-            }
+            });
         }
         total
     }
+
+    /// The shift cost of every template axis in one walk over the edges: the
+    /// per-axis communication profile the phase analysis compares across
+    /// program segments (a phase whose traffic lives on axis 0 wants a
+    /// different grid than one whose traffic lives on axis 1).
+    pub fn shift_cost_by_axis(&self, alignment: &ProgramAlignment) -> Vec<f64> {
+        let t = alignment.template_rank;
+        let mut totals = vec![0.0; t];
+        for (_, e) in self.adg.edges() {
+            let src = alignment.port(e.src);
+            let dst = alignment.port(e.dst);
+            e.space.for_each_point(|point| {
+                let w = e.weight.eval(point) as f64 * e.control_weight;
+                if w == 0.0 {
+                    return;
+                }
+                for (axis, total) in totals.iter_mut().enumerate() {
+                    if let (OffsetAlign::Fixed(a), OffsetAlign::Fixed(b)) =
+                        (&src.offsets[axis], &dst.offsets[axis])
+                    {
+                        *total += w * (a.eval_assoc(point) - b.eval_assoc(point)).abs() as f64;
+                    }
+                }
+            });
+        }
+        totals
+    }
+}
+
+/// True when two ports of an equal-alignment node agree on axis maps and
+/// strides (up to their common rank; rank changes across an edge are priced
+/// as general communication by the edge metric, not here).
+fn same_body_alignment(a: &PortAlignment, b: &PortAlignment) -> bool {
+    let r = a.rank().min(b.rank());
+    a.axis_map[..r] == b.axis_map[..r] && a.strides[..r] == b.strides[..r]
+}
+
+/// True when the section value's axis maps and strides are the array's,
+/// restricted to the surviving axes and scaled by the triplet steps. Stride
+/// products that would be non-affine (both factors mobile) are skipped — the
+/// RLP approximates them the same way.
+fn section_maps_hold(
+    arr: &PortAlignment,
+    sec: &PortAlignment,
+    section: &align_ir::Section,
+) -> bool {
+    for (j, a) in section.surviving_axes().into_iter().enumerate() {
+        if a >= arr.rank() || j >= sec.rank() {
+            continue;
+        }
+        if sec.axis_map[j] != arr.axis_map[a] {
+            return false;
+        }
+        let step = match &section.specs[a] {
+            SectionSpec::Range(t) => t.stride.clone(),
+            SectionSpec::Index(_) => unreachable!("surviving axes are ranges"),
+        };
+        if let Some(expected) = affine_mul(&arr.strides[a], &step) {
+            if sec.strides[j] != expected {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// The corner index vectors of an object with the given body-axis extents:
@@ -308,11 +513,45 @@ mod tests {
     }
 
     #[test]
-    fn zero_cost_for_identical_alignments() {
+    fn identity_alignment_charges_violation_not_edges() {
+        // The naive identity breaks example1's section constraint (B(2:N)'s
+        // value cannot sit at offset 0 if B does): no *edge* carries cost,
+        // but the node-constraint penalty makes the alignment expensive —
+        // closing the historical hole where the infeasible identity priced
+        // as free.
         let adg = build_adg(&programs::example1(64));
         let a = identity_alignment(&adg, 1);
-        let cost = CostModel::new(&adg).total_cost(&a);
-        assert!(cost.is_zero(), "identical alignments must be free: {cost}");
+        let model = CostModel::new(&adg);
+        let cost = model.total_cost(&a);
+        assert_eq!(cost.general, 0.0, "{cost}");
+        assert_eq!(cost.shift, 0.0, "{cost}");
+        assert_eq!(cost.broadcast, 0.0, "{cost}");
+        assert!(cost.violation > 0.0, "{cost}");
+        assert!(!cost.is_zero());
+        // ...and it must dominate what the real pipeline pays.
+        let (_, aligned) =
+            crate::pipeline::align_program(&programs::example1(64), &Default::default());
+        assert_eq!(aligned.total_cost.violation, 0.0, "pipeline is feasible");
+        assert!(cost.total() > aligned.total_cost.total() * 100.0);
+    }
+
+    #[test]
+    fn structural_violations_are_priced() {
+        // Identity maps on example3 leave the transpose output unswapped —
+        // an axis-map violation the offset system cannot see.
+        let adg = build_adg(&programs::example3(16));
+        let a = identity_alignment(&adg, 2);
+        let model = CostModel::new(&adg);
+        assert!(model.constraint_violation(&a) > 0.0);
+        // The pipeline's own alignment is violation-free.
+        let (_, aligned) =
+            crate::pipeline::align_program(&programs::example3(16), &Default::default());
+        assert_eq!(
+            model.constraint_violation(&aligned.alignment),
+            0.0,
+            "{}",
+            aligned.total_cost
+        );
     }
 
     #[test]
@@ -414,13 +653,11 @@ mod tests {
     fn scalarisation_orders_costs_sensibly() {
         let a = CommCost {
             general: 10.0,
-            shift: 0.0,
-            broadcast: 0.0,
+            ..CommCost::zero()
         };
         let b = CommCost {
-            general: 0.0,
             shift: 10.0,
-            broadcast: 0.0,
+            ..CommCost::zero()
         };
         assert!(a.total() > b.total(), "general must cost more than shift");
         assert_eq!(CommCost::zero().total(), 0.0);
@@ -469,5 +706,25 @@ mod tests {
         a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(-1));
         let model = CostModel::new(&adg);
         assert!((model.total_cost(&a).shift - model.shift_cost_on_axis(&a, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_cost_by_axis_agrees_with_per_axis_calls() {
+        let adg = build_adg(&programs::figure1(12));
+        let mut a = identity_alignment(&adg, 2);
+        for p in adg.port_ids().take(8) {
+            if a.ports[p.0].template_rank() > 1 {
+                a.ports[p.0].offsets[1] = OffsetAlign::Fixed(Affine::constant(2));
+            }
+        }
+        let model = CostModel::new(&adg);
+        let by_axis = model.shift_cost_by_axis(&a);
+        assert_eq!(by_axis.len(), 2);
+        for (axis, &v) in by_axis.iter().enumerate() {
+            assert!(
+                (v - model.shift_cost_on_axis(&a, axis)).abs() < 1e-9,
+                "axis {axis}"
+            );
+        }
     }
 }

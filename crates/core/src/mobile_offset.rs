@@ -275,6 +275,7 @@ pub fn solve_axis_offsets(
     // and keep whichever candidate is exact-best.
     let blown_up = |r: &OffsetSolveReport| {
         !r.exact_cost.is_finite()
+            || !r.lp_objective.is_finite()
             || (r.exact_cost > 4.0 * (r.lp_objective.abs() + 1.0) && r.exact_cost > 100.0)
     };
     if best_report.as_ref().is_some_and(blown_up) {
@@ -334,12 +335,13 @@ pub fn solve_axis_offsets(
     }
     let mut report = best_report.expect("at least one solve ran");
     report.rounds = rounds;
-    // Keep the infinity marker when only the infeasible fallback was
-    // available: the written zeros violate the node constraints, so their
-    // edge-metric cost would be a meaningless (over-optimistic) number.
-    if report.exact_cost.is_finite() {
-        report.exact_cost = CostModel::new(adg).shift_cost_on_axis(alignment, axis);
-    }
+    // Re-price what was actually written. When only an infeasible fallback
+    // was available, the violation penalty keeps the cost honestly huge (the
+    // cost model prices broken node constraints, so no infinity marker is
+    // needed any more).
+    let model = CostModel::new(adg);
+    report.exact_cost =
+        model.shift_cost_on_axis(alignment, axis) + model.offset_violation_on_axis(alignment, axis);
     report
 }
 
@@ -355,11 +357,9 @@ fn solve_once(
     config: MobileOffsetConfig,
 ) -> (OffsetSolveReport, Vec<Option<Affine>>) {
     let OffsetLp { mut problem, vars } = build_offset_constraints(adg, alignment, axis, replicated);
-    // Snapshot of the hard node constraints alone (no surrogates, no static
-    // pins): rounding the LP optimum can break the equalities the fractional
-    // solution satisfied, and a rounded candidate that violates them places
-    // objects somewhere the program semantics forbid. Such candidates are
-    // detected below and priced at infinity.
+    // Snapshot of the hard node constraints (used only to cross-check the
+    // cost model's violation pricing in debug builds — see below).
+    #[cfg(debug_assertions)]
     let hard_constraints = problem.clone();
 
     if config.forbid_mobile {
@@ -457,27 +457,14 @@ fn solve_once(
         }
     };
 
-    // Does the rounded candidate still satisfy the hard node constraints?
-    let rounded_feasible = solution.is_ok() && {
-        let mut values = vec![0.0; hard_constraints.num_vars()];
-        for pid in adg.port_ids() {
-            let (Some(slots), Some(a)) = (&vars.port_vars[pid.0], &offsets[pid.0]) else {
-                continue;
-            };
-            values[slots[0].0] = a.constant_part() as f64;
-            for (slot, liv) in slots[1..].iter().zip(&vars.port_livs[pid.0]) {
-                values[slot.0] = a.coeff(*liv) as f64;
-            }
-        }
-        hard_constraints.is_feasible(&values, 1e-6)
-    };
-
-    // Exact cost of this candidate on this axis. An infeasible solve's
-    // all-zero fallback — or a rounded solution that broke the hard node
-    // constraints — may place objects where the program semantics forbid;
-    // its edge-cost is meaningless, so it is priced at infinity and only
-    // written when no feasible candidate exists at all.
-    let exact_cost = if rounded_feasible {
+    // Exact cost of this candidate on this axis, as the cost model prices
+    // it: the residual shift plus the violation penalty for any hard node
+    // constraint the rounding (or an infeasible solve's all-zero fallback)
+    // broke. Infeasible candidates used to be gated out by an explicit
+    // post-hoc feasibility check; the cost model now prices them directly —
+    // the penalty dwarfs every feasible candidate's cost, so they can only
+    // win when no feasible candidate exists at all.
+    let exact_cost = {
         let mut candidate = alignment.clone();
         for pid in adg.port_ids() {
             if replicated.contains(&pid) {
@@ -486,9 +473,24 @@ fn solve_once(
                 candidate.port_mut(pid).offsets[axis] = OffsetAlign::Fixed(a.clone());
             }
         }
-        CostModel::new(adg).shift_cost_on_axis(&candidate, axis)
-    } else {
-        f64::INFINITY
+        let model = CostModel::new(adg);
+        let violation = model.offset_violation_on_axis(&candidate, axis);
+
+        // Cross-check (the old post-hoc gate, demoted to an assertion): a
+        // candidate the LP's own hard-constraint system accepts must price
+        // violation-free. The converse need not hold — the LP snapshot also
+        // carries the deterministic translation pin, which is not a
+        // semantic constraint.
+        #[cfg(debug_assertions)]
+        {
+            let values = vars.values_from(&candidate, axis, hard_constraints.num_vars());
+            debug_assert!(
+                !hard_constraints.is_feasible(&values, 1e-6) || violation == 0.0,
+                "cost model charges violation {violation} for an LP-feasible candidate on axis {axis}"
+            );
+        }
+
+        model.shift_cost_on_axis(&candidate, axis) + violation
     };
 
     (

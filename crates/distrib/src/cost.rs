@@ -148,16 +148,22 @@ impl<'a> DistributionCostModel<'a> {
         for (_, edge) in adg.edges() {
             let src = alignment.port(edge.src);
             let dst = alignment.port(edge.dst);
-            let points = edge.space.points();
-            if points.is_empty() {
+            let total = edge.space.size() as usize;
+            if total == 0 {
                 continue;
             }
-            let stride = (points.len() / max_points.max(1)).max(1);
+            let stride = (total / max_points.max(1)).max(1);
             let scale = stride as f64;
-            for point in points.iter().step_by(stride) {
+            let mut idx = 0usize;
+            edge.space.for_each_point(|point| {
+                let take = idx.is_multiple_of(stride);
+                idx += 1;
+                if !take {
+                    return;
+                }
                 let w = edge.weight.eval(point) as f64 * edge.control_weight * scale;
                 if w == 0.0 {
-                    continue;
+                    return;
                 }
                 // Axis / stride agreement (the discrete metric): any mismatch
                 // redistributes the whole object arbitrarily.
@@ -190,7 +196,7 @@ impl<'a> DistributionCostModel<'a> {
                     mismatch,
                     effects,
                 });
-            }
+            });
         }
         DistributionCostModel {
             adg,

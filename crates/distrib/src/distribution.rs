@@ -105,6 +105,14 @@ impl TemplateDistribution for ProgramDistribution {
         }
         id
     }
+
+    fn grid_dims(&self) -> Vec<usize> {
+        self.grid()
+    }
+
+    fn owner_coord(&self, axis: usize, c: i64) -> usize {
+        self.axes[axis].owner(c)
+    }
 }
 
 impl fmt::Display for ProgramDistribution {

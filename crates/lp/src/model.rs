@@ -242,6 +242,45 @@ impl Problem {
         true
     }
 
+    /// Total violation magnitude of a candidate point: the sum of bound
+    /// excesses and constraint residuals beyond `tol`. Zero exactly when
+    /// [`Problem::is_feasible`] holds; callers that *price* infeasibility
+    /// (rather than gate on it) use this as the penalty measure.
+    pub fn violation(&self, values: &[f64], tol: f64) -> f64 {
+        if values.len() != self.vars.len() {
+            return f64::INFINITY;
+        }
+        let mut total = 0.0;
+        for (var, &x) in self.vars.iter().zip(values) {
+            if x < var.lower - tol {
+                total += var.lower - x;
+            }
+            if x > var.upper + tol {
+                total += x - var.upper;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, a)| a * values[v.0]).sum();
+            let excess = match c.relation {
+                Relation::Le => (lhs - c.rhs).max(0.0),
+                Relation::Ge => (c.rhs - lhs).max(0.0),
+                Relation::Eq => (lhs - c.rhs).abs(),
+            };
+            if excess > tol {
+                total += excess;
+            }
+        }
+        total
+    }
+
+    /// Solve the LP with the two-phase simplex directly, skipping the
+    /// equality-chain presolve. Exposed so tests (and solver comparisons) can
+    /// check that presolved and unpresolved solves agree; production callers
+    /// use [`Problem::solve`].
+    pub fn solve_without_presolve(&self) -> Result<Solution, SolveError> {
+        simplex::solve(self)
+    }
+
     /// Solve the LP relaxation (integrality flags ignored): equality-chain
     /// presolve first (the hard node constraints of the alignment RLPs are
     /// mostly pairwise equalities, which would otherwise bloat and

@@ -1,0 +1,228 @@
+//! The layered redistribution DAG and its shortest path.
+//!
+//! After the per-phase distribution search, each phase contributes a layer
+//! of ranked candidates; an edge from candidate `j` of phase `i` to
+//! candidate `k` of phase `i+1` costs the redistribution of every array
+//! alive across the boundary. The cheapest phase-1 → phase-N path is the
+//! dynamic distribution; because the graph is layered, plain forward dynamic
+//! programming is the shortest-path algorithm.
+
+use crate::redist::RedistCost;
+use align_ir::ArrayId;
+use distrib::ProgramDistribution;
+
+/// One layer of the DAG: a phase's candidate distributions with their
+/// modelled in-phase costs.
+#[derive(Debug, Clone)]
+pub struct PhaseCandidates {
+    /// Candidate distributions, cheapest-in-phase first.
+    pub dists: Vec<ProgramDistribution>,
+    /// Modelled in-phase cost of each candidate
+    /// ([`distrib::DistributionCost::total`]).
+    pub costs: Vec<f64>,
+}
+
+/// One priced redistribution of one array at a phase boundary.
+#[derive(Debug, Clone)]
+pub struct RedistStep {
+    /// Which array moves.
+    pub array: ArrayId,
+    /// Its name (for reports).
+    pub name: String,
+    /// Its per-axis element extents.
+    pub extents: Vec<i64>,
+    /// The modelled cost of the move.
+    pub cost: RedistCost,
+}
+
+/// The phase-analysis output: a distribution per phase plus the explicit
+/// redistribution steps between consecutive phases.
+#[derive(Debug, Clone)]
+pub struct DynamicDistribution {
+    /// Index of the chosen candidate within each phase's layer.
+    pub chosen: Vec<usize>,
+    /// The chosen distribution of each phase.
+    pub per_phase: Vec<ProgramDistribution>,
+    /// Redistribution steps at each boundary (`phases - 1` entries) for the
+    /// chosen path.
+    pub steps: Vec<Vec<RedistStep>>,
+    /// Total modelled cost of the chosen path: in-phase costs plus
+    /// redistribution totals.
+    pub model_cost: f64,
+}
+
+impl DynamicDistribution {
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.per_phase.len()
+    }
+
+    /// True when some boundary actually changes the distribution.
+    pub fn redistributes(&self) -> bool {
+        self.per_phase.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+impl std::fmt::Display for DynamicDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "dynamic distribution over {} phases (model cost {:.1}):",
+            self.num_phases(),
+            self.model_cost
+        )?;
+        for (i, d) in self.per_phase.iter().enumerate() {
+            writeln!(f, "  phase {i}: {d}")?;
+            if let Some(steps) = self.steps.get(i) {
+                for s in steps {
+                    if !s.cost.is_zero() {
+                        writeln!(f, "    redistribute {}: {}", s.name, s.cost)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solve the layered DAG by forward dynamic programming. `boundary_cost`
+/// prices the edge from candidate `j` of layer `b` to candidate `k` of layer
+/// `b + 1`; it is probed for every candidate pair, so it should be the bare
+/// scalar (no step materialisation). The caller attaches the per-array
+/// [`RedistStep`]s for the winning path afterwards
+/// (`DynamicDistribution::steps` starts empty).
+pub fn solve_dynamic(
+    layers: &[PhaseCandidates],
+    mut boundary_cost: impl FnMut(usize, usize, usize) -> f64,
+) -> DynamicDistribution {
+    assert!(!layers.is_empty(), "need at least one phase");
+    assert!(
+        layers.iter().all(|l| !l.dists.is_empty()),
+        "every phase needs at least one candidate"
+    );
+
+    // best[b][k]: cheapest cost of reaching candidate k of layer b.
+    let mut best: Vec<Vec<f64>> = Vec::with_capacity(layers.len());
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(layers.len());
+    best.push(layers[0].costs.clone());
+    back.push(vec![0; layers[0].costs.len()]);
+
+    for b in 0..layers.len() - 1 {
+        let next = &layers[b + 1];
+        let mut layer_best = vec![f64::INFINITY; next.dists.len()];
+        let mut layer_back = vec![0usize; next.dists.len()];
+        for (j, &cost_j) in best[b].iter().enumerate() {
+            for k in 0..next.dists.len() {
+                let edge = boundary_cost(b, j, k);
+                let candidate = cost_j + edge + next.costs[k];
+                if candidate < layer_best[k] {
+                    layer_best[k] = candidate;
+                    layer_back[k] = j;
+                }
+            }
+        }
+        best.push(layer_best);
+        back.push(layer_back);
+    }
+
+    // Backtrack the winning path.
+    let last = best.last().unwrap();
+    let (mut k, _) = last
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty layer");
+    let model_cost = last[k];
+    let mut chosen = vec![0usize; layers.len()];
+    for b in (0..layers.len()).rev() {
+        chosen[b] = k;
+        k = back[b][k];
+    }
+
+    let per_phase: Vec<ProgramDistribution> = chosen
+        .iter()
+        .zip(layers)
+        .map(|(&k, l)| l.dists[k].clone())
+        .collect();
+
+    DynamicDistribution {
+        chosen,
+        per_phase,
+        steps: Vec::new(),
+        model_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrib::Layout;
+
+    fn dist(grid: &[usize]) -> ProgramDistribution {
+        let extents = vec![16i64; grid.len()];
+        ProgramDistribution::new(&extents, grid, &vec![Layout::Block; grid.len()])
+    }
+
+    fn layer(costs: &[f64], grids: &[&[usize]]) -> PhaseCandidates {
+        PhaseCandidates {
+            dists: grids.iter().map(|g| dist(g)).collect(),
+            costs: costs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn switching_wins_when_redistribution_is_cheap() {
+        // Phase 1 prefers candidate 0, phase 2 prefers candidate 1; the
+        // boundary costs 1 for a switch and 0 for staying.
+        let layers = vec![
+            layer(&[0.0, 100.0], &[&[4, 1], &[1, 4]]),
+            layer(&[100.0, 0.0], &[&[4, 1], &[1, 4]]),
+        ];
+        let result = solve_dynamic(&layers, |_, j, k| if j == k { 0.0 } else { 1.0 });
+        assert_eq!(result.chosen, vec![0, 1]);
+        assert!((result.model_cost - 1.0).abs() < 1e-12);
+        assert!(result.redistributes());
+    }
+
+    #[test]
+    fn staying_wins_when_redistribution_is_expensive() {
+        let layers = vec![
+            layer(&[0.0, 10.0], &[&[4, 1], &[1, 4]]),
+            layer(&[10.0, 0.0], &[&[4, 1], &[1, 4]]),
+        ];
+        let result = solve_dynamic(&layers, |_, j, k| if j == k { 0.0 } else { 1000.0 });
+        // Either all-[4,1] or all-[1,4] costs 10; switching costs 1000.
+        assert_eq!(result.chosen[0], result.chosen[1]);
+        assert!((result.model_cost - 10.0).abs() < 1e-12);
+        assert!(!result.redistributes());
+    }
+
+    #[test]
+    fn single_phase_is_just_the_cheapest_candidate() {
+        let layers = vec![layer(&[5.0, 3.0, 7.0], &[&[4], &[2], &[1]])];
+        let result = solve_dynamic(&layers, |_, _, _| unreachable!("no boundaries"));
+        assert_eq!(result.chosen, vec![1]);
+        assert!((result.model_cost - 3.0).abs() < 1e-12);
+        assert!(result.steps.is_empty());
+    }
+
+    #[test]
+    fn three_layer_path_threads_through_the_middle() {
+        // The middle layer's candidate 1 is expensive in-phase but the only
+        // one with cheap edges to both neighbours' favourites.
+        let layers = vec![
+            layer(&[0.0, 50.0], &[&[4, 1], &[1, 4]]),
+            layer(&[5.0, 5.0], &[&[4, 1], &[2, 2]]),
+            layer(&[50.0, 0.0], &[&[4, 1], &[1, 4]]),
+        ];
+        let result = solve_dynamic(&layers, |b, j, k| match (b, j, k) {
+            (0, 0, 1) => 1.0,
+            (1, 1, 1) => 1.0,
+            (_, a, c) if a == c => 3.0,
+            _ => 100.0,
+        });
+        // 0 (cost 0) -> edge 1 -> 1 (cost 5) -> edge 1 -> 1 (cost 0) = 7.
+        assert_eq!(result.chosen, vec![0, 1, 1]);
+        assert!((result.model_cost - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! Phase analysis and dynamic redistribution.
+//!
+//! The SC'93 framework solves alignment and distribution for a whole program
+//! against a *single* static distribution — even when a transpose-heavy
+//! second half inverts the communication pattern of the first, so that no
+//! one distribution is good everywhere. This crate adds the decision layer
+//! the paper defers: it
+//!
+//! 1. [`segment`] — partitions the program's top-level statement sequence
+//!    into *phases* at communication-topology change points, detected from
+//!    the per-segment alignment's residual traffic (which template axis the
+//!    data moves along, from the ADG edge weights) and from axis-permutation
+//!    flips of shared arrays;
+//! 2. ranks the top-K [`distrib::ProgramDistribution`] candidates per phase
+//!    by reusing the distribution solver on each phase in isolation;
+//! 3. [`redist`] — prices the inter-phase redistribution edges
+//!    (BLOCK ↔ CYCLIC remaps, transpose-style all-to-alls, replication
+//!    spreads and collapses) with a [`RedistCost`] model consistent with
+//!    [`distrib::DistribCostParams`], backed by the exact
+//!    [`commsim::redistribution_traffic`] owner comparison;
+//! 4. [`dynamic`] — solves the resulting layered DAG (one layer per phase,
+//!    one node per ranked candidate, redistribution costs on the edges) by
+//!    shortest path, emitting a [`DynamicDistribution`]: a distribution per
+//!    phase plus explicit redistribution steps between them;
+//! 5. [`pipeline`] — [`align_then_distribute_dynamic`], the three-stage
+//!    driver (align → distribute per phase → redistribute between phases),
+//!    with [`simulate_dynamic`] validating the whole plan end to end in the
+//!    communication simulator.
+
+pub mod dynamic;
+pub mod pipeline;
+pub mod redist;
+pub mod segment;
+
+pub use dynamic::{solve_dynamic, DynamicDistribution, PhaseCandidates, RedistStep};
+pub use pipeline::{
+    align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
+    DynamicPipelineResult, DynamicSimReport, PhaseResult,
+};
+pub use redist::{price_redistribution, RedistCost};
+pub use segment::{detect_phase_boundaries, PhaseSignature, SegmentationConfig};

@@ -1,0 +1,161 @@
+//! Pricing inter-phase redistribution.
+//!
+//! When the chosen distribution changes between phases, every array alive
+//! across the boundary must be re-laid-out. This module prices that step
+//! consistently with the intra-phase model ([`distrib::DistribCostParams`]):
+//!
+//! * **point-to-point moves** — elements whose owner changes between the two
+//!   (alignment, distribution) pairs. This covers BLOCK ↔ CYCLIC remaps and
+//!   transpose-style all-to-alls alike, because the underlying owner
+//!   comparison ([`commsim::redistribution_traffic`]) is exact (sampled);
+//!   each move is weighted by the all-to-all routing factor;
+//! * **replication spread** — a previously single position becoming
+//!   replicated broadcasts the object down a tree, one stage per
+//!   `log2(grid)` doubling along each newly replicated axis;
+//! * **replication collapse** — dropping replication is free (every
+//!   processor already holds its part).
+
+use alignment_core::position::PortAlignment;
+use commsim::{redistribution_traffic, SimOptions, TemplateDistribution};
+use distrib::{DistribCostParams, ProgramDistribution};
+
+/// The modelled cost of redistributing one object between phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RedistCost {
+    /// Elements moving point-to-point (owner changed).
+    pub moved: f64,
+    /// Elements spread into a newly replicated position.
+    pub broadcast: f64,
+    /// Broadcast tree stages the spread needs (`Σ log2(g)` over newly
+    /// replicated axes; 0 when nothing is spread).
+    pub stages: f64,
+    /// Distinct (sender, receiver) pairs (diagnostic only).
+    pub messages: f64,
+}
+
+impl RedistCost {
+    /// The scalar the layered-DAG search minimises, in the same units as
+    /// [`distrib::DistributionCost::total`]: moved elements carry the
+    /// all-to-all routing factor (a redistribution is general communication),
+    /// spreads pay one hop cost per tree stage.
+    pub fn total(&self, params: &DistribCostParams) -> f64 {
+        self.moved * params.general_factor
+            + self.broadcast * self.stages * params.broadcast_hop_cost
+    }
+
+    /// True when the boundary needs no communication at all.
+    pub fn is_zero(&self) -> bool {
+        self.moved == 0.0 && self.broadcast == 0.0
+    }
+}
+
+impl std::fmt::Display for RedistCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "moved={:.1} broadcast={:.1}x{:.0} messages={:.0}",
+            self.moved,
+            self.broadcast,
+            self.stages.max(0.0),
+            self.messages
+        )
+    }
+}
+
+/// Price moving one object (with the given per-axis element extents) from
+/// its placement in the previous phase to its placement in the next one.
+///
+/// The placements are each phase's boundary-port alignment (where the array
+/// rests at phase end / phase start) combined with the candidate
+/// distribution of that phase. Both distributions must cover the same
+/// processor count — redistribution changes the mapping, not the machine.
+pub fn price_redistribution(
+    extents: &[i64],
+    src_align: &PortAlignment,
+    src_dist: &ProgramDistribution,
+    dst_align: &PortAlignment,
+    dst_dist: &ProgramDistribution,
+    opts: SimOptions,
+) -> RedistCost {
+    let traffic =
+        redistribution_traffic(extents, src_align, src_dist, dst_align, dst_dist, &[], opts);
+    // Tree stages of the spread: one doubling per processor along each axis
+    // the destination replicates but the source does not.
+    let dst_dims = dst_dist.grid_dims();
+    let stages: f64 = dst_align
+        .offsets
+        .iter()
+        .enumerate()
+        .filter(|(t, o)| {
+            o.is_replicated() && !src_align.offsets.get(*t).is_some_and(|s| s.is_replicated())
+        })
+        .map(|(t, _)| {
+            (dst_dims.get(t).copied().unwrap_or(1).max(1) as f64)
+                .log2()
+                .ceil()
+        })
+        .sum();
+    RedistCost {
+        moved: traffic.element_moves,
+        broadcast: traffic.broadcast_elements,
+        stages,
+        messages: traffic.messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrib::Layout;
+
+    fn block(extents: &[i64], grid: &[usize]) -> ProgramDistribution {
+        ProgramDistribution::new(extents, grid, &vec![Layout::Block; grid.len()])
+    }
+
+    #[test]
+    fn identical_placements_are_free() {
+        let a = PortAlignment::identity(2, 2);
+        let d = block(&[32, 32], &[2, 2]);
+        let c = price_redistribution(&[32, 32], &a, &d, &a, &d, SimOptions::default());
+        assert!(c.is_zero(), "{c}");
+        assert_eq!(c.total(&DistribCostParams::default()), 0.0);
+    }
+
+    #[test]
+    fn grid_flip_prices_as_all_to_all() {
+        let a = PortAlignment::identity(2, 2);
+        let rows = block(&[32, 32], &[4, 1]);
+        let cols = block(&[32, 32], &[1, 4]);
+        let c = price_redistribution(&[32, 32], &a, &rows, &a, &cols, SimOptions::default());
+        // 3/4 of the elements change owner in a 4-way row->column flip.
+        assert!(c.moved > 0.6 * 32.0 * 32.0, "{c}");
+        let params = DistribCostParams::default();
+        assert!((c.total(&params) - c.moved * params.general_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_to_cyclic_remap_moves_interior() {
+        let a = PortAlignment::identity(1, 1);
+        let blk = ProgramDistribution::new(&[64], &[4], &[Layout::Block]);
+        let cyc = ProgramDistribution::new(&[64], &[4], &[Layout::Cyclic]);
+        let c = price_redistribution(&[64], &a, &blk, &a, &cyc, SimOptions::default());
+        // Exactly 1/4 of the cells keep their owner under a 4-way
+        // block->cyclic remap.
+        assert!((c.moved - 48.0).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn spread_charges_tree_stages() {
+        use alignment_core::position::OffsetAlign;
+        let single = PortAlignment::identity(1, 2);
+        let mut replicated = PortAlignment::identity(1, 2);
+        replicated.offsets[1] = OffsetAlign::Replicated;
+        let d = block(&[32, 32], &[2, 8]);
+        let c = price_redistribution(&[32], &single, &d, &replicated, &d, SimOptions::default());
+        assert_eq!(c.broadcast, 32.0, "{c}");
+        assert_eq!(c.stages, 3.0, "log2(8) stages: {c}");
+        // Collapse in the other direction is free.
+        let back = price_redistribution(&[32], &replicated, &d, &single, &d, SimOptions::default());
+        assert!(back.is_zero(), "{back}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Dynamic redistribution on a program whose best distribution flips
+//! mid-program (the README's worked example).
+//!
+//! ```text
+//! cargo run --release --example dynamic_redistribution
+//! ```
+
+use array_alignment::prelude::*;
+
+fn main() {
+    // Two loops over A(n,n): the first shifts data along the columns (work
+    // within rows), the second along the rows (work within columns).
+    let program = programs::fft_like(32, 40);
+    let nprocs = 8;
+
+    let result = align_then_distribute_dynamic(&program, nprocs, &DynamicConfig::default());
+
+    println!("program: {}", program.name);
+    println!("phases detected: {}", result.phases.len());
+    for (i, phase) in result.phases.iter().enumerate() {
+        println!(
+            "  phase {i}: statements {:?}, best in isolation: {}",
+            phase.range,
+            phase.report.best().distribution
+        );
+    }
+    println!("\n{}", result.dynamic);
+    println!(
+        "static best for comparison: {} (model cost {:.1})",
+        result.static_result.best().distribution,
+        result.static_model_cost()
+    );
+
+    // Validate the plan end to end in the communication simulator.
+    let opts = SimOptions::default();
+    let dynamic = simulate_dynamic(&result, opts);
+    let fixed = simulate_static(&result, opts);
+    println!(
+        "\nsimulated elements moved: dynamic {:.0} (of which {:.0} in the \
+         mid-program redistribution) vs static {:.0}",
+        dynamic.total_elements(),
+        dynamic.redist_elements.iter().sum::<f64>(),
+        fixed.total_elements()
+    );
+}

@@ -16,7 +16,11 @@
 //!   used to validate alignments;
 //! * [`distrib`] — the distribution phase: processor-grid shapes, block /
 //!   cyclic / block-cyclic layouts per template axis, and the cost-driven
-//!   search combining both phases (`align_then_distribute`).
+//!   search combining both phases (`align_then_distribute`);
+//! * [`phases`] — phase analysis and dynamic redistribution: partition the
+//!   program where its communication topology changes, pick a distribution
+//!   per phase, and price the redistribution steps between them
+//!   (`align_then_distribute_dynamic`).
 //!
 //! ## Quick start
 //!
@@ -54,6 +58,7 @@ pub use commsim as sim;
 pub use distrib;
 pub use lp;
 pub use netflow;
+pub use phases;
 
 /// Everything most applications need.
 pub mod prelude {
@@ -69,6 +74,10 @@ pub mod prelude {
         DistribCostParams, DistributionCost, DistributionCostModel, DistributionReport,
         FullPipelineConfig, FullPipelineResult, Layout, ProgramDistribution, RankedDistribution,
         SolveConfig,
+    };
+    pub use phases::{
+        align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
+        DynamicDistribution, DynamicPipelineResult, RedistCost,
     };
 }
 

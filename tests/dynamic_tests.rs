@@ -1,0 +1,115 @@
+//! The dynamic-redistribution subsystem end to end: phase detection, the
+//! layered DAG, and — the acceptance criterion — a transpose-heavy workload
+//! on which the dynamic plan's *simulated* total traffic (including the
+//! redistribution steps) beats the best single static distribution.
+
+use array_alignment::prelude::*;
+
+/// The headline result: on the FFT-like workload whose optimum flips
+/// mid-program, `align_then_distribute_dynamic` finds a plan that is cheaper
+/// in the exact communication simulator than the best static distribution,
+/// even after paying for the mid-program all-to-all.
+#[test]
+fn dynamic_beats_static_on_transpose_heavy_workload() {
+    let program = programs::fft_like(32, 40);
+    let result = align_then_distribute_dynamic(&program, 8, &DynamicConfig::default());
+
+    // The analysis found the flip and chose to redistribute.
+    assert_eq!(result.phases.len(), 2);
+    assert!(result.dynamic.redistributes(), "{}", result.dynamic);
+
+    // Model-level win...
+    assert!(
+        result.dynamic.model_cost < result.static_model_cost(),
+        "model: dynamic {} vs static {}",
+        result.dynamic.model_cost,
+        result.static_model_cost()
+    );
+
+    // ...confirmed end to end in the simulator, redistribution included.
+    let opts = SimOptions::default();
+    let dynamic_sim = simulate_dynamic(&result, opts);
+    let static_sim = simulate_static(&result, opts);
+    let redist_total: f64 = dynamic_sim.redist_elements.iter().sum();
+    assert!(redist_total > 0.0, "the plan pays a real redistribution");
+    assert!(
+        dynamic_sim.total_elements() < static_sim.total_elements(),
+        "simulated: dynamic {} (incl. {} redistributed) vs static {}",
+        dynamic_sim.total_elements(),
+        redist_total,
+        static_sim.total_elements()
+    );
+}
+
+/// The redistribution price is honest: shortening the phases (fewer loop
+/// trips) shrinks the per-iteration advantage until staying put wins, and
+/// the solver must then keep one distribution.
+#[test]
+fn short_phases_do_not_redistribute() {
+    let program = programs::fft_like(32, 1);
+    let result = align_then_distribute_dynamic(&program, 8, &DynamicConfig::default());
+    if result.phases.len() == 2 {
+        // With a single trip per phase the boundary all-to-all (~n² moves)
+        // dwarfs the in-phase savings (~n moves): the DAG must not switch.
+        assert!(
+            !result.dynamic.redistributes(),
+            "switching cannot pay for itself at 1 trip: {}",
+            result.dynamic
+        );
+    }
+}
+
+/// The dynamic plan on a single-topology program reduces to the static one.
+#[test]
+fn dynamic_degenerates_gracefully_on_static_programs() {
+    for program in [programs::example1(64), programs::stencil2d(24, 3)] {
+        let result = align_then_distribute_dynamic(&program, 4, &DynamicConfig::default());
+        assert_eq!(result.phases.len(), 1, "{}", program.name);
+        assert!(!result.dynamic.redistributes());
+        assert_eq!(
+            format!("{}", result.dynamic.per_phase[0]),
+            format!("{}", result.static_result.best().distribution),
+            "{}",
+            program.name
+        );
+    }
+}
+
+/// Multigrid V-cycle: phases may or may not split, but the plan must be
+/// simulatable end to end and the dynamic model must never beat static by
+/// accident (i.e. must stay self-consistent under simulation).
+#[test]
+fn multigrid_dynamic_plan_is_consistent() {
+    let program = programs::multigrid_vcycle(32, 4, 4);
+    let result = align_then_distribute_dynamic(&program, 4, &DynamicConfig::default());
+    let sim = simulate_dynamic(&result, SimOptions::default());
+    assert!(sim.total_elements().is_finite());
+    assert_eq!(sim.per_phase.len(), result.phases.len());
+    assert_eq!(sim.redist_elements.len(), result.phases.len() - 1);
+}
+
+/// Every phase's candidate layer is non-empty, covers the full processor
+/// count, contains every other phase's favourite (cross-seeding), and the
+/// chosen plan picks within it.
+#[test]
+fn chosen_candidates_are_well_formed() {
+    let result =
+        align_then_distribute_dynamic(&programs::fft_like(16, 8), 8, &DynamicConfig::default());
+    for (layer, (&chosen, dist)) in result
+        .layers
+        .iter()
+        .zip(result.dynamic.chosen.iter().zip(&result.dynamic.per_phase))
+    {
+        assert!(chosen < layer.dists.len());
+        assert_eq!(dist.grid().iter().product::<usize>(), 8);
+        assert_eq!(format!("{}", layer.dists[chosen]), format!("{dist}"));
+        // Cross-seeding: each phase's favourite grid appears in every layer.
+        for other in &result.phases {
+            let favourite = other.report.best().distribution.grid();
+            assert!(
+                layer.dists.iter().any(|d| d.grid() == favourite),
+                "layer missing grid {favourite:?}"
+            );
+        }
+    }
+}

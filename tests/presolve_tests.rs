@@ -1,0 +1,165 @@
+//! Coverage for `lp::presolve`: the equality-chain elimination that makes
+//! the degenerate stencil offset LPs solvable.
+//!
+//! The offset LPs of stencil-like programs are dominated by hard equality
+//! chains (port equalities and constant-shift section constraints); fed raw
+//! to the dense simplex they are large, extremely degenerate and numerically
+//! fragile. These tests pin the presolve's behaviour on exactly those LPs:
+//! golden reductions on the real stencil constraint systems, and a seeded
+//! property sweep asserting that presolved and unpresolved solves agree on
+//! the objective value.
+
+use array_alignment::core_::constraints::build_offset_constraints;
+use array_alignment::prelude::*;
+use bench::Rng;
+use lp::presolve::Presolve;
+use lp::{Problem, Relation};
+use std::collections::HashSet;
+
+/// The hard-constraint system of a program's offset LP on `axis`, after the
+/// axis and stride phases (the state the RLP sees).
+fn stencil_offset_lp(program: &align_ir::Program, axis: usize) -> Problem {
+    use array_alignment::core_::axis::{solve_axes, template_rank};
+    use array_alignment::core_::stride::solve_strides;
+    let adg = build_adg(program);
+    let t = template_rank(&adg);
+    let ranks: Vec<usize> = adg.port_ids().map(|p| adg.port(p).rank).collect();
+    let mut alignment = ProgramAlignment::identity(t, &ranks);
+    solve_axes(&adg, &mut alignment);
+    solve_strides(&adg, &mut alignment);
+    build_offset_constraints(&adg, &alignment, axis, &HashSet::new()).problem
+}
+
+// ---------------------------------------------------------------------------
+// Golden: equality-chain elimination on the degenerate stencil LPs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_stencil_chains_collapse() {
+    // stencil2d's offset system is almost entirely equality chains: the
+    // presolve must eliminate the overwhelming majority of the variables.
+    let problem = stencil_offset_lp(&programs::stencil2d(24, 3), 0);
+    let pre = Presolve::new(&problem).expect("stencil hard constraints are consistent");
+    assert!(
+        problem.num_vars() >= 40,
+        "expected a sizeable LP, got {} vars",
+        problem.num_vars()
+    );
+    assert!(
+        pre.reduced.num_vars() * 2 <= problem.num_vars(),
+        "presolve should eliminate at least half of the variables: {} -> {}",
+        problem.num_vars(),
+        pre.reduced.num_vars()
+    );
+    // The reduced system solves, and restoring satisfies the original.
+    let sol = pre.reduced.solve().unwrap();
+    let full = pre.restore(&sol.values);
+    assert!(problem.is_feasible(&full, 1e-6));
+}
+
+#[test]
+fn golden_stencil_presolved_objective_matches_unpresolved() {
+    // Both paper stencil workloads, both template axes, hard constraints
+    // with the translation pin: solve() (presolve + simplex) and the raw
+    // simplex agree on the optimum (zero — the chains are satisfiable
+    // exactly).
+    for program in [
+        programs::stencil2d(16, 2),
+        programs::multigrid_vcycle(16, 2, 2),
+    ] {
+        for axis in 0..2 {
+            let problem = stencil_offset_lp(&program, axis);
+            let with = problem.solve().expect("presolved solve");
+            let without = problem
+                .solve_without_presolve()
+                .expect("unpresolved solve of the hard system");
+            assert!(
+                (with.objective - without.objective).abs() < 1e-6,
+                "{} axis {axis}: {} vs {}",
+                program.name,
+                with.objective,
+                without.objective
+            );
+            assert!(problem.is_feasible(&with.values, 1e-6), "{}", program.name);
+        }
+    }
+}
+
+#[test]
+fn golden_figure1_mobile_chain_pins_through_transformers() {
+    // figure1's axis-0 system chains loop-transformer substitutions into the
+    // mobile offsets; the presolve must keep it consistent and solvable.
+    let problem = stencil_offset_lp(&programs::figure1(16), 0);
+    let pre = Presolve::new(&problem).unwrap();
+    let sol = pre.reduced.solve().unwrap();
+    let full = pre.restore(&sol.values);
+    assert!(problem.is_feasible(&full, 1e-6));
+    assert!(pre.reduced.num_vars() < problem.num_vars());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property sweep: presolved == unpresolved on random chain LPs.
+// ---------------------------------------------------------------------------
+
+/// A random LP shaped like the alignment RLPs: free offset variables tied by
+/// equality chains with integer shifts, non-negative surrogate variables in
+/// the objective, and a few inequality couplings.
+fn random_chain_lp(rng: &mut Rng) -> Problem {
+    let mut p = Problem::new();
+    let n = rng.range_usize(3, 10);
+    let xs: Vec<_> = (0..n)
+        .map(|i| p.add_free_var(format!("x{i}"), 0.0))
+        .collect();
+    // Chain: x_{i+1} = x_i + shift_i (the section/port equality shape).
+    for i in 0..n - 1 {
+        let shift = rng.range_i64(-4, 4) as f64;
+        p.add_constraint(vec![(xs[i + 1], 1.0), (xs[i], -1.0)], Relation::Eq, shift);
+    }
+    // Pin the head (the deterministic translation pin).
+    p.add_constraint(
+        vec![(xs[0], 1.0)],
+        Relation::Eq,
+        rng.range_i64(-3, 3) as f64,
+    );
+    // Surrogates z_j >= |x_k - target| driving the objective.
+    for _ in 0..rng.range_usize(1, 4) {
+        let k = rng.range_usize(0, n - 1);
+        let target = rng.range_i64(-5, 5) as f64;
+        let z = p.add_nonneg_var("z", 1.0);
+        p.add_constraint(vec![(z, 1.0), (xs[k], -1.0)], Relation::Ge, -target);
+        p.add_constraint(vec![(z, 1.0), (xs[k], 1.0)], Relation::Ge, target);
+    }
+    p
+}
+
+#[test]
+fn property_presolved_and_unpresolved_objectives_agree() {
+    let mut rng = Rng::new(20260731);
+    let mut checked = 0;
+    for case in 0..120 {
+        let p = random_chain_lp(&mut rng);
+        let with = p.solve();
+        let without = p.solve_without_presolve();
+        match (with, without) {
+            (Ok(a), Ok(b)) => {
+                checked += 1;
+                assert!(
+                    (a.objective - b.objective).abs() < 1e-6 * (1.0 + b.objective.abs()),
+                    "case {case}: presolved {} vs unpresolved {}",
+                    a.objective,
+                    b.objective
+                );
+                assert!(p.is_feasible(&a.values, 1e-6), "case {case}");
+            }
+            (Err(a), Err(b)) => {
+                // Both reject; the *kind* may differ (presolve detects
+                // inconsistency earlier) but feasibility must agree.
+                let _ = (a, b);
+            }
+            (with, without) => {
+                panic!("case {case}: presolved {with:?} vs unpresolved {without:?}")
+            }
+        }
+    }
+    assert!(checked >= 100, "sweep must mostly solve: {checked}/120");
+}
