@@ -8,6 +8,7 @@ use alignment_core::stride::solve_strides;
 use alignment_core::ProgramAlignment;
 use bench::{random_loop_program, BenchGroup, RandomProgramConfig};
 use std::collections::HashSet;
+use std::time::Duration;
 
 fn solve(adg: &adg::Adg, strategy: OffsetStrategy) {
     let t = template_rank(adg);
@@ -25,10 +26,16 @@ fn solve(adg: &adg::Adg, strategy: OffsetStrategy) {
 }
 
 fn main() {
+    // Sized so a single strategy solve is seconds, not minutes: this
+    // workload's axis-0 offset system is degenerate enough to engage the
+    // rounding-safety ladder on every strategy, and the ladder LPs grow
+    // with `trips`. The CI regression gate compares against a baseline
+    // recorded on the same workload, so absolute size only affects job
+    // wall-clock.
     let program = random_loop_program(RandomProgramConfig {
         seed: 3,
-        trips: 24,
-        statements: 4,
+        trips: 12,
+        statements: 3,
         ..RandomProgramConfig::default()
     });
     let adg = build_adg(&program);
@@ -50,7 +57,9 @@ fn main() {
         ),
         ("unrolling", OffsetStrategy::Unrolling),
     ];
-    let mut group = BenchGroup::new("offset_algorithms");
+    let mut group = BenchGroup::new("offset_algorithms")
+        .target_time(Duration::from_millis(100))
+        .sample_bounds(3, 30);
     for (name, strategy) in strategies {
         group.bench(name, || solve(&adg, strategy));
     }

@@ -1,0 +1,159 @@
+//! CI benchmark-regression gate.
+//!
+//! ```text
+//! bench_compare merge   <records.jsonl> <out.json>
+//! bench_compare compare <baseline.json> <current.json> [tolerance]
+//! ```
+//!
+//! `merge` folds the JSON lines the bench binaries append under
+//! `BENCH_JSON` into a single pretty-printed JSON array document (the
+//! format committed as `BENCH_baseline.json`).
+//!
+//! `compare` joins two such documents on `group/id` and fails (exit 1) when
+//! any benchmark's median regresses by more than `tolerance` (default 0.25,
+//! i.e. 25 %) over the baseline, or when a baseline benchmark is missing
+//! from the current run (a silently dropped bench must not pass the gate).
+//! A small absolute slack (50 µs) keeps sub-millisecond benches from
+//! tripping the gate on scheduler noise alone.
+
+use bench::json::{parse_records, records_to_document, BenchRecord};
+use std::process::ExitCode;
+
+/// Absolute regression slack: a median must exceed the tolerance *and* grow
+/// by at least this many nanoseconds before it counts as a regression.
+const ABS_SLACK_NS: u64 = 50_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("merge") if args.len() == 3 => merge(&args[1], &args[2]),
+        Some("compare") if args.len() == 3 || args.len() == 4 => {
+            let tolerance = match args.get(3).map(|t| t.parse::<f64>()) {
+                None => 0.25,
+                Some(Ok(t)) if t > 0.0 => t,
+                Some(_) => {
+                    eprintln!("error: tolerance must be a positive number");
+                    return ExitCode::FAILURE;
+                }
+            };
+            compare(&args[1], &args[2], tolerance)
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  bench_compare merge   <records.jsonl> <out.json>\n  \
+                 bench_compare compare <baseline.json> <current.json> [tolerance]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    parse_records(&text).map_err(|e| format!("could not parse {path}: {e}"))
+}
+
+fn merge(input: &str, output: &str) -> ExitCode {
+    let records = match load(input) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if records.is_empty() {
+        eprintln!("error: {input} holds no benchmark records");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(output, records_to_document(&records)) {
+        eprintln!("error: could not write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} records to {output}", records.len());
+    ExitCode::SUCCESS
+}
+
+fn fmt_ns(ns: u64) -> String {
+    bench::harness::fmt_duration(std::time::Duration::from_nanos(ns))
+}
+
+fn compare(baseline_path: &str, current_path: &str, tolerance: f64) -> ExitCode {
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
+
+    println!("| benchmark | baseline median | current median | ratio | status |");
+    println!("|---|---:|---:|---:|---|");
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
+            missing.push(base.key());
+            continue;
+        };
+        let ratio = cur.median_ns as f64 / base.median_ns.max(1) as f64;
+        let regressed = ratio > 1.0 + tolerance && cur.median_ns > base.median_ns + ABS_SLACK_NS;
+        let status = if regressed {
+            regressions.push(base.key());
+            "**REGRESSED**"
+        } else if ratio < 1.0 / (1.0 + tolerance) {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "| {} | {} | {} | {:.2}x | {} |",
+            base.key(),
+            fmt_ns(base.median_ns),
+            fmt_ns(cur.median_ns),
+            ratio,
+            status
+        );
+    }
+    for cur in &current {
+        if !baseline.iter().any(|b| b.key() == cur.key()) {
+            println!(
+                "| {} | — | {} | — | new |",
+                cur.key(),
+                fmt_ns(cur.median_ns)
+            );
+        }
+    }
+    println!();
+
+    let mut failed = false;
+    if !missing.is_empty() {
+        eprintln!(
+            "FAIL: {} baseline benchmark(s) missing from the current run: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+        failed = true;
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "FAIL: {} benchmark(s) regressed beyond {:.0}% on the median: {}",
+            regressions.len(),
+            tolerance * 100.0,
+            regressions.join(", ")
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench gate passed: {} benchmarks within {:.0}% of baseline",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -97,6 +97,12 @@ impl BenchGroup {
 
     /// Print the group's results as a markdown table. Call once per group,
     /// after all benches have run.
+    ///
+    /// When the `BENCH_JSON` environment variable names a file, the group's
+    /// measurements are additionally *appended* to it as JSON lines (one
+    /// [`crate::BenchRecord`] object per line). The CI bench-regression gate
+    /// runs each bench binary with the same `BENCH_JSON` target and merges
+    /// the accumulated lines into `BENCH_pr.json` afterwards.
     pub fn finish(&self) {
         println!("\n### bench group `{}`\n", self.name);
         println!("| benchmark | samples | min | median | mean |");
@@ -112,6 +118,34 @@ impl BenchGroup {
             );
         }
         println!();
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = self.append_json(&path) {
+                    eprintln!("warning: could not append bench JSON to {path}: {e}");
+                }
+            }
+        }
+    }
+
+    /// Append this group's measurements to `path` as JSON lines.
+    fn append_json(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for m in &self.results {
+            let record = crate::BenchRecord {
+                group: self.name.clone(),
+                id: m.id.clone(),
+                samples: m.samples as u64,
+                min_ns: m.min.as_nanos() as u64,
+                median_ns: m.median.as_nanos() as u64,
+                mean_ns: m.mean.as_nanos() as u64,
+            };
+            writeln!(file, "{}", record.to_json().to_string_compact())?;
+        }
+        Ok(())
     }
 
     /// The measurements recorded so far.

@@ -7,11 +7,13 @@
 //! workload generators and small formatting helpers.
 
 pub mod harness;
+pub mod json;
 pub mod random_programs;
 pub mod rng;
 pub mod table;
 
 pub use harness::BenchGroup;
+pub use json::{BenchRecord, Json};
 pub use random_programs::{random_loop_program, RandomProgramConfig};
 pub use rng::Rng;
 pub use table::Table;

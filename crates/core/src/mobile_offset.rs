@@ -33,7 +33,42 @@ use crate::position::{OffsetAlign, ProgramAlignment};
 use adg::{Adg, Edge, EdgeId, PortId};
 use align_ir::{Affine, IterationSpace, LivId};
 use lp::{Problem, Relation};
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashSet};
+
+thread_local! {
+    static LADDER_ENGAGED: Cell<u64> = const { Cell::new(0) };
+    static SINGLE_RANGE_ENGAGED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How often the rounding safety-net ladder of [`solve_axis_offsets`] has
+/// engaged on the current thread. Counters are thread-local so tests can
+/// assert on their own solves without interference from parallel test
+/// threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallbackStats {
+    /// Solves where the primary strategy blew up on rounding and the ladder
+    /// ran at all.
+    pub ladder_engaged: u64,
+    /// Solves that fell all the way through to the `SingleRange` last-resort
+    /// rung. Since the revised simplex took over the offset LPs this stays
+    /// at zero on every built-in workload (locked in by tests).
+    pub single_range_engaged: u64,
+}
+
+/// Current thread's fallback counters.
+pub fn fallback_stats() -> FallbackStats {
+    FallbackStats {
+        ladder_engaged: LADDER_ENGAGED.with(Cell::get),
+        single_range_engaged: SINGLE_RANGE_ENGAGED.with(Cell::get),
+    }
+}
+
+/// Reset the current thread's fallback counters (test setup).
+pub fn reset_fallback_stats() {
+    LADDER_ENGAGED.with(|c| c.set(0));
+    SINGLE_RANGE_ENGAGED.with(|c| c.set(0));
+}
 
 /// Strategy for choosing iteration-space subranges (Section 4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +169,11 @@ pub struct OffsetSolveReport {
     pub num_subranges: usize,
     /// Number of refinement rounds actually used.
     pub rounds: usize,
+    /// Label of the safety-net rung that produced the final offsets, or
+    /// `None` when the configured strategy's own solution stood. Stays
+    /// `None` on the built-in workloads now that the revised simplex solves
+    /// the degenerate axis-0 systems directly.
+    pub fallback: Option<&'static str>,
 }
 
 /// One subrange of an edge's iteration space together with its weight moments.
@@ -273,26 +313,48 @@ pub fn solve_axis_offsets(
     // that happens, retry with other subrange configurations — every retry
     // goes through the same hard node constraints, so feasibility is kept —
     // and keep whichever candidate is exact-best.
+    //
+    // Since the revised simplex took over the offset LPs the ladder is
+    // shorter and `SingleRange` is a true last resort: the figure1-style
+    // degenerate axis-0 systems that used to stall the tableau and lean on
+    // the single-range rung now solve outright, and the thread-local
+    // [`fallback_stats`] counters prove it (no built-in workload reaches the
+    // last rung any more — locked in by tests).
     let blown_up = |r: &OffsetSolveReport| {
         !r.exact_cost.is_finite()
             || !r.lp_objective.is_finite()
             || (r.exact_cost > 4.0 * (r.lp_objective.abs() + 1.0) && r.exact_cost > 100.0)
     };
     if best_report.as_ref().is_some_and(blown_up) {
+        LADDER_ENGAGED.with(|c| c.set(c.get() + 1));
         let total_points: u64 = cost_edges.iter().map(|(_, e)| e.space.size()).sum();
-        // Last rung: the static restriction. Pinning the array homes removes
-        // most of the degeneracy that defeats the simplex on hard mobile
-        // instances, so a mobile solve that keeps failing degrades to the
-        // (always meaningful) static solution instead of to garbage.
+        // Rung order: a finer fixed partition first (cheap, usually
+        // enough); the static restriction second — pinning the array homes
+        // removes most of the degeneracy that defeats the solver on hard
+        // mobile instances, so a mobile solve that keeps failing degrades
+        // to the (always meaningful) static solution instead of to garbage;
+        // exact unrolling third and only for small iteration spaces — its
+        // LP has one surrogate pair per iteration *point* and is by far the
+        // most expensive thing the ladder can do. `SingleRange` comes dead
+        // last: its one-subrange objective is the coarsest approximation of
+        // the lot (error bound 3x) and it only ever mattered as a crutch
+        // for the tableau solver's stalls.
         let ladder = [
-            (OffsetStrategy::FixedPartition(5), false),
-            (OffsetStrategy::SingleRange, false),
-            (OffsetStrategy::Unrolling, false),
-            (OffsetStrategy::FixedPartition(5), true),
+            (
+                OffsetStrategy::FixedPartition(5),
+                false,
+                "fixed-partition(m=5)",
+            ),
+            (OffsetStrategy::FixedPartition(5), true, "static"),
+            (OffsetStrategy::Unrolling, false, "unrolling"),
+            (OffsetStrategy::SingleRange, false, "single-range"),
         ];
-        for (alt, force_static) in ladder {
-            if matches!(alt, OffsetStrategy::Unrolling) && total_points > 4096 {
+        for (alt, force_static, label) in ladder {
+            if matches!(alt, OffsetStrategy::Unrolling) && total_points > 1024 {
                 continue;
+            }
+            if matches!(alt, OffsetStrategy::SingleRange) {
+                SINGLE_RANGE_ENGAGED.with(|c| c.set(c.get() + 1));
             }
             let alt_subranges: BTreeMap<EdgeId, Vec<Subrange>> = cost_edges
                 .iter()
@@ -302,7 +364,7 @@ pub fn solve_axis_offsets(
                 forbid_mobile: config.forbid_mobile || force_static,
                 ..config
             };
-            let (report, offsets) = solve_once(
+            let (mut report, offsets) = solve_once(
                 adg,
                 alignment,
                 axis,
@@ -311,6 +373,7 @@ pub fn solve_axis_offsets(
                 &cost_edges,
                 alt_config,
             );
+            report.fallback = Some(label);
             let improved = best_report
                 .as_ref()
                 .is_none_or(|b| report.exact_cost < b.exact_cost - 1e-9);
@@ -502,6 +565,7 @@ fn solve_once(
             num_constraints,
             num_subranges,
             rounds: 1,
+            fallback: None,
         },
         offsets,
     )
@@ -790,6 +854,95 @@ mod tests {
                 "m={m}: approx {approx_cost} vs exact {exact_cost} (bound {bound})"
             );
         }
+    }
+
+    #[test]
+    fn figure1_axis0_fixed_partition_solves_without_single_range_rung() {
+        // Regression: the figure1 axis-0 offset system is exactly the shape
+        // of degenerate LP that used to stall the dense tableau under
+        // FixedPartition and only survive through the strategy ladder's
+        // SingleRange rung. The revised simplex must solve it outright —
+        // feasibly, with no ladder fallback at all.
+        let prog = programs::figure1(32);
+        let adg = build_adg(&prog);
+        let mut alignment = identity_alignment(&adg, 2);
+        crate::axis::solve_axes(&adg, &mut alignment);
+        crate::stride::solve_strides(&adg, &mut alignment);
+        reset_fallback_stats();
+        let report = solve_axis_offsets(
+            &adg,
+            &mut alignment,
+            0,
+            &HashSet::new(),
+            MobileOffsetConfig::with_strategy(OffsetStrategy::FixedPartition(3)),
+        );
+        let stats = fallback_stats();
+        assert_eq!(
+            stats.single_range_engaged, 0,
+            "the SingleRange last resort must not fire on figure1 axis 0"
+        );
+        assert_eq!(
+            report.fallback, None,
+            "figure1 axis 0 must solve via the revised simplex alone, \
+             not a ladder rung"
+        );
+        assert_eq!(stats.ladder_engaged, 0, "ladder must not even engage");
+        // Feasible: the rounded offsets satisfy every hard node constraint.
+        let model = CostModel::new(&adg);
+        assert_eq!(
+            model.offset_violation_on_axis(&alignment, 0),
+            0.0,
+            "axis-0 solution must satisfy the hard node constraints"
+        );
+        assert!(report.exact_cost.is_finite());
+    }
+
+    #[test]
+    fn built_in_workloads_never_reach_single_range_rung() {
+        // The counter that proves SingleRange is a dead rung on everything
+        // the repo ships: all built-in programs across both template axes.
+        reset_fallback_stats();
+        let workloads: Vec<align_ir::Program> = vec![
+            programs::example1(64),
+            programs::figure1(32),
+            programs::skewed_sweep(24),
+            programs::figure4(8, 10, 3),
+            programs::fft_like(32, 16),
+            programs::multigrid_vcycle(32, 3, 3),
+        ];
+        for prog in workloads {
+            let adg = build_adg(&prog);
+            let rank = crate::axis::template_rank(&adg);
+            let mut alignment = identity_alignment(&adg, rank);
+            crate::axis::solve_axes(&adg, &mut alignment);
+            crate::stride::solve_strides(&adg, &mut alignment);
+            let reps = vec![HashSet::new(); rank];
+            solve_all_offsets(&adg, &mut alignment, &reps, MobileOffsetConfig::default());
+        }
+        let stats = fallback_stats();
+        assert_eq!(
+            stats.single_range_engaged, 0,
+            "SingleRange fired on a built-in workload: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fallback_stats_reset_and_report_field_default() {
+        reset_fallback_stats();
+        let stats = fallback_stats();
+        assert_eq!(stats.ladder_engaged, 0);
+        assert_eq!(stats.single_range_engaged, 0);
+        let prog = programs::example1(16);
+        let adg = build_adg(&prog);
+        let mut alignment = identity_alignment(&adg, 1);
+        let report = solve_axis_offsets(
+            &adg,
+            &mut alignment,
+            0,
+            &HashSet::new(),
+            MobileOffsetConfig::default(),
+        );
+        assert_eq!(report.fallback, None);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!
 //! * a shift by `d` along an axis only moves the elements whose owning
 //!   processor changes — a `1/block` fraction under a block layout,
-//!   everything under a cyclic layout ([`AxisDistribution::moved_fraction`]);
+//!   everything under a cyclic layout
+//!   ([`crate::layout::AxisDistribution::moved_fraction`]);
 //! * a broadcast into a replicated axis costs one tree stage per
 //!   `log2(grid)` doubling along that axis;
 //! * an axis or stride mismatch is an all-to-all redistribution: every

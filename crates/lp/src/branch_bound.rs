@@ -4,7 +4,9 @@
 //! mixed integer linear programming" instead of rounding the LP relaxation.
 //! This module provides that alternative: depth-first branch and bound over
 //! the variables marked integral with [`Problem::set_integer`], using the
-//! two-phase simplex for every relaxation.
+//! revised simplex (via [`Problem::solve`], bounds tightened per node — the
+//! bounded-variable ratio test absorbs the branching bounds without adding
+//! rows) for every relaxation.
 
 use crate::model::{Problem, Relation, Solution, SolveError, VarId};
 
@@ -59,13 +61,19 @@ pub fn solve_milp(problem: &Problem, max_nodes: usize) -> Result<Solution, Solve
         }
         match branch_var {
             None => {
-                // Integral solution; snap the integer values exactly.
+                // Integral solution; snap the integer values exactly and
+                // re-price against the *original* objective (the relaxation
+                // objective drifts by the snap distance). Snapping can in
+                // principle push a point off a tight constraint, so an
+                // incumbent is only accepted if it stays feasible.
                 let mut sol = relax;
                 for &v in &integer_vars {
                     sol.values[v.index()] = sol.values[v.index()].round();
                 }
                 sol.objective = problem.eval_objective(&sol.values);
-                if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
+                if problem.is_feasible(&sol.values, 1e-6)
+                    && best.as_ref().is_none_or(|b| sol.objective < b.objective)
+                {
                     best = Some(sol);
                 }
             }

@@ -6,11 +6,18 @@
 //! offsets. The original work assumed an external LP package; this crate is
 //! that substrate, rebuilt from scratch.
 //!
-//! The solver is a dense, two-phase primal simplex with Bland's rule as an
-//! anti-cycling fallback. It is designed for the problem sizes the alignment
-//! phase produces (a handful of variables per port plus one surrogate
-//! variable per edge-subrange — hundreds to a few thousand variables), not
-//! for industrial LPs.
+//! The production path ([`Problem::solve`]) is an equality-chain presolve
+//! followed by a bounded-variable *revised* simplex ([`revised`]): the basis
+//! inverse is kept in product form (an eta file over a ±1 start basis),
+//! box bounds are handled by the ratio test instead of explicit rows, and
+//! Bland's rule takes over as an anti-cycling fallback after a run of
+//! degenerate pivots. The original dense two-phase tableau simplex
+//! ([`simplex`]) is retained as a differential-testing oracle behind
+//! [`Problem::solve_tableau`], and as a last-resort fallback when the
+//! revised solver reports numerical failure. Both are designed for the
+//! problem sizes the alignment phase produces (a handful of variables per
+//! port plus one surrogate variable per edge-subrange — hundreds to a few
+//! thousand variables), not for industrial LPs.
 //!
 //! # Example
 //!
@@ -32,6 +39,7 @@
 pub mod branch_bound;
 pub mod model;
 pub mod presolve;
+pub mod revised;
 pub mod simplex;
 
 pub use branch_bound::solve_milp;

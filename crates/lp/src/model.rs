@@ -5,7 +5,7 @@
 //! non-negative surrogate variables), constraints are sparse lists of
 //! `(variable, coefficient)` terms, and the objective is always *minimised*.
 
-use crate::simplex;
+use crate::{revised, simplex};
 use std::fmt;
 
 /// Handle to a variable in a [`Problem`].
@@ -273,30 +273,54 @@ impl Problem {
         total
     }
 
-    /// Solve the LP with the two-phase simplex directly, skipping the
+    /// Solve the LP with the revised simplex directly, skipping the
     /// equality-chain presolve. Exposed so tests (and solver comparisons) can
     /// check that presolved and unpresolved solves agree; production callers
     /// use [`Problem::solve`].
     pub fn solve_without_presolve(&self) -> Result<Solution, SolveError> {
-        simplex::solve(self)
+        revised::solve(self)
     }
 
-    /// Solve the LP relaxation (integrality flags ignored): equality-chain
-    /// presolve first (the hard node constraints of the alignment RLPs are
-    /// mostly pairwise equalities, which would otherwise bloat and
-    /// destabilise the tableau), then the two-phase simplex on what remains.
-    pub fn solve(&self) -> Result<Solution, SolveError> {
+    /// Presolve, solve what remains with `inner`, and restore the
+    /// eliminated variables. Shared by the production path and the oracle so
+    /// the two can never drift apart in their presolve handling.
+    fn solve_with(
+        &self,
+        inner: impl FnOnce(&Problem) -> Result<Solution, SolveError>,
+    ) -> Result<Solution, SolveError> {
         let pre = crate::presolve::Presolve::new(self)?;
         if pre.reduced.num_vars() == 0 {
             let values = pre.restore(&[]);
             let objective = pre.objective_offset;
             return Ok(Solution { values, objective });
         }
-        let sol = simplex::solve(&pre.reduced)?;
+        let sol = inner(&pre.reduced)?;
         Ok(Solution {
             values: pre.restore(&sol.values),
             objective: sol.objective + pre.objective_offset,
         })
+    }
+
+    /// Solve the LP relaxation (integrality flags ignored): equality-chain
+    /// presolve first (the hard node constraints of the alignment RLPs are
+    /// mostly pairwise equalities, which would otherwise bloat and
+    /// destabilise the solver), then the bounded-variable revised simplex
+    /// ([`crate::revised`]) on what remains. If the revised solver reports
+    /// numerical failure (`IterationLimit`), the dense tableau simplex is
+    /// tried as a last resort before giving up.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with(|reduced| match revised::solve(reduced) {
+            Err(SolveError::IterationLimit) => simplex::solve(reduced),
+            other => other,
+        })
+    }
+
+    /// Solve with the dense two-phase *tableau* simplex (same equality-chain
+    /// presolve as [`Problem::solve`]). This is the differential-testing
+    /// oracle: the tableau and revised solvers share no pivoting code, so
+    /// agreement on status and objective is strong evidence both are right.
+    pub fn solve_tableau(&self) -> Result<Solution, SolveError> {
+        self.solve_with(simplex::solve)
     }
 }
 

@@ -1,0 +1,986 @@
+//! Bounded-variable revised simplex with product-form (eta) basis updates.
+//!
+//! This is the production solver behind [`Problem::solve`]. It differs from
+//! the dense tableau implementation in [`crate::simplex`] (kept as a
+//! differential-testing oracle behind [`Problem::solve_tableau`]) in three
+//! structural ways:
+//!
+//! * **No tableau.** The basis inverse is never materialised; it is
+//!   represented as an initial ±1 diagonal (the artificial start basis)
+//!   composed with a file of *eta* transformations, one per pivot
+//!   (product-form update). `FTRAN` / `BTRAN` sweeps through the eta file
+//!   replace the `O(m·n)` Gauss-Jordan row updates of the tableau with
+//!   `O(m·k)` work (`k` = etas since the last refactorisation), and the
+//!   file is rebuilt from the sparse constraint columns whenever it grows
+//!   past a fixed interval (`REFACTOR_INTERVAL`), so rounding error cannot
+//!   accumulate across an unbounded pivot sequence the way it does in a
+//!   tableau.
+//! * **Bounded variables stay implicit.** A finite upper bound is handled
+//!   by the ratio test (a nonbasic variable can sit at *either* bound and a
+//!   pivot can be a pure *bound flip*), so box constraints on offsets no
+//!   longer inflate the constraint matrix with explicit `x <= u` rows —
+//!   exactly the rows that made the mobile-offset tableaux large and
+//!   degenerate. Free variables are priced in both directions instead of
+//!   being split into differences of non-negatives.
+//! * **Anti-cycling is positional.** Dantzig pricing (most negative reduced
+//!   cost, ties by magnitude) switches to Bland's rule — smallest eligible
+//!   column entering, smallest basis column leaving — after a run of
+//!   degenerate pivots, and switches back after the first pivot that moves
+//!   the objective. Bland makes termination *finite*; because finite is not
+//!   fast on the extremely degenerate alignment LPs, an objective-stall
+//!   cutoff (like the tableau's, but reporting `Stalled` so phase 1 can
+//!   never turn a stall into a spurious Infeasible) bounds the pivot count
+//!   in practice.
+//!
+//! Phase 1 starts from an all-artificial basis (`B₀ = diag(±1)`, one
+//! artificial per row, signed so the start point is within bounds) and
+//! minimises the artificial sum; phase 2 fixes the artificials to zero and
+//! minimises the user objective over the surviving basis.
+
+use crate::model::{Problem, Relation, Solution, SolveError};
+use crate::EPS;
+
+/// Reduced-cost tolerance for pricing.
+const PRICE_TOL: f64 = 1e-9;
+/// Minimum magnitude accepted for a pivot element.
+const PIVOT_TOL: f64 = 1e-8;
+/// Degenerate-pivot streak after which Bland's rule takes over.
+const BLAND_AFTER: usize = 40;
+/// Refactorise (rebuild the eta file from the basis columns) this often.
+const REFACTOR_INTERVAL: usize = 64;
+
+/// One product-form update: `B_new = B_old · E` where `E` is the identity
+/// with column `row` replaced by `d = B_old⁻¹ a_entering`.
+struct Eta {
+    row: usize,
+    /// Nonzero entries of `d` (sparse: degenerate alignment columns touch
+    /// few rows).
+    d: Vec<(usize, f64)>,
+    /// `d[row]`, kept separately because every solve divides by it.
+    pivot: f64,
+}
+
+/// The solver working state over the standard-form columns
+/// (structural | slack | artificial).
+struct Revised {
+    /// Number of rows.
+    m: usize,
+    /// Sparse columns of the row-equilibrated constraint matrix.
+    cols: Vec<Vec<(usize, f64)>>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Current value of every column (basic or nonbasic).
+    x: Vec<f64>,
+    /// Right-hand side after row equilibration.
+    b: Vec<f64>,
+    /// Column basic in each row.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Sign of the artificial start basis (`B₀ = diag(sign)`).
+    sign: Vec<f64>,
+    /// Eta file since the last refactorisation.
+    etas: Vec<Eta>,
+    /// First artificial column index (artificial `i` lives at `art0 + i`).
+    art0: usize,
+}
+
+enum RunResult {
+    Optimal,
+    /// The objective made no progress for the stall budget. The vertex is
+    /// feasible but possibly suboptimal; phase 1 must not read this as an
+    /// infeasibility certificate.
+    Stalled,
+    Unbounded,
+    IterationLimit,
+}
+
+impl Revised {
+    /// `B⁻¹ v` in place.
+    fn ftran(&self, v: &mut [f64]) {
+        for (vi, s) in v.iter_mut().zip(&self.sign) {
+            *vi *= s;
+        }
+        for eta in &self.etas {
+            let vr = v[eta.row] / eta.pivot;
+            if vr == 0.0 {
+                continue;
+            }
+            for &(i, di) in &eta.d {
+                v[i] -= di * vr;
+            }
+            v[eta.row] = vr;
+        }
+    }
+
+    /// `B⁻ᵀ c` in place.
+    fn btran(&self, c: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut dot = 0.0;
+            for &(i, di) in &eta.d {
+                dot += di * c[i];
+            }
+            c[eta.row] = (c[eta.row] - dot) / eta.pivot;
+        }
+        for (ci, s) in c.iter_mut().zip(&self.sign) {
+            *ci *= s;
+        }
+    }
+
+    /// Dense `B⁻¹ a_j` for column `j`.
+    fn ftran_col(&self, j: usize) -> Vec<f64> {
+        let mut v = vec![0.0; self.m];
+        for &(i, a) in &self.cols[j] {
+            v[i] = a;
+        }
+        self.ftran(&mut v);
+        v
+    }
+
+    /// Append the eta for a pivot on `row` with direction vector `d`
+    /// (`d = B⁻¹ a_entering`, already computed by the caller).
+    fn push_eta(&mut self, row: usize, d: &[f64]) {
+        let pivot = d[row];
+        debug_assert!(pivot.abs() > EPS, "pivot element too small");
+        let sparse: Vec<(usize, f64)> = d
+            .iter()
+            .enumerate()
+            .filter(|&(i, &di)| i != row && di != 0.0)
+            .map(|(i, &di)| (i, di))
+            .collect();
+        self.etas.push(Eta {
+            row,
+            d: sparse,
+            pivot,
+        });
+    }
+
+    /// Recompute the basic values `x_B = B⁻¹ (b − N x_N)` from scratch.
+    fn recompute_basics(&mut self) {
+        let mut r = self.b.clone();
+        for j in 0..self.cols.len() {
+            if self.in_basis[j] || self.x[j] == 0.0 {
+                continue;
+            }
+            for &(i, a) in &self.cols[j] {
+                r[i] -= a * self.x[j];
+            }
+        }
+        self.ftran(&mut r);
+        for (i, &bi) in self.basis.iter().enumerate() {
+            self.x[bi] = r[i];
+        }
+    }
+
+    /// Rebuild the eta file from the current basis columns (reinversion).
+    /// The basis-to-row assignment may be permuted for stability. Returns
+    /// `false` if the basis has become numerically singular (every basis
+    /// reached by exact pivots is nonsingular, so this only flags
+    /// accumulated rounding damage; the caller gives up and lets the model
+    /// layer fall back to the tableau oracle).
+    fn refactorize(&mut self) -> bool {
+        let old_basis = self.basis.clone();
+        let old_etas = std::mem::take(&mut self.etas);
+        let mut row_taken = vec![false; self.m];
+        let mut new_basis = vec![usize::MAX; self.m];
+        // Unit (slack/artificial) columns first: they keep the file sparse.
+        let mut order: Vec<usize> = old_basis.clone();
+        order.sort_by_key(|&j| (self.cols[j].len(), j));
+        for j in order {
+            let d = self.ftran_col(j);
+            let mut best: Option<usize> = None;
+            for (i, taken) in row_taken.iter().enumerate() {
+                if !taken && d[i].abs() > PIVOT_TOL {
+                    let better = best.is_none_or(|b| d[i].abs() > d[b].abs());
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(r) = best else {
+                self.etas = old_etas;
+                self.basis = old_basis;
+                return false;
+            };
+            self.push_eta(r, &d);
+            row_taken[r] = true;
+            new_basis[r] = j;
+        }
+        self.basis = new_basis;
+        self.recompute_basics();
+        true
+    }
+
+    /// One simplex phase: minimise `cost` until optimality.
+    ///
+    /// `stall_patience` scales the objective-stall cutoff: on the extremely
+    /// degenerate alignment LPs the simplex can shuffle zero-length pivots
+    /// (or reduced-cost noise) for astronomically long without moving the
+    /// objective. Bland's rule makes that *finite* but not *fast*, so —
+    /// exactly like the tableau oracle — a long enough stall is declared
+    /// optimal. The callers this solver serves re-price the rounded result
+    /// exactly afterwards, so a slightly suboptimal (still feasible) vertex
+    /// is far better than burning the whole iteration budget. Phase 1 gets
+    /// extra patience because stopping it early would misreport a feasible
+    /// problem as infeasible.
+    fn run(&mut self, cost: &[f64], max_iters: usize, stall_patience: usize) -> RunResult {
+        let mut degenerate_streak = 0usize;
+        let cost_scale = cost.iter().fold(0.0f64, |a, &c| a.max(c.abs()));
+        let stall_tol = 1e-10 * (1.0 + cost_scale);
+        let stall_limit = 500.max((self.m + self.cols.len()) / 4) * stall_patience.max(1);
+        let mut last_obj = f64::INFINITY;
+        let mut stalled = 0usize;
+        for _ in 0..max_iters {
+            if self.etas.len() >= REFACTOR_INTERVAL && !self.refactorize() {
+                return RunResult::IterationLimit;
+            }
+            let obj: f64 = self
+                .x
+                .iter()
+                .zip(cost)
+                .map(|(&xj, &cj)| if cj != 0.0 { cj * xj } else { 0.0 })
+                .sum();
+            if obj < last_obj - stall_tol {
+                last_obj = obj;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled > stall_limit {
+                    return RunResult::Stalled;
+                }
+            }
+            let use_bland = degenerate_streak > BLAND_AFTER;
+
+            // Pricing: y = B⁻ᵀ c_B, then reduced costs of nonbasic columns.
+            let mut y = vec![0.0; self.m];
+            for (i, &j) in self.basis.iter().enumerate() {
+                y[i] = cost[j];
+            }
+            self.btran(&mut y);
+
+            // `to_upper` is the chosen direction: increase (false) or
+            // decrease (true) the entering variable.
+            let mut entering: Option<(usize, bool)> = None;
+            let mut best_mag = PRICE_TOL;
+            for (j, col) in self.cols.iter().enumerate() {
+                if self.in_basis[j] || self.upper[j] - self.lower[j] <= EPS {
+                    continue;
+                }
+                // An artificial that left the basis never re-enters.
+                if j >= self.art0 {
+                    continue;
+                }
+                let mut cbar = cost[j];
+                for &(i, a) in col {
+                    cbar -= y[i] * a;
+                }
+                let at_lower = self.x[j] <= self.lower[j] + EPS;
+                let at_upper = self.x[j] >= self.upper[j] - EPS;
+                // Free nonbasic variables (at neither bound) may move in
+                // whichever direction improves the objective.
+                let dir = if at_lower && cbar < -PRICE_TOL {
+                    Some(false)
+                } else if at_upper && cbar > PRICE_TOL {
+                    Some(true)
+                } else if !at_lower && !at_upper && cbar.abs() > PRICE_TOL {
+                    Some(cbar > 0.0)
+                } else {
+                    None
+                };
+                if let Some(decrease) = dir {
+                    if use_bland {
+                        entering = Some((j, decrease));
+                        break;
+                    }
+                    if cbar.abs() > best_mag {
+                        best_mag = cbar.abs();
+                        entering = Some((j, decrease));
+                    }
+                }
+            }
+            let Some((q, decrease)) = entering else {
+                return RunResult::Optimal;
+            };
+            let s: f64 = if decrease { -1.0 } else { 1.0 };
+
+            // Ratio test over x_B' = x_B − θ·s·d, plus the entering
+            // variable's own bound-to-bound distance (bound flip).
+            let d = self.ftran_col(q);
+            let own_range = self.upper[q] - self.lower[q]; // may be +inf
+            let mut theta = own_range;
+            let mut leaving: Option<(usize, f64)> = None; // (row, bound hit)
+            for (i, &di) in d.iter().enumerate() {
+                if di.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let bi = self.basis[i];
+                let delta = s * di;
+                let limit = if delta > 0.0 {
+                    self.lower[bi]
+                } else {
+                    self.upper[bi]
+                };
+                if !limit.is_finite() {
+                    continue;
+                }
+                let ratio = ((self.x[bi] - limit) / delta).max(0.0);
+                let replace = if ratio < theta - EPS {
+                    true
+                } else if ratio <= theta + EPS {
+                    // Tie. Against the bound flip (`leaving == None`) keep
+                    // the flip — it is cheaper and adds no eta. Between rows,
+                    // Bland's rule takes the smallest basis column when
+                    // anti-cycling is active and the largest pivot magnitude
+                    // (best conditioning) otherwise.
+                    match leaving {
+                        None => false,
+                        Some((r, _)) => {
+                            if use_bland {
+                                self.basis[i] < self.basis[r]
+                            } else {
+                                di.abs() > d[r].abs()
+                            }
+                        }
+                    }
+                } else {
+                    false
+                };
+                if replace {
+                    theta = ratio.min(theta);
+                    leaving = Some((i, limit));
+                }
+            }
+
+            if theta.is_infinite() {
+                return RunResult::Unbounded;
+            }
+
+            match leaving {
+                // Entering variable runs to its opposite bound before any
+                // basic variable blocks: a bound flip, no basis change.
+                None => {
+                    debug_assert!(own_range.is_finite());
+                    self.x[q] = if decrease {
+                        self.lower[q]
+                    } else {
+                        self.upper[q]
+                    };
+                    for (i, &di) in d.iter().enumerate() {
+                        if di != 0.0 {
+                            let bi = self.basis[i];
+                            self.x[bi] -= own_range * s * di;
+                        }
+                    }
+                    degenerate_streak = 0;
+                }
+                Some((r, bound)) => {
+                    if theta <= EPS {
+                        degenerate_streak += 1;
+                    } else {
+                        degenerate_streak = 0;
+                    }
+                    let leave = self.basis[r];
+                    for (i, &di) in d.iter().enumerate() {
+                        if di != 0.0 {
+                            let bi = self.basis[i];
+                            self.x[bi] -= theta * s * di;
+                        }
+                    }
+                    self.x[q] += theta * s;
+                    self.x[leave] = bound;
+                    self.in_basis[leave] = false;
+                    self.in_basis[q] = true;
+                    self.basis[r] = q;
+                    self.push_eta(r, &d);
+                }
+            }
+
+            // Snap tiny bound violations introduced by the dense update.
+            for &bi in &self.basis {
+                if self.x[bi] < self.lower[bi] && self.x[bi] > self.lower[bi] - 1e-9 {
+                    self.x[bi] = self.lower[bi];
+                }
+                if self.x[bi] > self.upper[bi] && self.x[bi] < self.upper[bi] + 1e-9 {
+                    self.x[bi] = self.upper[bi];
+                }
+            }
+        }
+        RunResult::IterationLimit
+    }
+
+    /// Pivot zero-valued basic artificials out of the basis where a
+    /// non-artificial column can replace them (post phase 1).
+    fn drive_out_artificials(&mut self) {
+        for r in 0..self.m {
+            if self.basis[r] < self.art0 || self.x[self.basis[r]].abs() > 1e-7 {
+                continue;
+            }
+            // Any nonbasic non-artificial column with a usable pivot in this
+            // row will do; the pivot is degenerate (θ = 0) so values do not
+            // move.
+            for j in 0..self.art0 {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let d = self.ftran_col(j);
+                if d[r].abs() > PIVOT_TOL {
+                    let art = self.basis[r];
+                    self.in_basis[art] = false;
+                    self.x[art] = 0.0;
+                    self.in_basis[j] = true;
+                    self.basis[r] = j;
+                    self.push_eta(r, &d);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The finite bound closest to zero (0 for a free variable).
+fn nearest_bound(lower: f64, upper: f64) -> f64 {
+    if lower.is_finite() && upper.is_finite() {
+        if lower.abs() <= upper.abs() {
+            lower
+        } else {
+            upper
+        }
+    } else if lower.is_finite() {
+        lower
+    } else if upper.is_finite() {
+        upper
+    } else {
+        0.0
+    }
+}
+
+/// Solve `problem` with the bounded-variable revised simplex.
+pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    let n = problem.vars.len();
+    let m = problem.constraints.len();
+
+    if m == 0 {
+        // Pure bound minimisation: each variable independently runs to the
+        // bound its objective coefficient points at.
+        let mut values = vec![0.0; n];
+        for (i, v) in problem.vars.iter().enumerate() {
+            values[i] = if v.obj > 0.0 {
+                if !v.lower.is_finite() {
+                    return Err(SolveError::Unbounded);
+                }
+                v.lower
+            } else if v.obj < 0.0 {
+                if !v.upper.is_finite() {
+                    return Err(SolveError::Unbounded);
+                }
+                v.upper
+            } else {
+                nearest_bound(v.lower, v.upper)
+            };
+        }
+        let objective = problem.eval_objective(&values);
+        return Ok(Solution { values, objective });
+    }
+
+    // --- Build standard-form columns: structural | slack | artificial. ---
+    // Rows are equilibrated by their largest structural coefficient, like the
+    // tableau solver: alignment constraint systems mix element-count weights
+    // in the thousands with unit coefficients.
+    let mut row_scale = vec![1.0f64; m];
+    for (i, c) in problem.constraints.iter().enumerate() {
+        let mag = c.terms.iter().fold(0.0f64, |a, &(_, v)| a.max(v.abs()));
+        row_scale[i] = mag.max(1e-12).recip();
+    }
+
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut b = vec![0.0; m];
+    for (i, c) in problem.constraints.iter().enumerate() {
+        b[i] = c.rhs * row_scale[i];
+        for &(v, a) in &c.terms {
+            if a != 0.0 {
+                cols[v.0].push((i, a * row_scale[i]));
+            }
+        }
+    }
+    // Merge duplicate terms within a column's row list.
+    for col in cols.iter_mut() {
+        col.sort_by_key(|&(i, _)| i);
+        col.dedup_by(|&mut (i2, a2), &mut (i1, ref mut a1)| {
+            if i1 == i2 {
+                *a1 += a2;
+                true
+            } else {
+                false
+            }
+        });
+        col.retain(|&(_, a)| a != 0.0);
+    }
+
+    let mut lower: Vec<f64> = problem.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = problem.vars.iter().map(|v| v.upper).collect();
+    let mut x: Vec<f64> = problem
+        .vars
+        .iter()
+        .map(|v| nearest_bound(v.lower, v.upper))
+        .collect();
+
+    // Slacks: `Ax + s = b` with `s >= 0` for `<=`, `s <= 0` for `>=`.
+    let mut slack_of_row: Vec<Option<usize>> = vec![None; m];
+    for (i, c) in problem.constraints.iter().enumerate() {
+        let (lo, hi) = match c.relation {
+            Relation::Le => (0.0, f64::INFINITY),
+            Relation::Ge => (f64::NEG_INFINITY, 0.0),
+            Relation::Eq => continue,
+        };
+        slack_of_row[i] = Some(cols.len());
+        cols.push(vec![(i, 1.0)]);
+        lower.push(lo);
+        upper.push(hi);
+        x.push(0.0);
+    }
+
+    // Crash basis from the residual of the nonbasic start point. Rows are
+    // processed in order and each picks the cheapest basic column that makes
+    // it feasible *now*:
+    //
+    // 1. the row's own slack, when the residual fits the slack's bounds —
+    //    already feasible, no phase-1 work;
+    // 2. a structural column (triangular crash): a nonbasic column of the
+    //    row whose shift to absorb the residual stays inside its own bounds
+    //    and does not break any already-crashed row. This is tailored to
+    //    the `z >= |expr|` surrogate pairs the mobile-offset objective is
+    //    made of: the surrogate has coefficient +1 in both of its rows, so
+    //    basing `z` in whichever row is infeasible satisfies the other as
+    //    a side effect;
+    // 3. a signed artificial, costing phase-1 pivots — the fallback.
+    //
+    // Phase 1 then minimises `sum |still-infeasible residuals|` instead of
+    // `sum |all residuals|`; on the mobile-offset LPs the artificial count
+    // drops from O(rows) to a handful, which is what makes the degenerate
+    // figure1-style systems solve in milliseconds instead of grinding.
+    let mut resid = b.clone();
+    for (j, col) in cols.iter().enumerate() {
+        if x[j] != 0.0 {
+            for &(i, a) in col {
+                resid[i] -= a * x[j];
+            }
+        }
+    }
+    // Row-major structural view for the crash scan.
+    let mut rows_structural: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    for (j, col) in cols.iter().enumerate().take(n) {
+        for &(i, a) in col {
+            rows_structural[i].push((j, a));
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum RowState {
+        Unprocessed,
+        SlackBasic,
+        Fixed,
+    }
+    let mut state = vec![RowState::Unprocessed; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut col_basic = vec![false; n];
+
+    for r in 0..m {
+        // 1. Slack crash.
+        if let Some(sc) = slack_of_row[r] {
+            if resid[r] >= lower[sc] && resid[r] <= upper[sc] {
+                x[sc] = resid[r];
+                basis[r] = sc;
+                state[r] = RowState::SlackBasic;
+                continue;
+            }
+        }
+        // 2. Structural crash. Candidates are tried lowest column fan-out
+        // first: a `z >= |expr|` surrogate touches exactly its two rows, so
+        // it is always preferred over a shared offset variable whose shift
+        // would disturb the residuals of every other row it appears in.
+        let mut candidates: Vec<(usize, f64)> = rows_structural[r]
+            .iter()
+            .filter(|&&(j, a)| !col_basic[j] && a.abs() >= 0.1)
+            .map(|&(j, a)| (j, a))
+            .collect();
+        candidates.sort_by_key(|&(j, _)| cols[j].len());
+        let mut chosen: Option<(usize, f64)> = None; // (col, new value)
+        'candidates: for &(j, a) in &candidates {
+            let delta = resid[r] / a;
+            let xj_new = x[j] + delta;
+            if xj_new < lower[j] - EPS || xj_new > upper[j] + EPS {
+                continue;
+            }
+            // The shift must not break rows already made feasible.
+            for &(i, aij) in &cols[j] {
+                if i == r {
+                    continue;
+                }
+                match state[i] {
+                    RowState::Fixed => continue 'candidates,
+                    RowState::SlackBasic => {
+                        let sc = basis[i];
+                        let s_new = x[sc] - aij * delta;
+                        if s_new < lower[sc] - EPS || s_new > upper[sc] + EPS {
+                            continue 'candidates;
+                        }
+                    }
+                    RowState::Unprocessed => {}
+                }
+            }
+            chosen = Some((j, xj_new));
+            break;
+        }
+        if let Some((j, xj_new)) = chosen {
+            let delta = xj_new - x[j];
+            x[j] = xj_new;
+            for &(i, aij) in &cols[j] {
+                resid[i] -= aij * delta;
+                if state[i] == RowState::SlackBasic {
+                    x[basis[i]] -= aij * delta;
+                }
+            }
+            basis[r] = j;
+            col_basic[j] = true;
+            state[r] = RowState::Fixed;
+            continue;
+        }
+        state[r] = RowState::Fixed; // artificial decided below
+    }
+
+    // 3. Artificials for whatever is left.
+    let art0 = cols.len();
+    let mut sign = vec![1.0; m];
+    for r in 0..m {
+        if basis[r] != usize::MAX {
+            // The crash may have nudged a slack-crashed row's value; the
+            // recompute below re-derives all basic values consistently.
+            continue;
+        }
+        sign[r] = if resid[r] < 0.0 { -1.0 } else { 1.0 };
+        basis[r] = cols.len();
+        cols.push(vec![(r, sign[r])]);
+        lower.push(0.0);
+        upper.push(f64::INFINITY);
+        x.push(resid[r].abs());
+    }
+
+    let ncols = cols.len();
+    let mut in_basis = vec![false; ncols];
+    for &j in &basis {
+        in_basis[j] = true;
+    }
+
+    let mut solver = Revised {
+        m,
+        cols,
+        lower,
+        upper,
+        x,
+        b,
+        basis,
+        in_basis,
+        sign,
+        etas: Vec::new(),
+        art0,
+    };
+
+    // The crash basis mixes slack, structural and artificial columns, so it
+    // is not the ±1 diagonal any more; factorise it once up front (the
+    // diagonal stays as the factorisation seed) and derive all basic values
+    // consistently from the nonbasic point.
+    if !solver.refactorize() {
+        return Err(SolveError::IterationLimit);
+    }
+
+    let max_iters = 400 * (ncols + m + 10);
+
+    // --- Phase 1: minimise the artificial sum (skipped when the crash
+    // basis is already feasible). ---
+    if art0 < ncols {
+        let mut phase1_cost = vec![0.0; ncols];
+        for c in phase1_cost.iter_mut().skip(art0) {
+            *c = 1.0;
+        }
+        let phase1 = solver.run(&phase1_cost, max_iters, 4);
+        let art_sum: f64 = (art0..ncols).map(|j| solver.x[j].abs()).sum();
+        let b_scale = solver.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        let feasible = art_sum <= 1e-7 * (1.0 + b_scale);
+        match phase1 {
+            RunResult::Optimal if !feasible => return Err(SolveError::Infeasible),
+            RunResult::Optimal => {}
+            // A stalled phase 1 that nevertheless drove the artificials to
+            // zero found a feasible point; a stall with artificials left is
+            // *not* an infeasibility certificate — report numerical failure
+            // so the caller can fall back, never a spurious Infeasible.
+            RunResult::Stalled if feasible => {}
+            // Phase 1 is bounded below by zero; an unbounded report is
+            // numerical failure, not a certificate.
+            RunResult::Stalled | RunResult::Unbounded | RunResult::IterationLimit => {
+                return Err(SolveError::IterationLimit)
+            }
+        }
+    }
+
+    // --- Phase 2: fix artificials at zero, minimise the user objective. ---
+    solver.drive_out_artificials();
+    for j in art0..ncols {
+        // Pricing never lets a fixed (l == u) column enter; an artificial
+        // still basic on a redundant row stays at zero because the ratio
+        // test evicts it the moment any pivot would move it off its bound.
+        solver.upper[j] = 0.0;
+        if !solver.in_basis[j] {
+            solver.x[j] = 0.0;
+        }
+    }
+
+    let mut phase2_cost = vec![0.0; ncols];
+    for (j, c) in phase2_cost.iter_mut().enumerate().take(n) {
+        *c = problem.vars[j].obj;
+    }
+    match solver.run(&phase2_cost, max_iters, 1) {
+        // A stalled phase 2 is accepted as optimal: the vertex is feasible
+        // and the callers this solver serves re-price the result exactly.
+        RunResult::Optimal | RunResult::Stalled => {}
+        RunResult::Unbounded => return Err(SolveError::Unbounded),
+        RunResult::IterationLimit => return Err(SolveError::IterationLimit),
+    }
+
+    let values: Vec<f64> = solver.x[..n].to_vec();
+    let objective = problem.eval_objective(&values);
+    Ok(Solution { values, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn simple_minimization() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 1.0);
+        let y = p.add_nonneg_var("y", 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Ge, 4.0);
+        p.add_constraint(vec![(x, 3.0), (y, 1.0)], Relation::Ge, 6.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 14.0 / 5.0);
+        assert!(p.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn maximization_via_negated_objective() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", -3.0);
+        let y = p.add_nonneg_var("y", -5.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, -36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 2.0);
+        let y = p.add_nonneg_var("y", 3.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 10.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Eq, 2.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), 6.0);
+        assert_close(s.value(y), 4.0);
+        assert_close(s.objective, 24.0);
+    }
+
+    #[test]
+    fn free_variables_and_negative_optimum() {
+        let mut p = Problem::new();
+        let x = p.add_free_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, -7.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), -7.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(solve(&p).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_free_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 10.0);
+        assert_eq!(solve(&p).unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn box_bounds_without_explicit_rows() {
+        // The whole point of the bounded-variable ratio test: no `x <= u`
+        // rows, the bound is honoured implicitly.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 3.0, -1.0);
+        let y = p.add_var("y", 1.0, 2.0, -1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 2.0);
+        assert_close(s.objective, -5.0);
+    }
+
+    #[test]
+    fn bound_flip_only_problem() {
+        // min -x - y with x,y in [0,1] and a slack constraint that never
+        // binds: the optimum is reached purely through bound flips.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 1.0, -1.0);
+        let y = p.add_var("y", 0.0, 1.0, -1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, -2.0);
+    }
+
+    #[test]
+    fn reflected_variable_only_upper_bound() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", f64::NEG_INFINITY, 9.0, -1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 9.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), 9.0);
+    }
+
+    #[test]
+    fn no_constraints_bound_minimisation() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", -2.0, 5.0, 1.0);
+        let y = p.add_var("y", -2.0, 5.0, -1.0);
+        let z = p.add_var("z", -2.0, 5.0, 0.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), -2.0);
+        assert_close(s.value(y), 5.0);
+        assert!(s.value(z) >= -2.0 && s.value(z) <= 5.0);
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut p = Problem::new();
+        let _ = p.add_free_var("x", 1.0);
+        assert_eq!(solve(&p).unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_beale_terminates() {
+        let mut p = Problem::new();
+        let x1 = p.add_nonneg_var("x1", -0.75);
+        let x2 = p.add_nonneg_var("x2", 150.0);
+        let x3 = p.add_nonneg_var("x3", -0.02);
+        let x4 = p.add_nonneg_var("x4", 6.0);
+        p.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(vec![(x3, 1.0)], Relation::Le, 1.0);
+        let s = solve(&p).unwrap();
+        assert!(p.is_feasible(&s.values, 1e-6));
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 1.0);
+        let y = p.add_nonneg_var("y", 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 0.0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0), (x, 1.0)], Relation::Ge, 4.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), 2.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 1.0);
+        p.add_constraint(vec![(x, -1.0)], Relation::Le, -3.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), 3.0);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        // l == u pins the variable without ever letting it enter the basis.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 2.0, 2.0, 1.0);
+        let y = p.add_nonneg_var("y", 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        let s = solve(&p).unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn many_pivots_trigger_refactorisation() {
+        // A chain of coupled rows long enough to push the eta file past the
+        // refactorisation interval.
+        let n = 150;
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_nonneg_var(format!("x{i}"), 1.0 + (i % 7) as f64))
+            .collect();
+        for i in 0..n - 1 {
+            p.add_constraint(vec![(vars[i], 1.0), (vars[i + 1], 1.0)], Relation::Ge, 2.0);
+        }
+        let s = solve(&p).unwrap();
+        assert!(p.is_feasible(&s.values, 1e-5));
+    }
+
+    #[test]
+    fn moderately_sized_random_feasible_problem() {
+        let n = 40;
+        let m = 30;
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_nonneg_var(format!("x{i}"), ((i * 7 + 3) % 11) as f64 / 7.0 + 0.1))
+            .collect();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 7) as f64 - 3.0
+        };
+        for _ in 0..m {
+            let terms: Vec<_> = vars.iter().map(|&v| (v, next())).collect();
+            let lhs_at_ones: f64 = terms.iter().map(|(_, a)| *a).sum();
+            p.add_constraint(terms, Relation::Le, lhs_at_ones.abs() + 5.0);
+        }
+        let s = solve(&p).unwrap();
+        assert!(p.is_feasible(&s.values, 1e-5));
+        assert!(s.objective.abs() < 1e-6);
+    }
+}

@@ -1,4 +1,11 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex (tableau form).
+//!
+//! Since the revised simplex ([`crate::revised`]) became the production
+//! path, this solver is kept as the *differential-testing oracle* behind
+//! [`Problem::solve_tableau`] — the two implementations share no pivoting
+//! code, so agreement on random LPs (see `tests/solver_differential.rs`)
+//! is strong evidence both are right — and as the last-resort fallback when
+//! the revised solver reports numerical failure.
 //!
 //! The solver converts the user-facing [`Problem`] into standard form
 //! (`min c'x`, `Ax = b`, `x >= 0`):
