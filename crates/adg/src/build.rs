@@ -718,64 +718,18 @@ fn range_extent(t: &AffineTriplet, space: &IterationSpace) -> Affine {
     Affine::constant(t.at(&pts[0]).count())
 }
 
-/// Arrays assigned anywhere in a statement list (recursively).
+/// Arrays assigned anywhere in a statement list (recursively). The canonical
+/// walk lives in [`align_ir::fission`] (loop distribution shares it); this
+/// re-export keeps the ADG builder's public API stable.
 pub fn arrays_assigned(stmts: &[Stmt]) -> BTreeSet<ArrayId> {
-    let mut out = BTreeSet::new();
-    fn go(stmts: &[Stmt], out: &mut BTreeSet<ArrayId>) {
-        for s in stmts {
-            match s {
-                Stmt::Assign { array, .. } => {
-                    out.insert(*array);
-                }
-                Stmt::Loop { body, .. } => go(body, out),
-                Stmt::If {
-                    then_body,
-                    else_body,
-                    ..
-                } => {
-                    go(then_body, out);
-                    go(else_body, out);
-                }
-            }
-        }
-    }
-    go(stmts, &mut out);
-    out
+    align_ir::fission::arrays_assigned(stmts)
 }
 
 /// Arrays read anywhere in a statement list: referenced in right-hand sides,
-/// gathered tables, or partially assigned (the old value is consumed).
+/// gathered tables, or partially assigned (the old value is consumed). The
+/// canonical walk lives in [`align_ir::fission`].
 pub fn arrays_read(stmts: &[Stmt], program: &Program) -> BTreeSet<ArrayId> {
-    let mut out = BTreeSet::new();
-    fn go(stmts: &[Stmt], program: &Program, out: &mut BTreeSet<ArrayId>) {
-        for s in stmts {
-            match s {
-                Stmt::Assign {
-                    array,
-                    section,
-                    rhs,
-                } => {
-                    let mut refs = Vec::new();
-                    rhs.referenced_arrays(&mut refs);
-                    out.extend(refs);
-                    if !section.is_full(program.decl(*array)) {
-                        out.insert(*array);
-                    }
-                }
-                Stmt::Loop { body, .. } => go(body, program, out),
-                Stmt::If {
-                    then_body,
-                    else_body,
-                    ..
-                } => {
-                    go(then_body, program, out);
-                    go(else_body, program, out);
-                }
-            }
-        }
-    }
-    go(stmts, program, &mut out);
-    out
+    align_ir::fission::arrays_read(stmts, program)
 }
 
 #[cfg(test)]

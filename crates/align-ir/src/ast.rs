@@ -431,10 +431,11 @@ impl Program {
         }
     }
 
-    /// Number of top-level statements — the granularity at which the phase
-    /// analysis may cut the program (a top-level loop is an atom; cutting
-    /// inside a loop body would need loop distribution, which the IR does not
-    /// model).
+    /// Number of top-level statements. This is the *coarsest* granularity at
+    /// which the phase analysis may cut the program; loop distribution
+    /// ([`Program::distributable_atoms`]) refines it by fissioning loops at
+    /// distribution-safe points, so boundaries can also land inside loop
+    /// bodies.
     pub fn num_top_level_stmts(&self) -> usize {
         self.body.len()
     }
@@ -465,21 +466,7 @@ impl Program {
     /// returned ranges cover the body exactly (a single `(0, n)` range when
     /// no interior boundary survives, including for the empty program).
     pub fn segment_ranges(&self, boundaries: &[usize]) -> Vec<(usize, usize)> {
-        let n = self.body.len();
-        let mut cuts: Vec<usize> = boundaries
-            .iter()
-            .copied()
-            .filter(|&b| b > 0 && b < n)
-            .collect();
-        cuts.sort_unstable();
-        cuts.dedup();
-        let mut out = Vec::with_capacity(cuts.len() + 1);
-        let mut start = 0;
-        for b in cuts.into_iter().chain(std::iter::once(n)) {
-            out.push((start, b));
-            start = b;
-        }
-        out
+        cut_ranges(self.body.len(), boundaries)
     }
 
     /// Split the program at the given top-level boundaries (see
@@ -522,6 +509,29 @@ impl Program {
         });
         n
     }
+}
+
+/// Contiguous ranges `[start, end)` over `n` items induced by interior cut
+/// points: cuts are deduplicated, sorted, and clamped to `0 < b < n`; the
+/// returned ranges cover `0..n` exactly (a single `(0, n)` range when no
+/// interior cut survives, including for `n == 0`). This is the one shared
+/// boundary-to-ranges convention — [`Program::segment_ranges`] applies it to
+/// top-level statements, the phase pipeline to distributable atoms.
+pub fn cut_ranges(n: usize, boundaries: &[usize]) -> Vec<(usize, usize)> {
+    let mut cuts: Vec<usize> = boundaries
+        .iter()
+        .copied()
+        .filter(|&b| b > 0 && b < n)
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0;
+    for b in cuts.into_iter().chain(std::iter::once(n)) {
+        out.push((start, b));
+        start = b;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,327 @@
+//! Loop distribution (fission) and the distributable-atom view of a program.
+//!
+//! The phase analysis segments a program into *atoms* — units between which
+//! a phase boundary may be cut. Historically the atom was the top-level
+//! statement, so a communication-topology flip buried inside a loop body was
+//! invisible: `do k { row work; column work }` is one atom and gets one
+//! distribution. Loop distribution splits such a loop into consecutive loops
+//! over the same range,
+//!
+//! ```fortran
+//! do k = 1, t            do k = 1, t
+//!   S1          ==>        S1
+//!   S2                   enddo
+//! enddo                  do k = 1, t
+//!                          S2
+//!                        enddo
+//! ```
+//!
+//! which is legal when no dependence between the split groups is reordered.
+//! We detect this **conservatively** from the def/use sets alone (the same
+//! walk the ADG builder uses): a cut is taken only when the groups share no
+//! array that either side assigns — shared *reads* are fine, but any shared
+//! array with a write on either side could carry a loop dependence between
+//! the groups (flow, anti or output), and without dependence distances we
+//! must assume it does. Groups that survive the test are fully independent
+//! computations, so fission trivially preserves semantics. Cut points compose:
+//! if two cuts are individually safe, every pair of resulting groups is
+//! disjoint in the same sense, so taking *all* safe cuts (maximal fission)
+//! is safe.
+//!
+//! [`Program::distributable_atoms`] applies fission recursively and yields
+//! the resulting atom sequence; [`Program::from_atoms`] re-materialises any
+//! contiguous run of atoms as a standalone program (the phase-segmentation
+//! primitive). The statement *multiset* and the per-statement def/use order
+//! are preserved — fission only regroups, never reorders or duplicates (a
+//! property test locks this in).
+
+use crate::ast::{ArrayId, Program, Stmt};
+use std::collections::BTreeSet;
+
+/// Arrays assigned anywhere in a statement list (recursively).
+pub fn arrays_assigned(stmts: &[Stmt]) -> BTreeSet<ArrayId> {
+    let mut out = BTreeSet::new();
+    fn go(stmts: &[Stmt], out: &mut BTreeSet<ArrayId>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { array, .. } => {
+                    out.insert(*array);
+                }
+                Stmt::Loop { body, .. } => go(body, out),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    go(then_body, out);
+                    go(else_body, out);
+                }
+            }
+        }
+    }
+    go(stmts, &mut out);
+    out
+}
+
+/// Arrays read anywhere in a statement list: referenced in right-hand sides,
+/// gathered tables, or partially assigned (the old value is consumed).
+pub fn arrays_read(stmts: &[Stmt], program: &Program) -> BTreeSet<ArrayId> {
+    let mut out = BTreeSet::new();
+    fn go(stmts: &[Stmt], program: &Program, out: &mut BTreeSet<ArrayId>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign {
+                    array,
+                    section,
+                    rhs,
+                } => {
+                    let mut refs = Vec::new();
+                    rhs.referenced_arrays(&mut refs);
+                    out.extend(refs);
+                    if !section.is_full(program.decl(*array)) {
+                        out.insert(*array);
+                    }
+                }
+                Stmt::Loop { body, .. } => go(body, program, out),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    go(then_body, program, out);
+                    go(else_body, program, out);
+                }
+            }
+        }
+    }
+    go(stmts, program, &mut out);
+    out
+}
+
+/// Arrays touched (read or assigned) anywhere in a statement list.
+pub fn arrays_touched(stmts: &[Stmt], program: &Program) -> BTreeSet<ArrayId> {
+    let mut out = arrays_read(stmts, program);
+    out.extend(arrays_assigned(stmts));
+    out
+}
+
+/// The positions `0 < p < body.len()` at which a loop body may be cut by
+/// loop distribution: the prefix and suffix share no array that either side
+/// assigns. Individually safe cuts compose, so taking all of them (maximal
+/// fission) is safe.
+pub fn distribution_cut_points(body: &[Stmt], program: &Program) -> Vec<usize> {
+    let mut cuts = Vec::new();
+    for p in 1..body.len() {
+        let (prefix, suffix) = body.split_at(p);
+        let pre_assigned = arrays_assigned(prefix);
+        let suf_assigned = arrays_assigned(suffix);
+        let pre_touched = arrays_touched(prefix, program);
+        let suf_touched = arrays_touched(suffix, program);
+        let safe = suf_assigned.intersection(&pre_touched).next().is_none()
+            && pre_assigned.intersection(&suf_touched).next().is_none();
+        if safe {
+            cuts.push(p);
+        }
+    }
+    cuts
+}
+
+/// Apply loop distribution to one statement, recursively: loop bodies are
+/// fissioned bottom-up, then the loop itself is split at every safe cut
+/// point. Non-loop statements pass through unchanged. The fissioned loops
+/// reuse the original LIV (they are siblings, not nested, so the subscripts
+/// inside keep meaning the same thing).
+pub fn fission_stmt(stmt: &Stmt, program: &Program) -> Vec<Stmt> {
+    match stmt {
+        Stmt::Loop { liv, range, body } => {
+            let body: Vec<Stmt> = body.iter().flat_map(|s| fission_stmt(s, program)).collect();
+            let cuts = distribution_cut_points(&body, program);
+            let mut out = Vec::with_capacity(cuts.len() + 1);
+            let mut start = 0usize;
+            for cut in cuts.into_iter().chain(std::iter::once(body.len())) {
+                out.push(Stmt::Loop {
+                    liv: *liv,
+                    range: range.clone(),
+                    body: body[start..cut].to_vec(),
+                });
+                start = cut;
+            }
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// One distributable unit of a program: a top-level statement, or one piece
+/// of a fissioned top-level loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Index of the originating top-level statement.
+    pub stmt_index: usize,
+    /// Which fission piece of that statement this is (0 when the statement
+    /// did not split).
+    pub piece: usize,
+    /// The piece itself.
+    pub stmt: Stmt,
+}
+
+impl Program {
+    /// The program's distributable atoms: every top-level statement, with
+    /// loops fissioned (recursively) at every distribution-safe cut point.
+    /// This is the segmentation granularity of the phase analysis — finer
+    /// than [`Program::num_top_level_stmts`], because a topology flip
+    /// *inside* a distribution-safe loop body becomes a cuttable seam.
+    /// Concatenating the atoms in order is semantically equivalent to the
+    /// original program.
+    pub fn distributable_atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        for (stmt_index, stmt) in self.body.iter().enumerate() {
+            for (piece, stmt) in fission_stmt(stmt, self).into_iter().enumerate() {
+                out.push(Atom {
+                    stmt_index,
+                    piece,
+                    stmt,
+                });
+            }
+        }
+        out
+    }
+
+    /// Re-materialise a contiguous run of atoms as a standalone program with
+    /// the same declarations and LIV numbering — the phase-segmentation
+    /// primitive over the fissioned view (the atom-level counterpart of
+    /// [`Program::subprogram`]).
+    pub fn from_atoms(&self, atoms: &[Atom]) -> Program {
+        let (lo, hi) = match (atoms.first(), atoms.last()) {
+            (Some(a), Some(b)) => (a.stmt_index, b.stmt_index + 1),
+            _ => (0, 0),
+        };
+        Program {
+            name: format!("{}[atoms {lo}..{hi}]", self.name),
+            arrays: self.arrays.clone(),
+            body: atoms.iter().map(|a| a.stmt.clone()).collect(),
+            num_livs: self.num_livs,
+        }
+    }
+
+    /// The whole program with loop distribution applied: the body is the
+    /// atom sequence. Semantically equivalent to `self`.
+    pub fn distribute_loops(&self) -> Program {
+        let atoms = self.distributable_atoms();
+        let mut p = self.from_atoms(&atoms);
+        p.name = format!("{}[distributed]", self.name);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    /// Flatten to the sequence of assignment statements, ignoring structure.
+    fn flat_assigns(stmts: &[Stmt]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        fn go(stmts: &[Stmt], out: &mut Vec<Stmt>) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign { .. } => out.push(s.clone()),
+                    Stmt::Loop { body, .. } => go(body, out),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        go(then_body, out);
+                        go(else_body, out);
+                    }
+                }
+            }
+        }
+        go(stmts, &mut out);
+        out
+    }
+
+    #[test]
+    fn independent_bodies_fission() {
+        let p = programs::fft_like_nested(16, 4);
+        let atoms = p.distributable_atoms();
+        assert_eq!(p.num_top_level_stmts(), 1, "one loop at top level");
+        assert!(atoms.len() >= 2, "the loop splits: {atoms:?}");
+        assert!(atoms.iter().all(|a| a.stmt_index == 0));
+        assert_eq!(atoms[0].piece, 0);
+        assert_eq!(atoms[1].piece, 1);
+        p.distribute_loops().validate().unwrap();
+    }
+
+    #[test]
+    fn dependent_bodies_do_not_fission() {
+        // Both statements of the example5 loop read and write V: no cut.
+        let p = programs::example5_default();
+        let atoms = p.distributable_atoms();
+        assert_eq!(atoms.len(), 1, "{atoms:?}");
+    }
+
+    #[test]
+    fn fission_preserves_assignment_sequence() {
+        for p in [
+            programs::fft_like_nested(16, 4),
+            programs::multi_array_pipeline(16, 4),
+            programs::multigrid_vcycle(16, 2, 2),
+            programs::example5_default(),
+            programs::conditional_pipeline(16, 4, 0.5),
+        ] {
+            let distributed = p.distribute_loops();
+            assert_eq!(
+                flat_assigns(&p.body),
+                flat_assigns(&distributed.body),
+                "{}",
+                p.name
+            );
+            distributed.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cut_points_respect_write_sharing() {
+        // fft_like's two top-level loops share A with writes on both sides:
+        // gluing them into one loop body must yield no cut.
+        let p = programs::fft_like(16, 4);
+        let (l1, l2) = (&p.body[0], &p.body[1]);
+        let (b1, b2) = match (l1, l2) {
+            (Stmt::Loop { body: b1, .. }, Stmt::Loop { body: b2, .. }) => (b1, b2),
+            _ => panic!("expected two loops"),
+        };
+        let glued: Vec<Stmt> = b1.iter().chain(b2.iter()).cloned().collect();
+        assert!(distribution_cut_points(&glued, &p).is_empty());
+    }
+
+    #[test]
+    fn adjacent_atoms_from_one_loop_share_only_reads() {
+        for p in [
+            programs::fft_like_nested(16, 4),
+            programs::multi_array_pipeline(16, 4),
+        ] {
+            let atoms = p.distributable_atoms();
+            for w in atoms.windows(2) {
+                if w[0].stmt_index != w[1].stmt_index {
+                    continue;
+                }
+                let a = std::slice::from_ref(&w[0].stmt);
+                let b = std::slice::from_ref(&w[1].stmt);
+                assert!(
+                    arrays_assigned(b)
+                        .intersection(&arrays_touched(a, &p))
+                        .next()
+                        .is_none()
+                        && arrays_assigned(a)
+                            .intersection(&arrays_touched(b, &p))
+                            .next()
+                            .is_none(),
+                    "{}: unsafe cut survived",
+                    p.name
+                );
+            }
+        }
+    }
+}

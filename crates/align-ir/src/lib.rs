@@ -31,6 +31,7 @@
 pub mod affine;
 pub mod ast;
 pub mod builder;
+pub mod fission;
 pub mod iterspace;
 pub mod programs;
 pub mod triplet;
@@ -39,6 +40,7 @@ pub mod weight;
 pub use affine::{Affine, LivId};
 pub use ast::{ArrayDecl, ArrayId, BinOp, Expr, Program, Section, SectionSpec, Stmt, UnaryOp};
 pub use builder::ProgramBuilder;
+pub use fission::Atom;
 pub use iterspace::IterationSpace;
 pub use triplet::Triplet;
 pub use weight::WeightPoly;

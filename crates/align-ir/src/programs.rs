@@ -343,6 +343,151 @@ pub fn fft_like(n: i64, trips: i64) -> Program {
     p
 }
 
+/// The nested-loop variant of [`fft_like`]: the row→column flip lives
+/// *inside* one loop body, so phase detection at top-level granularity sees
+/// a single atom and finds nothing — only loop distribution exposes the
+/// seam. The row work updates `A`, the column work updates `B` (disjoint
+/// writes make the fission safe), and both read the same read-only operand
+/// `D`, which is therefore live across the fissioned boundary and must be
+/// redistributed when the phases pick different grids.
+///
+/// ```fortran
+/// real A(n,n), B(n,n), D(n,n)
+/// do k = 1, trips
+///   A(1:n,1:n-1) = A(1:n,1:n-1) + A(1:n,2:n) + D(1:n,1:n-1)   ! row phase
+///   B(1:n-1,1:n) = B(1:n-1,1:n) + B(2:n,1:n) + D(1:n-1,1:n)   ! column phase
+/// enddo
+/// ```
+///
+/// The first statement's irreducible shift lives on template axis 1, the
+/// second's on axis 0: after fission the two sub-loops conflict and the
+/// dynamic pipeline pays one all-to-all for `D` at the boundary instead of
+/// losing one of the phases every iteration.
+pub fn fft_like_nested(n: i64, trips: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("fft_like_nested(n={n},trips={trips})"));
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let d = b.array("D", &[n, n]);
+    let _k = b.begin_loop(1, trips);
+    let left = b.sec_ref(a, vec![rng(1, n), rng(1, n - 1)]);
+    let right = b.sec_ref(a, vec![rng(1, n), rng(2, n)]);
+    let d_row = b.sec_ref(d, vec![rng(1, n), rng(1, n - 1)]);
+    b.assign(
+        a,
+        Section::new(vec![rng(1, n), rng(1, n - 1)]),
+        add(add(left, right), d_row),
+    );
+    let upper = b.sec_ref(bb, vec![rng(1, n - 1), rng(1, n)]);
+    let lower = b.sec_ref(bb, vec![rng(2, n), rng(1, n)]);
+    let d_col = b.sec_ref(d, vec![rng(1, n - 1), rng(1, n)]);
+    b.assign(
+        bb,
+        Section::new(vec![rng(1, n - 1), rng(1, n)]),
+        add(add(upper, lower), d_col),
+    );
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("fft_like_nested must be well formed");
+    p
+}
+
+/// A conditional-heavy workload exercising control weights: each trip takes
+/// the cheap nearest-neighbour branch with probability `prob_then`, or an
+/// axis-permuting transpose branch otherwise. The expected-cost model
+/// (Section 6's control weights) scales each branch's communication by its
+/// probability, so the best alignment/distribution shifts with `prob_then`.
+///
+/// ```fortran
+/// real A(n,n), B(n,n)
+/// do k = 1, trips
+///   if (...) then                                ! taken with prob_then
+///     A(1:n,1:n-1) = A(1:n,1:n-1) + A(1:n,2:n)   ! row shifts
+///   else
+///     A = A + transpose(B)                       ! axis permutation
+///   endif
+/// enddo
+/// ```
+pub fn conditional_pipeline(n: i64, trips: i64, prob_then: f64) -> Program {
+    let mut b = ProgramBuilder::new(format!(
+        "conditional_pipeline(n={n},trips={trips},p={prob_then})"
+    ));
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let _k = b.begin_loop(1, trips);
+    b.begin_if(prob_then);
+    let left = b.sec_ref(a, vec![rng(1, n), rng(1, n - 1)]);
+    let right = b.sec_ref(a, vec![rng(1, n), rng(2, n)]);
+    b.assign(
+        a,
+        Section::new(vec![rng(1, n), rng(1, n - 1)]),
+        add(left, right),
+    );
+    b.begin_else();
+    let a_ref = b.full_ref(a);
+    let b_ref = b.full_ref(bb);
+    b.assign_full(a, add(a_ref, transpose(b_ref)));
+    b.end_if();
+    b.end_loop();
+    let p = b.finish();
+    p.validate()
+        .expect("conditional_pipeline must be well formed");
+    p
+}
+
+/// A pipeline in which *different arrays* want *different* phase boundaries:
+/// `A` flips from row to column work after the first loop, `B` only after
+/// the second. Each loop body pairs one `A` statement with one `B`
+/// statement (disjoint writes, so loop distribution splits them), leaving
+/// the phase analysis to arbitrate boundaries no single array agrees on.
+///
+/// ```fortran
+/// real A(n,n), B(n,n)
+/// do k = 1, trips   ! L1: A rows,    B rows
+/// do k = 1, trips   ! L2: A columns, B rows    (A has flipped)
+/// do k = 1, trips   ! L3: A columns, B columns (now B flips too)
+/// ```
+pub fn multi_array_pipeline(n: i64, trips: i64) -> Program {
+    let mut b = ProgramBuilder::new(format!("multi_array_pipeline(n={n},trips={trips})"));
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let row = |b: &mut ProgramBuilder, arr| {
+        let left = b.sec_ref(arr, vec![rng(1, n), rng(1, n - 1)]);
+        let right = b.sec_ref(arr, vec![rng(1, n), rng(2, n)]);
+        b.assign(
+            arr,
+            Section::new(vec![rng(1, n), rng(1, n - 1)]),
+            add(left, right),
+        );
+    };
+    let col = |b: &mut ProgramBuilder, arr| {
+        let upper = b.sec_ref(arr, vec![rng(1, n - 1), rng(1, n)]);
+        let lower = b.sec_ref(arr, vec![rng(2, n), rng(1, n)]);
+        b.assign(
+            arr,
+            Section::new(vec![rng(1, n - 1), rng(1, n)]),
+            add(upper, lower),
+        );
+    };
+    for (a_is_row, b_is_row) in [(true, true), (false, true), (false, false)] {
+        let _k = b.begin_loop(1, trips);
+        if a_is_row {
+            row(&mut b, a);
+        } else {
+            col(&mut b, a);
+        }
+        if b_is_row {
+            row(&mut b, bb);
+        } else {
+            col(&mut b, bb);
+        }
+        b.end_loop();
+    }
+    let p = b.finish();
+    p.validate()
+        .expect("multi_array_pipeline must be well formed");
+    p
+}
+
 /// A multigrid-style V-cycle fragment: fine-grid relaxation, restriction to a
 /// coarse array, coarse-grid relaxation, and prolongation back. The fine and
 /// coarse phases touch templates of very different extents, so the best
@@ -404,6 +549,20 @@ pub fn multigrid_vcycle(n: i64, fine_steps: i64, coarse_steps: i64) -> Program {
     let p = b.finish();
     p.validate().expect("multigrid_vcycle must be well formed");
     p
+}
+
+/// The phase-flip workload suite with stable labels: every built-in program
+/// whose communication topology changes mid-program (or may, depending on
+/// control weights). Tests and benches of the dynamic-redistribution
+/// pipeline iterate this list rather than hand-rolling their own.
+pub fn phase_workloads() -> Vec<(&'static str, Program)> {
+    vec![
+        ("fft_like", fft_like(32, 40)),
+        ("fft_like_nested", fft_like_nested(32, 40)),
+        ("multi_array_pipeline", multi_array_pipeline(32, 8)),
+        ("conditional_pipeline", conditional_pipeline(32, 8, 0.7)),
+        ("multigrid_vcycle", multigrid_vcycle(32, 4, 4)),
+    ]
 }
 
 /// All paper programs with their default parameters, with stable labels.
@@ -496,6 +655,35 @@ mod tests {
         let m = multigrid_vcycle(16, 3, 3);
         m.validate().unwrap();
         assert_eq!(m.num_top_level_stmts(), 4);
+        for (name, p) in phase_workloads() {
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn nested_flip_is_one_statement_with_two_atoms() {
+        let p = fft_like_nested(16, 4);
+        assert_eq!(p.num_top_level_stmts(), 1, "the flip hides in one loop");
+        assert_eq!(p.distributable_atoms().len(), 2, "fission exposes it");
+    }
+
+    #[test]
+    fn conditional_pipeline_carries_control_weight() {
+        let p = conditional_pipeline(16, 4, 0.25);
+        let mut prob = None;
+        p.walk_stmts(|s| {
+            if let Stmt::If { prob_then, .. } = s {
+                prob = Some(*prob_then);
+            }
+        });
+        assert_eq!(prob, Some(0.25));
+    }
+
+    #[test]
+    fn multi_array_pipeline_splits_every_loop() {
+        let p = multi_array_pipeline(16, 4);
+        assert_eq!(p.num_top_level_stmts(), 3);
+        assert_eq!(p.distributable_atoms().len(), 6, "A and B parts split");
     }
 
     #[test]

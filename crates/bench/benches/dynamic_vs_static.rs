@@ -11,8 +11,20 @@ fn main() {
         ("fft_like/32x40", align_ir::programs::fft_like(32, 40)),
         ("fft_like/64x20", align_ir::programs::fft_like(64, 20)),
         (
+            "fft_like_nested/32x40",
+            align_ir::programs::fft_like_nested(32, 40),
+        ),
+        (
             "multigrid/32",
             align_ir::programs::multigrid_vcycle(32, 4, 4),
+        ),
+        (
+            "multi_array/32x8",
+            align_ir::programs::multi_array_pipeline(32, 8),
+        ),
+        (
+            "conditional/32x8",
+            align_ir::programs::conditional_pipeline(32, 8, 0.7),
         ),
     ];
     let mut group = BenchGroup::new("dynamic_vs_static");

@@ -1,0 +1,29 @@
+//! The phase-analysis pipeline end to end: fission, single-pass atom
+//! analysis, per-phase ranking and the layered DAG on the phase-flip
+//! workload suite. This is the bench the single-analysis refactor (one
+//! `align_program` per atom) is gated on.
+
+use bench::BenchGroup;
+use phases::{align_then_distribute_dynamic, DynamicConfig};
+
+fn main() {
+    let workloads = [
+        ("fft_like/32x40", align_ir::programs::fft_like(32, 40)),
+        (
+            "fft_like_nested/32x40",
+            align_ir::programs::fft_like_nested(32, 40),
+        ),
+        (
+            "multigrid/32",
+            align_ir::programs::multigrid_vcycle(32, 4, 4),
+        ),
+    ];
+    let mut group = BenchGroup::new("phase_pipeline");
+    for (name, program) in &workloads {
+        let cfg = DynamicConfig::default();
+        group.bench(format!("{name}/8p"), || {
+            align_then_distribute_dynamic(program, 8, &cfg)
+        });
+    }
+    group.finish();
+}

@@ -25,4 +25,6 @@ pub mod machine;
 pub mod simulate;
 
 pub use machine::{Machine, TemplateDistribution};
-pub use simulate::{redistribution_traffic, simulate, EdgeTraffic, SimOptions, SimReport};
+pub use simulate::{
+    redistribution_traffic, simulate, EdgeTraffic, RestingPlacement, SimOptions, SimReport,
+};

@@ -8,14 +8,42 @@ use alignment_core::position::{OffsetAlign, PortAlignment, ProgramAlignment};
 use std::collections::HashSet;
 
 /// Knobs bounding the cost of a simulation run.
+///
+/// # Sampling and its error bound
+///
+/// Objects (and edge iteration spaces) whose total count is at most
+/// [`SimOptions::exact_below`] are enumerated **exactly** — every element and
+/// every iteration point is visited and the reported traffic is not an
+/// estimate. Beyond the threshold the enumeration is strided down to the
+/// respective cap and every visited point is scaled up by
+/// `total / sampled`.
+///
+/// The sample is a deterministic lattice (every `s`-th index per axis, `s =
+/// ⌈(total/budget)^(1/rank)⌉`), not a random draw, so the error is
+/// systematic, not probabilistic: ownership under a block-cyclic layout is
+/// piecewise constant on runs of `block` consecutive cells, and a strided
+/// scan misclassifies at most the elements lying within one stride of a
+/// run boundary. Per distributed axis of extent `e` with per-processor run
+/// length `b`, that is a fraction of at most `min(1, s/b)` of the axis —
+/// i.e. the *relative* error of each traffic count is bounded by
+/// `Σ_axis s/b_axis` (and is exactly 0 when `s = 1`). Shift-style traffic
+/// that moves an `Θ(1/b)` boundary fraction is therefore resolved reliably
+/// only while `s ≲ b`; raise the caps (or [`SimOptions::exact`]) when
+/// pricing fine-grained layouts of very large objects.
 #[derive(Debug, Clone, Copy)]
 pub struct SimOptions {
-    /// Maximum number of elements enumerated per object per iteration; larger
-    /// objects are sampled and the counts scaled up.
+    /// Maximum number of elements enumerated per object per iteration;
+    /// objects larger than [`SimOptions::exact_below`] are strided down to
+    /// this budget and the counts scaled up.
     pub max_elements_per_object: usize,
     /// Maximum number of iteration points enumerated per edge; longer loops
-    /// are sampled and the counts scaled up.
+    /// (above [`SimOptions::exact_below`]) are sampled and scaled up.
     pub max_iterations_per_edge: usize,
+    /// Exact-iteration threshold: objects and iteration spaces whose total
+    /// count is at most this are always enumerated exactly, even when the
+    /// respective cap is smaller. Set to 0 to make the caps unconditional
+    /// (pure sampling), or to `usize::MAX` for fully exact runs.
+    pub exact_below: usize,
 }
 
 impl Default for SimOptions {
@@ -23,6 +51,49 @@ impl Default for SimOptions {
         SimOptions {
             max_elements_per_object: 4096,
             max_iterations_per_edge: 512,
+            exact_below: 4096,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Fully exact simulation: no sampling anywhere, whatever the object or
+    /// loop sizes. The cost is linear in `Σ_edges |iterations| × |elements|`.
+    pub fn exact() -> Self {
+        SimOptions {
+            max_elements_per_object: usize::MAX,
+            max_iterations_per_edge: usize::MAX,
+            exact_below: usize::MAX,
+        }
+    }
+
+    /// Pure sampling with explicit budgets: the exact-iteration threshold is
+    /// disabled, so the caps apply unconditionally (used by tests that
+    /// exercise the sampling path itself).
+    pub fn sampled(max_elements_per_object: usize, max_iterations_per_edge: usize) -> Self {
+        SimOptions {
+            max_elements_per_object,
+            max_iterations_per_edge,
+            exact_below: 0,
+        }
+    }
+
+    /// The element budget for an object of `total` elements: the object
+    /// itself when exact, the cap otherwise.
+    pub(crate) fn element_budget(&self, total: usize) -> usize {
+        if total <= self.exact_below {
+            total.max(1)
+        } else {
+            self.max_elements_per_object
+        }
+    }
+
+    /// The iteration budget for an edge traversed `total` times.
+    pub(crate) fn iteration_budget(&self, total: usize) -> usize {
+        if total <= self.exact_below {
+            total.max(1)
+        } else {
+            self.max_iterations_per_edge
         }
     }
 }
@@ -39,7 +110,8 @@ pub struct EdgeTraffic {
 }
 
 impl EdgeTraffic {
-    fn add(&mut self, other: &EdgeTraffic) {
+    /// Accumulate another edge's traffic into this one.
+    pub fn add(&mut self, other: &EdgeTraffic) {
         self.element_moves += other.element_moves;
         self.messages += other.messages;
         self.broadcast_elements += other.broadcast_elements;
@@ -111,7 +183,9 @@ fn simulate_edge<D: TemplateDistribution + ?Sized>(
     }
     // Sample iterations if the loop is long, streaming the points rather
     // than materialising the whole enumeration.
-    let iter_stride = num_points.div_ceil(opts.max_iterations_per_edge).max(1);
+    let iter_stride = num_points
+        .div_ceil(opts.iteration_budget(num_points))
+        .max(1);
     let iter_scale = iter_stride as f64;
     let mut idx = 0usize;
 
@@ -197,7 +271,8 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
     let mut broadcast = 0.0;
     let mut pairs: HashSet<(usize, usize)> = HashSet::new();
 
-    for_each_sampled_index(extents, opts.max_elements_per_object, |index, scale| {
+    let total: usize = extents.iter().product::<i64>().max(1) as usize;
+    for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
         let src_pos = src.position_of(index, point);
         let src_owner = machine.owner(&src_pos);
         if dst_replicated {
@@ -276,7 +351,8 @@ where
     let mut broadcast = 0.0;
     let mut pairs: HashSet<(usize, usize)> = HashSet::new();
 
-    for_each_sampled_index(extents, opts.max_elements_per_object, |index, scale| {
+    let total: usize = extents.iter().product::<i64>().max(1) as usize;
+    for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
         let src_pos = src.position_of(index, point);
         if spread {
             broadcast += scale;
@@ -305,6 +381,50 @@ where
         element_moves: moves,
         messages: pairs.len() as f64,
         broadcast_elements: broadcast,
+    }
+}
+
+/// Where an object rests: an alignment onto the template combined with a
+/// distribution of the template onto processors. The phase pipeline's
+/// layered-DAG edges price redistributions between *chosen* resting
+/// placements — which, with phase-aware placement, need not be the sink and
+/// source placements of the adjacent phases — so the pairing is first-class
+/// here rather than four loose arguments.
+#[derive(Clone, Copy)]
+pub struct RestingPlacement<'a> {
+    /// The object's alignment onto the template.
+    pub alignment: &'a PortAlignment,
+    /// The distribution of the template onto the machine.
+    pub distribution: &'a dyn TemplateDistribution,
+}
+
+impl<'a> RestingPlacement<'a> {
+    /// Pair an alignment with a distribution.
+    pub fn new(alignment: &'a PortAlignment, distribution: &'a dyn TemplateDistribution) -> Self {
+        RestingPlacement {
+            alignment,
+            distribution,
+        }
+    }
+
+    /// Exact (sampled) traffic of moving an object with the given extents
+    /// from this resting placement to `dst` — a thin, self-describing front
+    /// end to [`redistribution_traffic`] at the loop-invariant point.
+    pub fn traffic_to(
+        &self,
+        dst: &RestingPlacement<'_>,
+        extents: &[i64],
+        opts: SimOptions,
+    ) -> EdgeTraffic {
+        redistribution_traffic(
+            extents,
+            self.alignment,
+            self.distribution,
+            dst.alignment,
+            dst.distribution,
+            &[],
+            opts,
+        )
     }
 }
 
@@ -485,15 +605,7 @@ mod tests {
         a.ports[pid.0].offsets[0] = OffsetAlign::Fixed(Affine::constant(1));
         let m = Machine::cyclic(vec![4]);
         let exact = simulate(&adg, &a, &m, SimOptions::default());
-        let sampled = simulate(
-            &adg,
-            &a,
-            &m,
-            SimOptions {
-                max_elements_per_object: 64,
-                max_iterations_per_edge: 512,
-            },
-        );
+        let sampled = simulate(&adg, &a, &m, SimOptions::sampled(64, 512));
         let ratio = sampled.total.element_moves / exact.total.element_moves;
         assert!(ratio > 0.8 && ratio < 1.2, "sampled/exact = {ratio}");
     }

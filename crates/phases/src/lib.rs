@@ -6,22 +6,31 @@
 //! one distribution is good everywhere. This crate adds the decision layer
 //! the paper defers: it
 //!
-//! 1. [`segment`] — partitions the program's top-level statement sequence
-//!    into *phases* at communication-topology change points, detected from
-//!    the per-segment alignment's residual traffic (which template axis the
-//!    data moves along, from the ADG edge weights) and from axis-permutation
-//!    flips of shared arrays;
-//! 2. ranks the top-K [`distrib::ProgramDistribution`] candidates per phase
-//!    by reusing the distribution solver on each phase in isolation;
+//! 1. [`segment`] — fissions the program into *distributable atoms* (loop
+//!    distribution, [`align_ir::fission`]), aligns each atom **exactly
+//!    once** into an [`AtomAnalysis`], and partitions the atom sequence into
+//!    *phases* at communication-topology change points, detected from each
+//!    atom's residual traffic (which template axis the data moves along,
+//!    from the ADG edge weights) and from axis-permutation flips of shared
+//!    arrays — so a topology flip *inside* a distribution-safe loop body is
+//!    a cuttable seam;
+//! 2. ranks a shared pool of [`distrib::ProgramDistribution`] signatures per
+//!    phase by pricing each atom's single analysis (no phase is ever
+//!    re-aligned), and prunes each phase's candidate layer by *dominance* —
+//!    a candidate survives only if no other candidate is simultaneously no
+//!    worse on the in-phase cost and on every boundary-redistribution edge;
 //! 3. [`redist`] — prices the inter-phase redistribution edges
 //!    (BLOCK ↔ CYCLIC remaps, transpose-style all-to-alls, replication
 //!    spreads and collapses) with a [`RedistCost`] model consistent with
 //!    [`distrib::DistribCostParams`], backed by the exact
-//!    [`commsim::redistribution_traffic`] owner comparison;
+//!    [`commsim::redistribution_traffic`] owner comparison against the
+//!    *chosen resting placement* ([`commsim::RestingPlacement`]) — an array
+//!    untouched by a boundary's source phase may rest in either adjacent
+//!    candidate's layout;
 //! 4. [`dynamic`] — solves the resulting layered DAG (one layer per phase,
-//!    one node per ranked candidate, redistribution costs on the edges) by
-//!    shortest path, emitting a [`DynamicDistribution`]: a distribution per
-//!    phase plus explicit redistribution steps between them;
+//!    one node per surviving candidate, redistribution costs on the edges)
+//!    by shortest path, emitting a [`DynamicDistribution`]: a distribution
+//!    per phase plus explicit redistribution steps between them;
 //! 5. [`pipeline`] — [`align_then_distribute_dynamic`], the three-stage
 //!    driver (align → distribute per phase → redistribute between phases),
 //!    with [`simulate_dynamic`] validating the whole plan end to end in the
@@ -37,5 +46,8 @@ pub use pipeline::{
     align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
     DynamicPipelineResult, DynamicSimReport, PhaseResult,
 };
-pub use redist::{price_redistribution, RedistCost};
-pub use segment::{detect_phase_boundaries, PhaseSignature, SegmentationConfig};
+pub use redist::{price_redistribution, price_resting, RedistCost};
+pub use segment::{
+    analyze_atoms, detect_boundaries, detect_phase_boundaries, AtomAnalysis, PhaseSignature,
+    SegmentationConfig,
+};

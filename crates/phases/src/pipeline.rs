@@ -1,45 +1,60 @@
 //! The three-stage pipeline: align → distribute per phase → redistribute
-//! between phases.
+//! between phases — built on a **single analysis per atom**.
 //!
-//! [`align_then_distribute_dynamic`] is the dynamic counterpart of
-//! [`distrib::align_then_distribute`]: it cuts the program into phases,
-//! aligns and distribution-solves each phase in isolation, prices the
-//! redistribution edges between consecutive phases' candidate distributions,
-//! and solves the layered DAG for the cheapest end-to-end plan. The result
-//! carries the whole-program static solution alongside, so callers (and the
+//! [`align_then_distribute_dynamic`] fissions the program into distributable
+//! atoms (loop distribution, [`align_ir::fission`]), aligns each atom
+//! exactly once ([`crate::segment::analyze_atoms`]), and threads that one
+//! [`AtomAnalysis`] through everything downstream: boundary detection reads
+//! the signatures, per-phase candidate ranking prices distributions against
+//! the atoms' ADGs, boundary pricing reads the resting port alignments, and
+//! the simulator replays the same ADGs. The result carries the
+//! whole-program static solution alongside, so callers (and the
 //! `dynamic_vs_static` experiments) can compare both under the exact
 //! communication simulator: [`simulate_dynamic`] plays the per-phase
 //! programs *and* the redistribution steps through `commsim`.
+//!
+//! Candidate layers are kept lean by **dominance pruning** instead of the
+//! former top-K + cross-seeding: every phase prices the same shared pool of
+//! (grid, layout) signatures (so "stay put" is always an option), and a
+//! candidate is dropped when another candidate of the same layer is at
+//! least as good on the in-phase cost *and* on every boundary-redistribution
+//! edge simultaneously.
 
 use crate::dynamic::{solve_dynamic, DynamicDistribution, PhaseCandidates, RedistStep};
-use crate::redist::{price_redistribution, RedistCost};
-use crate::segment::{detect_phase_boundaries, SegmentationConfig};
-use adg::{build::arrays_assigned, build::arrays_read, Adg, NodeKind, PortId};
+use crate::redist::{price_resting, RedistCost};
+use crate::segment::{analyze_atoms, detect_boundaries, AtomAnalysis, SegmentationConfig};
+use adg::{Adg, NodeKind, PortId};
 use align_ir::{ArrayId, Program};
-use alignment_core::pipeline::{align_program, AlignmentResult, PipelineConfig};
+use alignment_core::pipeline::PipelineConfig;
 use alignment_core::position::PortAlignment;
-use commsim::{redistribution_traffic, simulate, SimOptions, SimReport};
+use commsim::{redistribution_traffic, simulate, RestingPlacement, SimOptions, SimReport};
 use distrib::{
-    align_then_distribute, solve_distribution, DistributionCostModel, DistributionReport,
-    FullPipelineConfig, FullPipelineResult, Layout, ProgramDistribution, SolveConfig,
+    align_then_distribute, solve_distribution, DistributionCost, DistributionReport,
+    FullPipelineConfig, FullPipelineResult, Layout, ProgramDistribution, RankedDistribution,
+    SolveConfig,
 };
 use std::collections::BTreeSet;
 
 /// Configuration of the dynamic pipeline.
 #[derive(Debug, Clone)]
 pub struct DynamicConfig {
-    /// Alignment configuration (used for each phase and for the static
+    /// Alignment configuration (used for each atom and for the static
     /// baseline).
     pub alignment: PipelineConfig,
-    /// Distribution search per phase, minus the processor count. `None` keys
+    /// Distribution search per atom, minus the processor count. `None` keys
     /// every knob off [`SolveConfig::new`].
     pub distribution: Option<SolveConfig>,
-    /// How many ranked candidates per phase enter the layered DAG. Small
-    /// values keep the boundary pricing quadratic-in-K cheap; the per-phase
-    /// optimum is always included.
-    pub top_k: usize,
-    /// Explicit phase boundaries (top-level statement indices), overriding
-    /// detection. `None` runs [`detect_phase_boundaries`].
+    /// Safety bound on the candidate layer size per phase, applied (by
+    /// ascending in-phase cost) before boundary pricing; dominance pruning
+    /// then shrinks the layers further. Every phase's in-phase optimum is
+    /// exempt — it stays in every layer even past the cap, so "staying put"
+    /// on a favourite is always priced (layers are therefore bounded by
+    /// `cap + #phases`). Keeps the quadratic-in-K boundary pricing bounded
+    /// on programs with many phases.
+    pub max_candidates_per_phase: usize,
+    /// Explicit phase boundaries — indices into the **distributable atom**
+    /// sequence ([`Program::distributable_atoms`]) — overriding detection.
+    /// `None` runs [`detect_boundaries`].
     pub boundaries: Option<Vec<usize>>,
     /// Residual-volume threshold below which an atom is neutral during
     /// boundary detection.
@@ -53,7 +68,7 @@ impl Default for DynamicConfig {
         DynamicConfig {
             alignment: PipelineConfig::default(),
             distribution: None,
-            top_k: 4,
+            max_candidates_per_phase: 12,
             boundaries: None,
             neutral_volume: 0.0,
             sim: SimOptions::default(),
@@ -73,19 +88,80 @@ impl DynamicConfig {
     }
 }
 
-/// Everything one phase produced.
+/// Everything one phase produced. A phase is a contiguous run of atoms;
+/// everything here is assembled from the atoms' single analyses — the phase
+/// is never re-aligned as a whole.
 #[derive(Debug, Clone)]
 pub struct PhaseResult {
-    /// Top-level statement range `[start, end)` of the phase.
+    /// Atom-index range `[start, end)` of the phase within the program's
+    /// distributable-atom sequence.
+    pub atom_range: (usize, usize),
+    /// Top-level statement span `[start, end)` the phase's atoms originate
+    /// from. Spans of adjacent phases overlap when loop distribution split
+    /// one statement across a boundary.
     pub range: (usize, usize),
-    /// The phase as a standalone program.
-    pub program: Program,
-    /// Its ADG.
-    pub adg: Adg,
-    /// Its alignment.
-    pub alignment: AlignmentResult,
-    /// Its ranked distribution report.
+    /// The phase's atoms, each carrying its one-and-only analysis.
+    pub atoms: Vec<AtomAnalysis>,
+    /// Per-atom distribution searches (candidate generation).
+    pub atom_reports: Vec<DistributionReport>,
+    /// The phase-level report: the shared signature pool priced for this
+    /// phase (per-atom costs summed), ranked ascending. `best()` is the
+    /// phase's in-phase optimum.
     pub report: DistributionReport,
+}
+
+impl PhaseResult {
+    /// The arrays this phase reads or assigns.
+    pub fn referenced(&self) -> BTreeSet<ArrayId> {
+        let mut out = BTreeSet::new();
+        for a in &self.atoms {
+            out.extend(a.referenced.iter().copied());
+        }
+        out
+    }
+}
+
+/// A (grid, per-axis layout) signature — the portable identity of a
+/// distribution, instantiable on any atom's template extents.
+type Sig = (Vec<usize>, Vec<Layout>);
+
+/// Per-array redistribution prices of one boundary edge: `(index into the
+/// boundary's live list, cost)`.
+type EdgePrices = Vec<(usize, RedistCost)>;
+
+/// Adapt a signature to a template of rank `rank`: missing axes get one
+/// processor (BLOCK), excess grid dimensions are folded into the last kept
+/// one (preserving the processor count).
+fn adapt_sig(sig: &Sig, rank: usize) -> Sig {
+    let (grid, layouts) = sig;
+    let rank = rank.max(1);
+    match grid.len().cmp(&rank) {
+        std::cmp::Ordering::Equal => sig.clone(),
+        std::cmp::Ordering::Less => {
+            let mut g = grid.clone();
+            let mut l = layouts.clone();
+            g.resize(rank, 1);
+            l.resize(rank, Layout::Block);
+            (g, l)
+        }
+        std::cmp::Ordering::Greater => {
+            let mut g = grid[..rank].to_vec();
+            let folded: usize = grid[rank - 1..].iter().product();
+            g[rank - 1] = folded;
+            (g, layouts[..rank].to_vec())
+        }
+    }
+}
+
+/// Instantiate a signature on a concrete template.
+fn instantiate(sig: &Sig, extents: &[i64]) -> ProgramDistribution {
+    let (grid, layouts) = adapt_sig(sig, extents.len());
+    ProgramDistribution::new(extents, &grid, &layouts)
+}
+
+/// The portable signature of a concrete distribution.
+fn sig_of(d: &ProgramDistribution) -> Sig {
+    (d.grid(), d.layouts())
 }
 
 /// The dynamic pipeline's full output.
@@ -95,11 +171,13 @@ pub struct DynamicPipelineResult {
     pub nprocs: usize,
     /// Per-phase analyses, in program order.
     pub phases: Vec<PhaseResult>,
-    /// Arrays alive across each boundary: `(array, name, extents)`.
+    /// Arrays priced at each boundary: `(array, name, extents)` — the arrays
+    /// whose *next* use after the boundary is the immediately following
+    /// phase (gaps through untouched phases are priced once, where the
+    /// array comes back into use).
     pub live: Vec<Vec<(ArrayId, String, Vec<i64>)>>,
-    /// The candidate layer of each phase the DAG chose from (each phase's
-    /// top-K cross-seeded with every other phase's top-K, so "stay put" is
-    /// always an option the redistribution edge had to beat).
+    /// The candidate layer of each phase the DAG chose from, after
+    /// dominance pruning of the shared signature pool.
     pub layers: Vec<PhaseCandidates>,
     /// The chosen dynamic distribution.
     pub dynamic: DynamicDistribution,
@@ -115,11 +193,16 @@ impl DynamicPipelineResult {
     pub fn static_model_cost(&self) -> f64 {
         self.static_result.best().cost.total()
     }
+
+    /// Total number of distributable atoms across all phases.
+    pub fn num_atoms(&self) -> usize {
+        self.phases.iter().map(|p| p.atoms.len()).sum()
+    }
 }
 
-/// The port where an array rests at a phase boundary: the sink side when the
-/// phase assigns it, otherwise its source.
-fn boundary_port(adg: &Adg, array: ArrayId, at_end: bool) -> Option<PortId> {
+/// The port where an array rests in an atom: the sink side when the atom
+/// assigns it, otherwise its source.
+fn resting_port(adg: &Adg, array: ArrayId, prefer_sink: bool) -> Option<PortId> {
     let sink = || {
         adg.nodes().find_map(|(_, n)| match n.kind {
             NodeKind::Sink { array: a } if a == array => n.ports.first().copied(),
@@ -132,79 +215,228 @@ fn boundary_port(adg: &Adg, array: ArrayId, at_end: bool) -> Option<PortId> {
             _ => None,
         })
     };
-    if at_end {
+    if prefer_sink {
         sink().or_else(source)
     } else {
         source()
     }
 }
 
-/// The resting alignment of an array at a phase boundary.
-fn boundary_alignment(phase: &PhaseResult, array: ArrayId, at_end: bool) -> Option<PortAlignment> {
-    let port = boundary_port(&phase.adg, array, at_end)?;
-    Some(phase.alignment.alignment.port(port).clone())
+/// Where an array rests in an atom: its resting port's alignment plus the
+/// atom's template extents (the space any distribution signature must be
+/// instantiated on to price the placement).
+fn atom_resting(
+    atom: &AtomAnalysis,
+    report: &DistributionReport,
+    array: ArrayId,
+    prefer_sink: bool,
+) -> Option<(PortAlignment, Vec<i64>)> {
+    let port = resting_port(&atom.adg, array, prefer_sink)?;
+    Some((
+        atom.alignment.alignment.port(port).clone(),
+        report.template_extents.clone(),
+    ))
 }
 
-/// Run the complete three-stage analysis: detect phases, align and
-/// distribution-solve each, price the redistribution DAG, and pick the
-/// cheapest dynamic plan. The static whole-program solution is computed
-/// alongside for comparison.
+/// The resting placement of `array` looking *backwards* from the end of
+/// phase `b`: the last atom (searching right-to-left through phase `b` and
+/// every earlier phase) that references the array. This is the phase-aware
+/// part — an array untouched by the phases adjacent to a boundary rests
+/// where it was last used, not at an edge-less source port of a phase that
+/// never sees it.
+fn resting_before(
+    phases: &[PhaseResult],
+    b: usize,
+    array: ArrayId,
+) -> Option<(PortAlignment, Vec<i64>, usize)> {
+    for (p, phase) in phases.iter().enumerate().take(b + 1).rev() {
+        for (a, atom) in phase.atoms.iter().enumerate().rev() {
+            if atom.references(array) {
+                return atom_resting(atom, &phase.atom_reports[a], array, true)
+                    .map(|(al, e)| (al, e, p));
+            }
+        }
+    }
+    None
+}
+
+/// The resting placement of `array` at the start of phase `b`: the first of
+/// its atoms that references the array.
+fn resting_at_start(phase: &PhaseResult, array: ArrayId) -> Option<(PortAlignment, Vec<i64>)> {
+    phase
+        .atoms
+        .iter()
+        .zip(&phase.atom_reports)
+        .find(|(atom, _)| atom.references(array))
+        .and_then(|(atom, report)| atom_resting(atom, report, array, false))
+}
+
+/// Sum of two distribution costs, componentwise.
+fn add_cost(a: DistributionCost, b: DistributionCost) -> DistributionCost {
+    DistributionCost {
+        shift: a.shift + b.shift,
+        broadcast: a.broadcast + b.broadcast,
+        general: a.general + b.general,
+        imbalance: a.imbalance + b.imbalance,
+    }
+}
+
+/// Run the complete three-stage analysis: fission into atoms, align each
+/// once, detect phases, rank the shared candidate pool per phase, price the
+/// redistribution DAG (dominance-pruned), and pick the cheapest dynamic
+/// plan. The static whole-program solution is computed alongside for
+/// comparison.
 pub fn align_then_distribute_dynamic(
     program: &Program,
     nprocs: usize,
     config: &DynamicConfig,
 ) -> DynamicPipelineResult {
+    // Stage 0+1: one analysis per atom; boundaries from the signatures.
+    let atoms = analyze_atoms(program, &config.alignment);
     let boundaries = match &config.boundaries {
         Some(b) => b.clone(),
-        None => detect_phase_boundaries(
-            program,
+        None => detect_boundaries(
+            &atoms,
             &SegmentationConfig {
                 alignment: config.alignment,
                 neutral_volume: config.neutral_volume,
             },
         ),
     };
+    let atom_ranges = align_ir::ast::cut_ranges(atoms.len(), &boundaries);
 
-    // Stage 1+2 per phase: align, then rank distributions.
+    // Stage 2 candidate generation: one distribution search per atom, then
+    // group atoms into phases. The phase-level report prices the shared
+    // signature pool (per-atom costs summed) — the phase is never
+    // re-aligned or re-searched as a whole.
     let solve_cfg = config.solve_config(nprocs);
-    let phases: Vec<PhaseResult> = program
-        .segment_ranges(&boundaries)
-        .into_iter()
-        .map(|(lo, hi)| {
-            let sub = program.subprogram(lo..hi);
-            let (adg, alignment) = align_program(&sub, &config.alignment);
-            let report = solve_distribution(&adg, &alignment.alignment, &solve_cfg);
-            PhaseResult {
-                range: (lo, hi),
-                program: sub,
-                adg,
-                alignment,
-                report,
-            }
-        })
-        .collect();
+    let params = solve_cfg.params;
+    let mut atoms = atoms;
+    let mut phases: Vec<PhaseResult> = Vec::with_capacity(atom_ranges.len());
+    for &(lo, hi) in atom_ranges.iter().rev() {
+        let phase_atoms: Vec<AtomAnalysis> = atoms.split_off(lo);
+        let atom_reports: Vec<DistributionReport> = phase_atoms
+            .iter()
+            .map(|a| solve_distribution(&a.adg, &a.alignment.alignment, &solve_cfg))
+            .collect();
+        let range = (
+            phase_atoms.first().map_or(0, |a| a.stmt_index),
+            phase_atoms.last().map_or(0, |a| a.stmt_index + 1),
+        );
+        phases.push(PhaseResult {
+            atom_range: (lo, hi),
+            range,
+            atoms: phase_atoms,
+            atom_reports,
+            report: DistributionReport {
+                nprocs,
+                template_extents: Vec::new(),
+                ranked: Vec::new(),
+                candidates_evaluated: 0,
+                exhaustive: true,
+            },
+        });
+    }
+    phases.reverse();
 
-    // Liveness across boundaries: arrays referenced on both sides.
-    let referenced: Vec<BTreeSet<ArrayId>> = phases
-        .iter()
-        .map(|p| {
-            let mut set = arrays_read(&p.program.body, &p.program);
-            set.extend(arrays_assigned(&p.program.body));
-            set
-        })
-        .collect();
+    // The shared signature pool: every atom's ranked candidates, dedup'd.
+    // Every phase prices the whole pool, so "staying put" across a boundary
+    // is always a comparable option without any cross-seeding bookkeeping.
+    let mut pool: Vec<Sig> = Vec::new();
+    for phase in &phases {
+        for report in &phase.atom_reports {
+            for r in &report.ranked {
+                let sig = (r.distribution.grid(), r.distribution.layouts());
+                if !pool.contains(&sig) {
+                    pool.push(sig);
+                }
+            }
+        }
+    }
+
+    // Price the pool for each phase: per-atom model cost of the signature
+    // instantiated on that atom's own template, summed over the phase.
+    for phase in &mut phases {
+        let models: Vec<distrib::DistributionCostModel> = phase
+            .atoms
+            .iter()
+            .map(|a| {
+                distrib::DistributionCostModel::with_max_points(
+                    &a.adg,
+                    &a.alignment.alignment,
+                    params.max_points_per_edge,
+                )
+            })
+            .collect();
+        // The phase template: the elementwise-max cover of its atoms'
+        // templates (used to materialise the phase-level representative
+        // distribution; pricing always uses the per-atom templates).
+        let rank = phase
+            .atom_reports
+            .iter()
+            .map(|r| r.template_extents.len())
+            .max()
+            .unwrap_or(1);
+        let mut extents = vec![1i64; rank];
+        for report in &phase.atom_reports {
+            for (t, &e) in report.template_extents.iter().enumerate() {
+                extents[t] = extents[t].max(e);
+            }
+        }
+        let mut ranked: Vec<RankedDistribution> = pool
+            .iter()
+            .map(|sig| {
+                let cost = models
+                    .iter()
+                    .zip(&phase.atom_reports)
+                    .map(|(m, r)| m.cost(&instantiate(sig, &r.template_extents), &params))
+                    .fold(DistributionCost::default(), add_cost);
+                RankedDistribution {
+                    distribution: instantiate(sig, &extents),
+                    cost,
+                }
+            })
+            .collect();
+        // Same ordering key as `solve_distribution`, so phase-level `best()`
+        // is deterministic and matches the static choice on one-atom
+        // single-phase programs.
+        ranked.sort_by_cached_key(|r| {
+            let grid = r.distribution.grid();
+            (
+                r.cost.total().max(0.0).to_bits(),
+                grid.iter().copied().max().unwrap_or(1),
+                grid,
+                r.distribution.to_string(),
+            )
+        });
+        ranked.dedup_by(|a, b| a.distribution == b.distribution);
+        phase.report = DistributionReport {
+            nprocs,
+            template_extents: extents,
+            ranked,
+            candidates_evaluated: phase
+                .atom_reports
+                .iter()
+                .map(|r| r.candidates_evaluated)
+                .sum(),
+            exhaustive: phase.atom_reports.iter().all(|r| r.exhaustive),
+        };
+    }
+
+    // Liveness: an array is priced at boundary `b` when its *next* use is
+    // phase `b+1` and it was referenced somewhere before the boundary.
+    // Arrays skipping phases are priced once per gap (where they come back
+    // into use), not dragged through every boundary in between.
+    let phase_refs: Vec<BTreeSet<ArrayId>> = phases.iter().map(|p| p.referenced()).collect();
     let live: Vec<Vec<(ArrayId, String, Vec<i64>)>> = (0..phases.len().saturating_sub(1))
         .map(|b| {
-            let before: BTreeSet<ArrayId> = referenced[..=b]
+            let before: BTreeSet<ArrayId> = phase_refs[..=b]
                 .iter()
                 .flat_map(|s| s.iter().copied())
                 .collect();
-            let after: BTreeSet<ArrayId> = referenced[b + 1..]
+            phase_refs[b + 1]
                 .iter()
-                .flat_map(|s| s.iter().copied())
-                .collect();
-            before
-                .intersection(&after)
+                .filter(|a| before.contains(a))
                 .map(|&a| {
                     let decl = program.decl(a);
                     (a, decl.name.clone(), decl.extents.clone())
@@ -213,94 +445,149 @@ pub fn align_then_distribute_dynamic(
         })
         .collect();
 
-    // Stage 3: the layered DAG. Every layer is cross-seeded with the union
-    // of all phases' top-K (grid, layout) signatures, re-priced under each
-    // phase's own cost model: without this, a phase whose top-K excludes
-    // another phase's favourite could force a redistribution the DAG never
-    // got to compare against staying put.
-    let mut signatures: Vec<(Vec<usize>, Vec<Layout>)> = Vec::new();
-    for p in &phases {
-        for r in p.report.ranked.iter().take(config.top_k.max(1)) {
-            let sig = (r.distribution.grid(), r.distribution.layouts());
-            if !signatures.contains(&sig) {
-                signatures.push(sig);
-            }
-        }
-    }
-    let layers: Vec<PhaseCandidates> = phases
+    // Stage 3: candidate layers from the shared pool, bounded by the
+    // in-phase-cost safety cap. Every phase's own optimum signature is
+    // retained in EVERY layer regardless of the cap, so "staying put" on
+    // some phase's favourite is always an option the redistribution edges
+    // get compared against — the cap alone could otherwise evict a foreign
+    // favourite that ranks poorly in-phase and force a redistribution the
+    // DAG never priced against the alternative.
+    let cap = config.max_candidates_per_phase.max(1);
+    let favourites: Vec<Sig> = phases
+        .iter()
+        .filter_map(|p| p.report.ranked.first())
+        .map(|r| sig_of(&r.distribution))
+        .collect();
+    let full_layers: Vec<PhaseCandidates> = phases
         .iter()
         .map(|p| {
-            let model = DistributionCostModel::with_max_points(
-                &p.adg,
-                &p.alignment.alignment,
-                solve_cfg.params.max_points_per_edge,
-            );
-            let extents = &p.report.template_extents;
-            let mut dists: Vec<ProgramDistribution> = Vec::new();
-            let mut costs = Vec::new();
-            for (grid, layouts) in &signatures {
-                if grid.len() != extents.len() {
-                    continue; // cross-rank signature: not portable to this phase
-                }
-                let dist = ProgramDistribution::new(extents, grid, layouts);
-                if dists.contains(&dist) {
-                    continue;
-                }
-                costs.push(model.cost(&dist, &solve_cfg.params).total());
-                dists.push(dist);
+            let keep: Vec<&RankedDistribution> = p
+                .report
+                .ranked
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| *i < cap || favourites.contains(&sig_of(&r.distribution)))
+                .map(|(_, r)| r)
+                .collect();
+            PhaseCandidates {
+                dists: keep.iter().map(|r| r.distribution.clone()).collect(),
+                costs: keep.iter().map(|r| r.cost.total()).collect(),
             }
-            if dists.is_empty() {
-                // No portable signature (phases of different template rank):
-                // fall back to the phase's own ranked list.
-                for r in p.report.ranked.iter().take(config.top_k.max(1)) {
-                    costs.push(r.cost.total());
-                    dists.push(r.distribution.clone());
-                }
-            }
-            PhaseCandidates { dists, costs }
         })
         .collect();
-    let params = solve_cfg.params;
-    // Per-array redistribution prices of one (boundary, candidate pair)
-    // edge. Probed K² times per boundary by the DP, so it returns only the
-    // Copy costs; the winning path's full RedistSteps are materialised once
-    // below.
-    let price_boundary = |b: usize, j: usize, k: usize| -> Vec<(usize, RedistCost)> {
-        let src_dist = &layers[b].dists[j];
-        let dst_dist = &layers[b + 1].dists[k];
-        live[b]
-            .iter()
-            .enumerate()
-            .filter_map(|(i, (array, _, extents))| {
-                let src_align = boundary_alignment(&phases[b], *array, true)?;
-                let dst_align = boundary_alignment(&phases[b + 1], *array, false)?;
-                Some((
-                    i,
-                    price_redistribution(
-                        extents, &src_align, src_dist, &dst_align, dst_dist, config.sim,
-                    ),
-                ))
-            })
-            .collect()
+
+    // Price every boundary edge once (the DP probes each pair again). Per
+    // array the resting distribution on the source side is phase-aware: an
+    // array the source phase never touches may rest in *either* adjacent
+    // candidate — the cheaper option is charged, instead of forcing it to
+    // travel with a phase that never uses it. This is an optimistic lower
+    // bound: the array's true resting layout through a gap is the chosen
+    // candidate of the phase that last used it, which a per-edge cost
+    // cannot see (a per-array layout state in the DP would make the model
+    // exact — see ROADMAP). The winning path's steps and the simulator both
+    // re-price gap arrays from the actual last-use layout.
+    let edge: Vec<Vec<Vec<EdgePrices>>> = (0..phases.len().saturating_sub(1))
+        .map(|b| {
+            (0..full_layers[b].dists.len())
+                .map(|j| {
+                    (0..full_layers[b + 1].dists.len())
+                        .map(|k| {
+                            price_boundary(
+                                &phases,
+                                &live,
+                                &phase_refs,
+                                &full_layers,
+                                b,
+                                j,
+                                k,
+                                &params,
+                                config.sim,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let edge_total = |b: usize, j: usize, k: usize| -> f64 {
+        edge[b][j][k].iter().map(|(_, c)| c.total(&params)).sum()
     };
-    let mut dynamic = solve_dynamic(&layers, |b, j, k| {
-        price_boundary(b, j, k)
-            .iter()
-            .map(|(_, c)| c.total(&params))
-            .sum()
-    });
+
+    // Dominance pruning: drop candidate `u` when some `v` in the same layer
+    // is no worse on the in-phase cost and on every boundary edge
+    // simultaneously (ties broken towards the lower index so exactly one of
+    // an identical pair survives).
+    let keep: Vec<Vec<usize>> = (0..full_layers.len())
+        .map(|b| {
+            let layer = &full_layers[b];
+            let n = layer.dists.len();
+            (0..n)
+                .filter(|&u| {
+                    !(0..n).any(|v| {
+                        if v == u {
+                            return false;
+                        }
+                        let mut no_worse = layer.costs[v] <= layer.costs[u];
+                        let mut strictly = layer.costs[v] < layer.costs[u];
+                        if b > 0 {
+                            for j in 0..full_layers[b - 1].dists.len() {
+                                let (eu, ev) = (edge_total(b - 1, j, u), edge_total(b - 1, j, v));
+                                no_worse &= ev <= eu;
+                                strictly |= ev < eu;
+                            }
+                        }
+                        if b + 1 < full_layers.len() {
+                            for k in 0..full_layers[b + 1].dists.len() {
+                                let (eu, ev) = (edge_total(b, u, k), edge_total(b, v, k));
+                                no_worse &= ev <= eu;
+                                strictly |= ev < eu;
+                            }
+                        }
+                        no_worse && (strictly || v < u)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let layers: Vec<PhaseCandidates> = full_layers
+        .iter()
+        .zip(&keep)
+        .map(|(layer, keep)| PhaseCandidates {
+            dists: keep.iter().map(|&i| layer.dists[i].clone()).collect(),
+            costs: keep.iter().map(|&i| layer.costs[i]).collect(),
+        })
+        .collect();
+
+    // The layered-DAG shortest path over the pruned layers, read entirely
+    // from the edge cache.
+    let mut dynamic = solve_dynamic(&layers, |b, j, k| edge_total(b, keep[b][j], keep[b + 1][k]));
+    // Materialise the winning path's steps EXACTLY: with the whole path
+    // known, a gap array's source layout is the chosen candidate of the
+    // phase that actually last used it — not the edge model's optimistic
+    // min over adjacent candidates (the same accounting simulate_dynamic
+    // uses, so reported step costs match the simulator).
     dynamic.steps = (0..phases.len().saturating_sub(1))
         .map(|b| {
-            price_boundary(b, dynamic.chosen[b], dynamic.chosen[b + 1])
-                .into_iter()
-                .map(|(i, cost)| {
-                    let (array, name, extents) = &live[b][i];
-                    RedistStep {
+            live[b]
+                .iter()
+                .filter_map(|(array, name, extents)| {
+                    let (src_align, src_extents, src_phase) = resting_before(&phases, b, *array)?;
+                    let (dst_align, dst_extents) = resting_at_start(&phases[b + 1], *array)?;
+                    let src_dist =
+                        instantiate(&sig_of(&dynamic.per_phase[src_phase]), &src_extents);
+                    let dst_dist = instantiate(&sig_of(&dynamic.per_phase[b + 1]), &dst_extents);
+                    let cost = price_resting(
+                        extents,
+                        &RestingPlacement::new(&src_align, &src_dist),
+                        &RestingPlacement::new(&dst_align, &dst_dist),
+                        config.sim,
+                    );
+                    Some(RedistStep {
                         array: *array,
                         name: name.clone(),
                         extents: extents.clone(),
                         cost,
-                    }
+                    })
                 })
                 .collect()
         })
@@ -327,12 +614,65 @@ pub fn align_then_distribute_dynamic(
     }
 }
 
+/// Per-array redistribution prices of one (boundary, candidate pair) edge.
+#[allow(clippy::too_many_arguments)]
+fn price_boundary(
+    phases: &[PhaseResult],
+    live: &[Vec<(ArrayId, String, Vec<i64>)>],
+    phase_refs: &[BTreeSet<ArrayId>],
+    layers: &[PhaseCandidates],
+    b: usize,
+    j: usize,
+    k: usize,
+    params: &distrib::DistribCostParams,
+    sim: SimOptions,
+) -> EdgePrices {
+    let src_sig = sig_of(&layers[b].dists[j]);
+    let dst_sig = sig_of(&layers[b + 1].dists[k]);
+    live[b]
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (array, _, extents))| {
+            let (src_align, src_extents, _) = resting_before(phases, b, *array)?;
+            let (dst_align, dst_extents) = resting_at_start(&phases[b + 1], *array)?;
+            let dst_dist = instantiate(&dst_sig, &dst_extents);
+            let dst = RestingPlacement::new(&dst_align, &dst_dist);
+            let src_dist = instantiate(&src_sig, &src_extents);
+            let mut best = price_resting(
+                extents,
+                &RestingPlacement::new(&src_align, &src_dist),
+                &dst,
+                sim,
+            );
+            if !phase_refs[b].contains(array) {
+                // Phase `b` never touches the array: it may equally have
+                // been resting in the destination candidate's layout
+                // already (the redistribution then happened where the
+                // source phase last used it — covered by that boundary's
+                // own pricing, or free if the layouts agree).
+                let alt_dist = instantiate(&dst_sig, &src_extents);
+                let alt = price_resting(
+                    extents,
+                    &RestingPlacement::new(&src_align, &alt_dist),
+                    &dst,
+                    sim,
+                );
+                if alt.total(params) < best.total(params) {
+                    best = alt;
+                }
+            }
+            Some((i, best))
+        })
+        .collect()
+}
+
 /// Simulated traffic of a dynamic plan, phase by phase plus the
 /// redistribution steps — the end-to-end validation of the DAG model.
 #[derive(Debug, Clone)]
 pub struct DynamicSimReport {
     /// Simulated element traffic of each phase under its chosen
-    /// distribution.
+    /// distribution (each phase's atoms summed; `per_edge` entries are
+    /// per-atom edge ids).
     pub per_phase: Vec<SimReport>,
     /// Exact element traffic of each boundary's redistribution steps.
     pub redist_elements: Vec<f64>,
@@ -350,32 +690,49 @@ impl DynamicSimReport {
 }
 
 /// Play the chosen dynamic distribution through the communication
-/// simulator: each phase's program under its phase distribution, plus the
-/// owner-exact cost of every redistribution step.
+/// simulator: each atom's ADG under its phase's chosen distribution
+/// (re-instantiated on the atom's own template), plus the owner-exact cost
+/// of every redistribution step. Unlike the DP's edge model, the simulation
+/// knows the whole chosen path, so an array skipping phases is priced from
+/// the distribution of the phase that actually last used it.
 pub fn simulate_dynamic(result: &DynamicPipelineResult, opts: SimOptions) -> DynamicSimReport {
     let per_phase: Vec<SimReport> = result
         .phases
         .iter()
         .zip(&result.dynamic.per_phase)
-        .map(|(phase, dist)| simulate(&phase.adg, &phase.alignment.alignment, dist, opts))
+        .map(|(phase, dist)| {
+            let sig = sig_of(dist);
+            let mut merged = SimReport {
+                processors: result.nprocs,
+                ..SimReport::default()
+            };
+            for (atom, report) in phase.atoms.iter().zip(&phase.atom_reports) {
+                let atom_dist = instantiate(&sig, &report.template_extents);
+                let r = simulate(&atom.adg, &atom.alignment.alignment, &atom_dist, opts);
+                merged.total.add(&r.total);
+                merged.per_edge.extend(r.per_edge);
+            }
+            merged
+        })
         .collect();
     let redist_elements: Vec<f64> = (0..result.phases.len().saturating_sub(1))
         .map(|b| {
-            let src_phase = &result.phases[b];
-            let dst_phase = &result.phases[b + 1];
-            let src_dist = &result.dynamic.per_phase[b];
-            let dst_dist = &result.dynamic.per_phase[b + 1];
             result.live[b]
                 .iter()
                 .filter_map(|(array, _, extents)| {
-                    let src_align = boundary_alignment(src_phase, *array, true)?;
-                    let dst_align = boundary_alignment(dst_phase, *array, false)?;
+                    let (src_align, src_extents, src_phase) =
+                        resting_before(&result.phases, b, *array)?;
+                    let (dst_align, dst_extents) = resting_at_start(&result.phases[b + 1], *array)?;
+                    let src_dist =
+                        instantiate(&sig_of(&result.dynamic.per_phase[src_phase]), &src_extents);
+                    let dst_dist =
+                        instantiate(&sig_of(&result.dynamic.per_phase[b + 1]), &dst_extents);
                     let t = redistribution_traffic(
                         extents,
                         &src_align,
-                        src_dist,
+                        &src_dist,
                         &dst_align,
-                        dst_dist,
+                        &dst_dist,
                         &[],
                         opts,
                     );
@@ -463,10 +820,50 @@ mod tests {
         assert!(!result.phases.is_empty());
         let sim = simulate_dynamic(&result, SimOptions::default());
         assert!(sim.total_elements().is_finite());
-        // The dynamic plan never models worse than the static plan: staying
-        // on the static distribution in every phase is always in the DAG...
-        // when the phase layers contain it. At minimum the plan is finite
-        // and simulatable.
         assert!(result.dynamic.model_cost.is_finite());
+    }
+
+    #[test]
+    fn layers_are_dominance_pruned_and_well_formed() {
+        let result =
+            align_then_distribute_dynamic(&programs::fft_like(16, 8), 8, &DynamicConfig::default());
+        for (layer, phase) in result.layers.iter().zip(&result.phases) {
+            assert!(!layer.dists.is_empty());
+            assert!(
+                layer.dists.len() <= result.config.max_candidates_per_phase + result.phases.len()
+            );
+            // The phase's own optimum always survives pruning (nothing can
+            // dominate it on the in-phase axis).
+            let best = phase.report.best().distribution.grid();
+            assert!(
+                layer.dists.iter().any(|d| d.grid() == best),
+                "layer missing the phase optimum {best:?}"
+            );
+            for d in &layer.dists {
+                assert_eq!(d.grid().iter().product::<usize>(), 8);
+            }
+        }
+        // The chosen plan picks within the pruned layers.
+        for (layer, (&chosen, dist)) in result
+            .layers
+            .iter()
+            .zip(result.dynamic.chosen.iter().zip(&result.dynamic.per_phase))
+        {
+            assert!(chosen < layer.dists.len());
+            assert_eq!(format!("{}", layer.dists[chosen]), format!("{dist}"));
+        }
+    }
+
+    #[test]
+    fn pool_signatures_span_phases() {
+        // Every phase prices the shared pool, so phase 2's layer contains
+        // phase 1's favourite signature unless dominance removed it — in
+        // which case some candidate is at least as good everywhere, and the
+        // DAG's "stay put" comparison is still faithful.
+        let result =
+            align_then_distribute_dynamic(&programs::fft_like(16, 8), 8, &DynamicConfig::default());
+        assert_eq!(result.phases.len(), 2);
+        let d = &result.dynamic;
+        assert!(d.model_cost <= result.static_model_cost() + 1e-9, "{d}");
     }
 }

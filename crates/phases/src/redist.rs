@@ -16,8 +16,8 @@
 //!   processor already holds its part).
 
 use alignment_core::position::PortAlignment;
-use commsim::{redistribution_traffic, SimOptions, TemplateDistribution};
-use distrib::{DistribCostParams, ProgramDistribution};
+use commsim::{redistribution_traffic, RestingPlacement, SimOptions, TemplateDistribution};
+use distrib::DistribCostParams;
 
 /// The modelled cost of redistributing one object between phases.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -63,20 +63,47 @@ impl std::fmt::Display for RedistCost {
 }
 
 /// Price moving one object (with the given per-axis element extents) from
-/// its placement in the previous phase to its placement in the next one.
-///
-/// The placements are each phase's boundary-port alignment (where the array
-/// rests at phase end / phase start) combined with the candidate
-/// distribution of that phase. Both distributions must cover the same
-/// processor count — redistribution changes the mapping, not the machine.
-pub fn price_redistribution(
+/// its resting placement before a boundary to its resting placement after
+/// it — the [`RestingPlacement`] front end of [`price_redistribution`].
+/// With phase-aware placement the source need not be the adjacent phase's
+/// sink placement: the caller chooses where the array actually rests (e.g.
+/// the cheaper of the two adjacent candidates, for an array the source
+/// phase never touches).
+pub fn price_resting(
     extents: &[i64],
-    src_align: &PortAlignment,
-    src_dist: &ProgramDistribution,
-    dst_align: &PortAlignment,
-    dst_dist: &ProgramDistribution,
+    src: &RestingPlacement<'_>,
+    dst: &RestingPlacement<'_>,
     opts: SimOptions,
 ) -> RedistCost {
+    price_redistribution(
+        extents,
+        src.alignment,
+        src.distribution,
+        dst.alignment,
+        dst.distribution,
+        opts,
+    )
+}
+
+/// Price moving one object (with the given per-axis element extents) from
+/// its placement in the previous phase to its placement in the next one.
+///
+/// The placements are an alignment (where the array rests on the template)
+/// combined with any [`TemplateDistribution`] of that template. Both
+/// distributions must cover the same processor count — redistribution
+/// changes the mapping, not the machine.
+pub fn price_redistribution<S, D>(
+    extents: &[i64],
+    src_align: &PortAlignment,
+    src_dist: &S,
+    dst_align: &PortAlignment,
+    dst_dist: &D,
+    opts: SimOptions,
+) -> RedistCost
+where
+    S: TemplateDistribution + ?Sized,
+    D: TemplateDistribution + ?Sized,
+{
     let traffic =
         redistribution_traffic(extents, src_align, src_dist, dst_align, dst_dist, &[], opts);
     // Tree stages of the spread: one doubling per processor along each axis
@@ -106,7 +133,7 @@ pub fn price_redistribution(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distrib::Layout;
+    use distrib::{Layout, ProgramDistribution};
 
     fn block(extents: &[i64], grid: &[usize]) -> ProgramDistribution {
         ProgramDistribution::new(extents, grid, &vec![Layout::Block; grid.len()])

@@ -1,9 +1,17 @@
 //! Phase partitioning: where does the communication topology change?
 //!
-//! The unit of segmentation is the *top-level statement* (a whole loop nest
-//! counts as one atom — cutting inside a loop body would require loop
-//! distribution, which the IR does not model). Each atom is re-analysed as a
-//! one-statement program; its aligned ADG yields a [`PhaseSignature`]:
+//! The unit of segmentation is the *distributable atom*
+//! ([`align_ir::fission`]): a top-level statement, or one piece of a loop
+//! that loop distribution fissioned — so a topology flip buried inside a
+//! distribution-safe loop body becomes a cuttable seam. Each atom is
+//! analysed **once**, as a one-statement program, into an [`AtomAnalysis`]
+//! carrying its aligned ADG, its [`PhaseSignature`], and its def/use sets;
+//! every downstream consumer (boundary detection, per-phase candidate
+//! ranking, boundary pricing, simulation) reads from that single analysis —
+//! no atom is ever aligned twice (`alignment_core::pipeline::align_call_count`
+//! proves it in the regression tests).
+//!
+//! The signature captures:
 //!
 //! * the residual shift volume per template axis (from the edge weights —
 //!   which axis does data move along?),
@@ -17,11 +25,12 @@
 //! attach to the phase on their left, so a communication-free copy between
 //! two hostile phases does not multiply the phase count.
 
-use adg::NodeKind;
+use adg::{Adg, NodeKind};
+use align_ir::fission::{arrays_assigned, arrays_read};
 use align_ir::{ArrayId, Program};
-use alignment_core::pipeline::{align_program, PipelineConfig};
+use alignment_core::pipeline::{align_program, AlignmentResult, PipelineConfig};
 use alignment_core::CostModel;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the phase detector.
 #[derive(Debug, Clone, Default)]
@@ -48,10 +57,11 @@ pub struct PhaseSignature {
 }
 
 impl PhaseSignature {
-    /// Align `segment` in isolation and measure its topology.
-    pub fn of(segment: &Program, config: &PipelineConfig) -> PhaseSignature {
-        let (adg, result) = align_program(segment, config);
-        let model = CostModel::new(&adg);
+    /// Measure the topology of an already-aligned segment. This is the
+    /// single-analysis entry point: the pipeline aligns each atom once and
+    /// derives the signature (and everything else) from that result.
+    pub fn from_parts(adg: &Adg, result: &AlignmentResult) -> PhaseSignature {
+        let model = CostModel::new(adg);
         let shift_by_axis = model.shift_cost_by_axis(&result.alignment);
         let mut array_axes = BTreeMap::new();
         for (_, node) in adg.nodes() {
@@ -70,6 +80,14 @@ impl PhaseSignature {
             broadcast: result.total_cost.broadcast,
             array_axes,
         }
+    }
+
+    /// Align `segment` in isolation and measure its topology (convenience
+    /// wrapper over [`PhaseSignature::from_parts`] for callers outside the
+    /// single-analysis pipeline).
+    pub fn of(segment: &Program, config: &PipelineConfig) -> PhaseSignature {
+        let (adg, result) = align_program(segment, config);
+        PhaseSignature::from_parts(&adg, &result)
     }
 
     /// Total residual communication volume of the segment.
@@ -105,35 +123,95 @@ impl PhaseSignature {
     }
 }
 
-/// Detect phase boundaries: positions `b` (0 < b < #statements) where a cut
-/// between top-level statements `b-1` and `b` separates conflicting
-/// communication topologies. Returns an empty vector for single-phase
-/// programs.
-pub fn detect_phase_boundaries(program: &Program, config: &SegmentationConfig) -> Vec<usize> {
-    let n = program.num_top_level_stmts();
-    if n < 2 {
-        return Vec::new();
-    }
-    let signatures: Vec<PhaseSignature> = (0..n)
-        .map(|i| PhaseSignature::of(&program.subprogram(i..i + 1), &config.alignment))
-        .collect();
+/// Everything the pipeline ever needs to know about one atom, computed by a
+/// **single** alignment pass. Detection reads [`AtomAnalysis::signature`],
+/// candidate ranking prices distributions against [`AtomAnalysis::adg`] +
+/// [`AtomAnalysis::alignment`], boundary pricing reads the resting port
+/// alignments, and the simulator replays the same ADG — none of them
+/// re-align.
+#[derive(Debug, Clone)]
+pub struct AtomAnalysis {
+    /// Index of the originating top-level statement.
+    pub stmt_index: usize,
+    /// Which fission piece of that statement this is (0 = unsplit).
+    pub piece: usize,
+    /// The atom as a standalone one-statement program.
+    pub program: Program,
+    /// Its ADG.
+    pub adg: Adg,
+    /// Its alignment (the one and only alignment pass over this atom).
+    pub alignment: AlignmentResult,
+    /// Its communication-topology signature, derived from `alignment`.
+    pub signature: PhaseSignature,
+    /// Arrays the atom reads or assigns.
+    pub referenced: BTreeSet<ArrayId>,
+}
 
+impl AtomAnalysis {
+    /// True when the atom reads or assigns `array`.
+    pub fn references(&self, array: ArrayId) -> bool {
+        self.referenced.contains(&array)
+    }
+}
+
+/// Analyse every distributable atom of `program` exactly once: fission,
+/// align, and derive the signature and def/use sets. The returned vector is
+/// the substrate of the whole phase pipeline.
+pub fn analyze_atoms(program: &Program, config: &PipelineConfig) -> Vec<AtomAnalysis> {
+    program
+        .distributable_atoms()
+        .into_iter()
+        .map(|atom| {
+            let sub = program.from_atoms(std::slice::from_ref(&atom));
+            let (adg, alignment) = align_program(&sub, config);
+            let signature = PhaseSignature::from_parts(&adg, &alignment);
+            let mut referenced = arrays_read(&sub.body, &sub);
+            referenced.extend(arrays_assigned(&sub.body));
+            AtomAnalysis {
+                stmt_index: atom.stmt_index,
+                piece: atom.piece,
+                program: sub,
+                adg,
+                alignment,
+                signature,
+                referenced,
+            }
+        })
+        .collect()
+}
+
+/// Detect phase boundaries over an already-analysed atom sequence: positions
+/// `b` (0 < b < #atoms) where a cut between atoms `b-1` and `b` separates
+/// conflicting communication topologies. Returns an empty vector for
+/// single-phase programs.
+pub fn detect_boundaries(atoms: &[AtomAnalysis], config: &SegmentationConfig) -> Vec<usize> {
     let mut boundaries = Vec::new();
     // The signature the current phase is committed to: the last atom with
     // enough communication to have an opinion.
     let mut current: Option<&PhaseSignature> = None;
-    for (i, sig) in signatures.iter().enumerate() {
+    for (i, atom) in atoms.iter().enumerate() {
+        let sig = &atom.signature;
         if sig.total_comm() <= config.neutral_volume {
             continue; // neutral: rides with the phase on its left
         }
         if let Some(prev) = current {
-            if prev.conflicts_with(sig) {
+            if prev.conflicts_with(sig) && i > 0 {
                 boundaries.push(i);
             }
         }
         current = Some(sig);
     }
     boundaries
+}
+
+/// Detect phase boundaries of a program from scratch: fission into atoms,
+/// analyse each once, and cut where topologies conflict. Boundary indices
+/// refer to the **atom** sequence ([`Program::distributable_atoms`]), which
+/// is finer than the top-level statement sequence when loop distribution
+/// splits a loop.
+pub fn detect_phase_boundaries(program: &Program, config: &SegmentationConfig) -> Vec<usize> {
+    let atoms = analyze_atoms(program, &config.alignment);
+    detect_boundaries(&atoms, config)
 }
 
 #[cfg(test)]
@@ -155,6 +233,20 @@ mod tests {
     }
 
     #[test]
+    fn nested_flip_boundary_is_found_inside_the_loop_body() {
+        // The program is a single top-level loop; only loop distribution
+        // exposes the row | column seam inside its body.
+        let p = programs::fft_like_nested(16, 4);
+        assert_eq!(p.num_top_level_stmts(), 1);
+        let cfg = SegmentationConfig::default();
+        let atoms = analyze_atoms(&p, &cfg.alignment);
+        assert_eq!(atoms.len(), 2, "fission split the loop");
+        assert_eq!(detect_boundaries(&atoms, &cfg), vec![1]);
+        assert_eq!(atoms[0].signature.dominant_axis(), Some(1));
+        assert_eq!(atoms[1].signature.dominant_axis(), Some(0));
+    }
+
+    #[test]
     fn single_phase_programs_have_no_boundaries() {
         let cfg = SegmentationConfig::default();
         assert!(detect_phase_boundaries(&programs::example1(32), &cfg).is_empty());
@@ -170,5 +262,18 @@ mod tests {
         let first = p.subprogram(0..1);
         let cfg = SegmentationConfig::default();
         assert!(detect_phase_boundaries(&first, &cfg).is_empty());
+    }
+
+    #[test]
+    fn atom_analyses_carry_def_use_sets() {
+        let p = programs::fft_like_nested(16, 4);
+        let atoms = analyze_atoms(&p, &PipelineConfig::default());
+        let a = p.array_by_name("A").unwrap();
+        let b = p.array_by_name("B").unwrap();
+        let d = p.array_by_name("D").unwrap();
+        assert!(atoms[0].references(a) && atoms[0].references(d));
+        assert!(!atoms[0].references(b));
+        assert!(atoms[1].references(b) && atoms[1].references(d));
+        assert!(!atoms[1].references(a));
     }
 }

@@ -89,27 +89,137 @@ fn multigrid_dynamic_plan_is_consistent() {
 }
 
 /// Every phase's candidate layer is non-empty, covers the full processor
-/// count, contains every other phase's favourite (cross-seeding), and the
-/// chosen plan picks within it.
+/// count, survives dominance pruning with the phase's own optimum intact,
+/// and the chosen plan picks within it.
 #[test]
 fn chosen_candidates_are_well_formed() {
     let result =
         align_then_distribute_dynamic(&programs::fft_like(16, 8), 8, &DynamicConfig::default());
-    for (layer, (&chosen, dist)) in result
-        .layers
-        .iter()
-        .zip(result.dynamic.chosen.iter().zip(&result.dynamic.per_phase))
-    {
+    for (layer, (phase, (&chosen, dist))) in result.layers.iter().zip(
+        result
+            .phases
+            .iter()
+            .zip(result.dynamic.chosen.iter().zip(&result.dynamic.per_phase)),
+    ) {
         assert!(chosen < layer.dists.len());
+        // Bounded by the cap plus the always-retained per-phase favourites.
+        assert!(layer.dists.len() <= result.config.max_candidates_per_phase + result.phases.len());
         assert_eq!(dist.grid().iter().product::<usize>(), 8);
         assert_eq!(format!("{}", layer.dists[chosen]), format!("{dist}"));
-        // Cross-seeding: each phase's favourite grid appears in every layer.
-        for other in &result.phases {
-            let favourite = other.report.best().distribution.grid();
-            assert!(
-                layer.dists.iter().any(|d| d.grid() == favourite),
-                "layer missing grid {favourite:?}"
-            );
-        }
+        // The phase's own optimum is undominated on the in-phase axis, so
+        // pruning can never drop it.
+        let favourite = phase.report.best().distribution.grid();
+        assert!(
+            layer.dists.iter().any(|d| d.grid() == favourite),
+            "layer missing the phase optimum {favourite:?}"
+        );
     }
+    // The shared pool makes "stay put" an explicit option: the dynamic plan
+    // can never model worse than the best static candidate of the pool.
+    assert!(result.dynamic.model_cost <= result.static_model_cost() + 1e-9);
+}
+
+/// The headline acceptance of the loop-distribution refactor: on the
+/// nested-loop FFT variant the row→column flip lives *inside* one loop
+/// body. Top-level segmentation sees a single atom; loop distribution
+/// fissions it, the detector cuts between the fissioned halves, and the
+/// dynamic plan (including the redistribution of the shared read-only
+/// operand `D`) beats the best static distribution in the exact simulator.
+#[test]
+fn nested_flip_boundary_found_by_loop_distribution_and_dynamic_wins() {
+    let program = programs::fft_like_nested(32, 40);
+    assert_eq!(
+        program.num_top_level_stmts(),
+        1,
+        "the flip hides inside one top-level loop"
+    );
+    let result = align_then_distribute_dynamic(&program, 8, &DynamicConfig::default());
+    assert_eq!(result.phases.len(), 2, "fission exposed the boundary");
+    assert_eq!(result.num_atoms(), 2);
+    // Both phases originate from the same top-level statement: the cut is
+    // genuinely inside the loop body.
+    assert_eq!(result.phases[0].range, (0, 1));
+    assert_eq!(result.phases[1].range, (0, 1));
+    assert!(result.dynamic.redistributes(), "{}", result.dynamic);
+    assert_eq!(result.dynamic.per_phase[0].grid(), vec![8, 1]);
+    assert_eq!(result.dynamic.per_phase[1].grid(), vec![1, 8]);
+    // D is live across the fissioned boundary and pays a real all-to-all.
+    assert_eq!(result.live[0].len(), 1);
+    assert_eq!(result.live[0][0].1, "D");
+
+    let opts = SimOptions::default();
+    let dynamic_sim = simulate_dynamic(&result, opts);
+    let static_sim = simulate_static(&result, opts);
+    let redist_total: f64 = dynamic_sim.redist_elements.iter().sum();
+    assert!(redist_total > 0.0, "the plan pays a real redistribution");
+    assert!(
+        dynamic_sim.total_elements() < static_sim.total_elements(),
+        "simulated: dynamic {} (incl. {} redistributed) vs static {}",
+        dynamic_sim.total_elements(),
+        redist_total,
+        static_sim.total_elements()
+    );
+}
+
+/// The single-analysis contract: the phase pipeline aligns each atom
+/// exactly once, plus one whole-program alignment for the static baseline —
+/// never a second per-atom or per-phase pass. Uses the thread-local
+/// alignment-call counter (same pattern as `lp`'s fallback counters).
+#[test]
+fn each_atom_is_aligned_exactly_once() {
+    use alignment_core::pipeline::{align_call_count, reset_align_call_count};
+    for (program, atoms) in [
+        (programs::fft_like(32, 8), 2u64),
+        (programs::fft_like_nested(32, 8), 2),
+        (programs::multigrid_vcycle(16, 2, 2), 4),
+        (programs::multi_array_pipeline(16, 4), 6),
+    ] {
+        assert_eq!(program.distributable_atoms().len() as u64, atoms);
+        reset_align_call_count();
+        let result = align_then_distribute_dynamic(&program, 4, &DynamicConfig::default());
+        assert_eq!(
+            align_call_count(),
+            atoms + 1,
+            "{}: one alignment per atom + the static baseline",
+            program.name
+        );
+        assert_eq!(result.num_atoms() as u64, atoms);
+    }
+}
+
+/// The new phase-flip workloads run the full pipeline end to end and stay
+/// self-consistent under simulation.
+#[test]
+fn phase_workload_suite_runs_end_to_end() {
+    for (name, program) in programs::phase_workloads() {
+        let result = align_then_distribute_dynamic(&program, 8, &DynamicConfig::default());
+        assert!(!result.phases.is_empty(), "{name}");
+        assert!(result.dynamic.model_cost.is_finite(), "{name}");
+        let sim = simulate_dynamic(&result, SimOptions::default());
+        assert!(sim.total_elements().is_finite(), "{name}");
+        assert_eq!(sim.per_phase.len(), result.phases.len(), "{name}");
+        assert_eq!(sim.redist_elements.len(), result.phases.len() - 1, "{name}");
+    }
+}
+
+/// Control weights steer the conditional workload: the transpose branch is
+/// absorbed by axis alignment (B is used nowhere else), so the residual is
+/// the then-branch's irreducible shift — and its expected cost must scale
+/// linearly with the branch probability.
+#[test]
+fn conditional_pipeline_weights_scale_expected_cost() {
+    let often = programs::conditional_pipeline(32, 8, 0.95);
+    let rarely = programs::conditional_pipeline(32, 8, 0.05);
+    let (_, often_result) = align_program(&often, &PipelineConfig::default());
+    let (_, rarely_result) = align_program(&rarely, &PipelineConfig::default());
+    let (hi, lo) = (
+        often_result.total_cost.total(),
+        rarely_result.total_cost.total(),
+    );
+    assert!(lo > 0.0, "the shift branch is never free: {lo}");
+    let ratio = hi / lo;
+    assert!(
+        (ratio - 0.95 / 0.05).abs() < 1e-6,
+        "expected cost must scale with the branch weight: {hi} vs {lo} (ratio {ratio})"
+    );
 }

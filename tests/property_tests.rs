@@ -133,6 +133,118 @@ fn max_flow_equals_cut_and_separates() {
     }
 }
 
+mod fission_properties {
+    use align_ir::fission::{arrays_assigned, arrays_touched};
+    use align_ir::Stmt;
+    use bench::{random_loop_program, RandomProgramConfig};
+
+    /// Flatten to the sequence of assignment statements, ignoring loop and
+    /// conditional structure.
+    fn flat_assigns(stmts: &[Stmt]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        fn go(stmts: &[Stmt], out: &mut Vec<Stmt>) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign { .. } => out.push(s.clone()),
+                    Stmt::Loop { body, .. } => go(body, out),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        go(then_body, out);
+                        go(else_body, out);
+                    }
+                }
+            }
+        }
+        go(stmts, &mut out);
+        out
+    }
+
+    /// Loop distribution preserves the statement multiset (in fact the full
+    /// flattened order) and the def/use discipline: adjacent atoms cut from
+    /// the same statement share no array that either side assigns, so no
+    /// dependence is reordered.
+    #[test]
+    fn fission_preserves_statements_and_def_use_order() {
+        let mut fissioned_seeds = 0;
+        for seed in 0..32 {
+            let program = random_loop_program(RandomProgramConfig {
+                seed,
+                trips: 8,
+                statements: 4,
+                array_size: 64,
+                num_arrays: 5,
+                ..RandomProgramConfig::default()
+            });
+            let atoms = program.distributable_atoms();
+            let distributed = program.distribute_loops();
+            distributed
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+
+            // Statement multiset and order: fission only regroups.
+            assert_eq!(
+                flat_assigns(&program.body),
+                flat_assigns(&distributed.body),
+                "seed {seed}"
+            );
+            assert_eq!(atoms.len(), distributed.num_top_level_stmts());
+            assert!(atoms.len() >= program.num_top_level_stmts());
+
+            // Def/use order: every cut separates write-disjoint groups.
+            for w in atoms.windows(2) {
+                if w[0].stmt_index != w[1].stmt_index {
+                    continue; // different statements were never one loop
+                }
+                let a = std::slice::from_ref(&w[0].stmt);
+                let b = std::slice::from_ref(&w[1].stmt);
+                assert!(
+                    arrays_assigned(b)
+                        .intersection(&arrays_touched(a, &program))
+                        .next()
+                        .is_none(),
+                    "seed {seed}: suffix writes what prefix touches"
+                );
+                assert!(
+                    arrays_assigned(a)
+                        .intersection(&arrays_touched(b, &program))
+                        .next()
+                        .is_none(),
+                    "seed {seed}: prefix writes what suffix touches"
+                );
+            }
+            if atoms.len() > program.num_top_level_stmts() {
+                fissioned_seeds += 1;
+            }
+        }
+        assert!(
+            fissioned_seeds > 0,
+            "the sweep must exercise at least one real fission"
+        );
+    }
+
+    /// Fission is idempotent: distributing an already-distributed program
+    /// changes nothing.
+    #[test]
+    fn fission_is_idempotent() {
+        for seed in 0..8 {
+            let program = random_loop_program(RandomProgramConfig {
+                seed,
+                trips: 8,
+                statements: 4,
+                array_size: 64,
+                num_arrays: 5,
+                ..RandomProgramConfig::default()
+            });
+            let once = program.distribute_loops();
+            let twice = once.distribute_loops();
+            assert_eq!(once.body, twice.body, "seed {seed}");
+        }
+    }
+}
+
 mod alignment_properties {
     use adg::build_adg;
     use alignment_core::pipeline::{align_program, PipelineConfig};
