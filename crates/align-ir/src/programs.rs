@@ -8,7 +8,9 @@
 
 use crate::affine::Affine;
 use crate::ast::{Expr, Program, Section, UnaryOp};
-use crate::builder::{add, gather, idx, mul, rng, rng_s, spread, transpose, unary, ProgramBuilder};
+use crate::builder::{
+    add, gather, idx, mul, reduce, rng, rng_s, spread, transpose, unary, ProgramBuilder,
+};
 
 /// Figure 1 / Example 4: the mobile-offset motivating example.
 ///
@@ -488,6 +490,78 @@ pub fn multi_array_pipeline(n: i64, trips: i64) -> Program {
     p
 }
 
+/// A reduction-heavy kernel with batched, irregular extents whose arrays
+/// disagree about the phase boundary — the workload the per-array
+/// layout-state DP exists for, and a stress test of the imbalance term
+/// (the batch axis `m = 3n/2 + 1` divides into no processor count evenly).
+///
+/// ```fortran
+/// real A(n,m), B(n,m), S(n)            ! m = 3n/2 + 1 (ragged batches)
+/// do k = 1, trips   ! L1: S += sum(A, dim=2)  (A row-reduce: wants [P,1])
+///                   !     B row shifts                      (wants [P,1])
+/// do k = 1, trips   ! L2: B column shifts                   (B flips: [1,P])
+///                   !     S += sum(A, dim=2)  (A still row-reduce: [P,1])
+/// do k = 1, trips   ! L3: A column shifts                   (now A flips too)
+/// ```
+///
+/// At the L1|L2 boundary `B` wants to flip while `A` wants to stay: a
+/// global per-phase layout must either drag `A` through `B`'s transpose or
+/// deny `B` its flip. With per-array layout states `B` moves alone at
+/// L1|L2 and `A` alone at L2|L3. Each loop body pairs statements with
+/// disjoint writes, so loop distribution splits them into separate atoms.
+pub fn reduction_tree(n: i64, trips: i64) -> Program {
+    assert!(n >= 4 && n % 2 == 0, "reduction_tree requires even n >= 4");
+    let m = 3 * n / 2 + 1;
+    let mut b = ProgramBuilder::new(format!("reduction_tree(n={n},trips={trips})"));
+    let a = b.array("A", &[n, m]);
+    let bb = b.array("B", &[n, m]);
+    let s = b.array("S", &[n]);
+    let row_reduce = |b: &mut ProgramBuilder| {
+        let a_full = b.full_ref(a);
+        let s_ref = b.full_ref(s);
+        b.assign(
+            s,
+            Section::new(vec![rng(1, n)]),
+            add(s_ref, reduce(a_full, 1)),
+        );
+    };
+    let row_shift = |b: &mut ProgramBuilder, arr| {
+        let left = b.sec_ref(arr, vec![rng(1, n), rng(1, m - 1)]);
+        let right = b.sec_ref(arr, vec![rng(1, n), rng(2, m)]);
+        b.assign(
+            arr,
+            Section::new(vec![rng(1, n), rng(1, m - 1)]),
+            add(left, right),
+        );
+    };
+    let col_shift = |b: &mut ProgramBuilder, arr| {
+        let upper = b.sec_ref(arr, vec![rng(1, n - 1), rng(1, m)]);
+        let lower = b.sec_ref(arr, vec![rng(2, n), rng(1, m)]);
+        b.assign(
+            arr,
+            Section::new(vec![rng(1, n - 1), rng(1, m)]),
+            add(upper, lower),
+        );
+    };
+    // L1: A row-reduced, B row-shifted.
+    let _k = b.begin_loop(1, trips);
+    row_reduce(&mut b);
+    row_shift(&mut b, bb);
+    b.end_loop();
+    // L2: B flips to column work; A still row-reduced.
+    let _k2 = b.begin_loop(1, trips);
+    col_shift(&mut b, bb);
+    row_reduce(&mut b);
+    b.end_loop();
+    // L3: A flips too.
+    let _k3 = b.begin_loop(1, trips);
+    col_shift(&mut b, a);
+    b.end_loop();
+    let p = b.finish();
+    p.validate().expect("reduction_tree must be well formed");
+    p
+}
+
 /// A multigrid-style V-cycle fragment: fine-grid relaxation, restriction to a
 /// coarse array, coarse-grid relaxation, and prolongation back. The fine and
 /// coarse phases touch templates of very different extents, so the best
@@ -562,6 +636,7 @@ pub fn phase_workloads() -> Vec<(&'static str, Program)> {
         ("multi_array_pipeline", multi_array_pipeline(32, 8)),
         ("conditional_pipeline", conditional_pipeline(32, 8, 0.7)),
         ("multigrid_vcycle", multigrid_vcycle(32, 4, 4)),
+        ("reduction_tree", reduction_tree(24, 24)),
     ]
 }
 
@@ -677,6 +752,39 @@ mod tests {
             }
         });
         assert_eq!(prob, Some(0.25));
+    }
+
+    #[test]
+    fn reduction_tree_shape() {
+        let p = reduction_tree(16, 4);
+        assert_eq!(p.num_top_level_stmts(), 3);
+        // L1 and L2 pair write-disjoint statements; L3 is a single
+        // statement: 2 + 2 + 1 atoms.
+        assert_eq!(p.distributable_atoms().len(), 5);
+        // Ragged batch axis: m = 3n/2 + 1 divides no processor count evenly.
+        let a = p.array_by_name("A").unwrap();
+        assert_eq!(p.decl(a).extents, vec![16, 25]);
+        let mut has_reduce = false;
+        p.walk_stmts(|s| {
+            if let Stmt::Assign { rhs, .. } = s {
+                fn find(e: &Expr) -> bool {
+                    match e {
+                        Expr::Reduce { .. } => true,
+                        Expr::Bin { lhs, rhs, .. } => find(lhs) || find(rhs),
+                        Expr::Unary { operand, .. } | Expr::Transpose { operand } => find(operand),
+                        _ => false,
+                    }
+                }
+                has_reduce |= find(rhs);
+            }
+        });
+        assert!(has_reduce, "the kernel is reduction-heavy");
+    }
+
+    #[test]
+    #[should_panic(expected = "even n")]
+    fn reduction_tree_rejects_odd_n() {
+        reduction_tree(7, 2);
     }
 
     #[test]

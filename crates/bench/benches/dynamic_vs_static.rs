@@ -26,6 +26,10 @@ fn main() {
             "conditional/32x8",
             align_ir::programs::conditional_pipeline(32, 8, 0.7),
         ),
+        (
+            "reduction_tree/24x24",
+            align_ir::programs::reduction_tree(24, 24),
+        ),
     ];
     let mut group = BenchGroup::new("dynamic_vs_static");
     let mut lines = Vec::new();

@@ -17,6 +17,14 @@ fn main() {
             "multigrid/32",
             align_ir::programs::multigrid_vcycle(32, 4, 4),
         ),
+        (
+            "multi_array/32x8",
+            align_ir::programs::multi_array_pipeline(32, 8),
+        ),
+        (
+            "reduction_tree/24x24",
+            align_ir::programs::reduction_tree(24, 24),
+        ),
     ];
     let mut group = BenchGroup::new("phase_pipeline");
     for (name, program) in &workloads {

@@ -24,7 +24,8 @@
 pub mod machine;
 pub mod simulate;
 
-pub use machine::{Machine, TemplateDistribution};
+pub use machine::{Machine, TemplateDistribution, REPLICATED_COORD};
 pub use simulate::{
-    redistribution_traffic, simulate, EdgeTraffic, RestingPlacement, SimOptions, SimReport,
+    redistribution_traffic, simulate, simulate_redistribution, EdgeTraffic, PlacementCache,
+    RedistSpec, RestingPlacement, SimOptions, SimReport,
 };

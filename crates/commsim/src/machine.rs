@@ -1,6 +1,11 @@
 //! The virtual machine: a processor grid and a block-cyclic distribution of
 //! the template onto it.
 
+/// Sentinel standing in for a replicated (`None`) coordinate in flat-packed
+/// coordinate buffers ([`TemplateDistribution::owner_flat`], the
+/// placement cache).
+pub const REPLICATED_COORD: i64 = i64::MIN;
+
 /// Anything that maps template cells to owning processors. The simulator is
 /// generic over this trait, so it can price both the built-in [`Machine`]
 /// (a uniform block-cyclic grid) and richer distributions — in particular
@@ -14,6 +19,19 @@ pub trait TemplateDistribution {
     /// coordinates (replicated axes) pin to processor coordinate 0 for
     /// ranking purposes; callers treat replicated traffic separately.
     fn owner(&self, coords: &[Option<i64>]) -> usize;
+
+    /// [`TemplateDistribution::owner`] over a flat coordinate buffer with
+    /// [`REPLICATED_COORD`] standing in for `None` — the allocation-free
+    /// hot path of the placement cache. Implementors should override this
+    /// when `owner` is cheap per axis; the default round-trips through an
+    /// `Option` vector.
+    fn owner_flat(&self, coords: &[i64]) -> usize {
+        let opts: Vec<Option<i64>> = coords
+            .iter()
+            .map(|&c| if c == REPLICATED_COORD { None } else { Some(c) })
+            .collect();
+        self.owner(&opts)
+    }
 
     /// Processor-grid extent along each template axis (product =
     /// `num_processors`). Exposing the per-axis structure lets the
@@ -107,6 +125,18 @@ impl TemplateDistribution for Machine {
 
     fn owner(&self, coords: &[Option<i64>]) -> usize {
         Machine::owner(self, coords)
+    }
+
+    fn owner_flat(&self, coords: &[i64]) -> usize {
+        let mut id = 0usize;
+        for t in 0..self.template_rank() {
+            let c = match coords.get(t) {
+                Some(&c) if c != REPLICATED_COORD => c,
+                _ => 0,
+            };
+            id = id * self.grid[t] + self.owner_axis(t, c);
+        }
+        id
     }
 
     fn grid_dims(&self) -> Vec<usize> {

@@ -121,6 +121,12 @@ impl EdgeTraffic {
     pub fn is_zero(&self) -> bool {
         self.element_moves == 0.0 && self.messages == 0.0 && self.broadcast_elements == 0.0
     }
+
+    /// Total elements carried: point-to-point moves plus broadcasts. The
+    /// scalar the phase pipeline's exact plan pricing sums.
+    pub fn elements(&self) -> f64 {
+        self.element_moves + self.broadcast_elements
+    }
 }
 
 /// The result of simulating a whole program.
@@ -139,6 +145,14 @@ impl SimReport {
     /// Total elements moved (point-to-point plus broadcast).
     pub fn total_elements(&self) -> f64 {
         self.total.element_moves + self.total.broadcast_elements
+    }
+
+    /// Fold another report into this one (summing totals, concatenating the
+    /// per-edge breakdown — edge ids then refer to the *contributing* ADGs,
+    /// e.g. one per atom when a phase is simulated atom by atom).
+    pub fn merge(&mut self, other: SimReport) {
+        self.total.add(&other.total);
+        self.per_edge.extend(other.per_edge);
     }
 }
 
@@ -295,6 +309,205 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
     }
 }
 
+use crate::machine::REPLICATED_COORD;
+
+/// Pre-evaluated element placements of one (ADG, alignment) pair.
+///
+/// [`simulate`] spends most of its time evaluating *positions* — affine
+/// offsets and strides per element per iteration — yet positions depend
+/// only on the alignment, never on the candidate distribution. When many
+/// distributions must be priced against the same aligned program (the phase
+/// pipeline prices every candidate layer entry), building this cache once
+/// and calling [`PlacementCache::price`] per candidate does the affine work
+/// once and reduces each candidate to owner lookups.
+///
+/// The cache mirrors [`simulate`]'s sampling exactly (same iteration
+/// strides, same element lattice, same scales), so for any distribution
+/// `d`: `cache.price(&d)` reports the **identical** traffic to
+/// `simulate(adg, alignment, &d, opts)` — locked in by the
+/// `cache_matches_simulate` test.
+pub struct PlacementCache {
+    edges: Vec<CachedEdge>,
+}
+
+struct CachedEdge {
+    id: EdgeId,
+    /// Iteration-sampling scale × the edge's control weight.
+    weight: f64,
+    /// Destination replicated while the source is not: every element is a
+    /// broadcast, no destination positions stored.
+    dst_replicated: bool,
+    src_rank: usize,
+    dst_rank: usize,
+    iterations: Vec<CachedIteration>,
+}
+
+struct CachedIteration {
+    /// Flat-packed coords per sample: `src_rank` source coordinates then
+    /// (unless the edge broadcasts) `dst_rank` destination coordinates,
+    /// with [`REPLICATED_COORD`] standing in for `None`.
+    coords: Vec<i64>,
+    /// Element-sampling scale per sample.
+    scales: Vec<f64>,
+}
+
+impl PlacementCache {
+    /// Evaluate every sampled (edge, iteration, element) placement of the
+    /// aligned program once.
+    pub fn new(adg: &Adg, alignment: &ProgramAlignment, opts: SimOptions) -> Self {
+        let mut edges = Vec::new();
+        for (eid, edge) in adg.edges() {
+            let src_port = adg.port(edge.src);
+            let src_align = alignment.port(edge.src);
+            let dst_align = alignment.port(edge.dst);
+            let num_points = edge.space.size() as usize;
+            if num_points == 0 {
+                continue;
+            }
+            let dst_replicated = dst_align.offsets.iter().any(OffsetAlign::is_replicated)
+                && !src_align.offsets.iter().any(OffsetAlign::is_replicated);
+            let src_rank = src_align.template_rank();
+            let dst_rank = dst_align.template_rank();
+            let iter_stride = num_points
+                .div_ceil(opts.iteration_budget(num_points))
+                .max(1);
+            let mut iterations = Vec::new();
+            let mut idx = 0usize;
+            edge.space.for_each_point(|point| {
+                let take = idx.is_multiple_of(iter_stride);
+                idx += 1;
+                if !take {
+                    return;
+                }
+                let extents: Vec<i64> = src_port
+                    .extents
+                    .iter()
+                    .map(|a| a.eval_assoc(point).max(0))
+                    .collect();
+                let total_elements: i64 = extents.iter().product::<i64>().max(0);
+                if total_elements == 0 {
+                    return;
+                }
+                let mut coords = Vec::new();
+                let mut scales = Vec::new();
+                let budget = opts.element_budget(total_elements as usize);
+                for_each_sampled_index(&extents, budget, |index, scale| {
+                    let src_pos = src_align.position_of(index, point);
+                    if !dst_replicated {
+                        let dst_pos = dst_align.position_of(index, point);
+                        if dst_pos == src_pos {
+                            // Identical positions have identical owners
+                            // under EVERY distribution: the sample can
+                            // never contribute traffic, so don't store it.
+                            // (This is what makes pricing a well-aligned
+                            // program cheap — only the residual edges
+                            // survive into the cache.)
+                            return;
+                        }
+                        coords.extend(src_pos.iter().map(|c| c.unwrap_or(REPLICATED_COORD)));
+                        coords.extend(dst_pos.iter().map(|c| c.unwrap_or(REPLICATED_COORD)));
+                    } else {
+                        coords.extend(src_pos.iter().map(|c| c.unwrap_or(REPLICATED_COORD)));
+                    }
+                    scales.push(scale);
+                });
+                iterations.push(CachedIteration { coords, scales });
+            });
+            edges.push(CachedEdge {
+                id: eid,
+                weight: iter_stride as f64 * edge.control_weight,
+                dst_replicated,
+                src_rank,
+                dst_rank,
+                iterations,
+            });
+        }
+        PlacementCache { edges }
+    }
+
+    /// Price one candidate distribution: identical traffic to running
+    /// [`simulate`] with the same options the cache was built with.
+    pub fn price<D: TemplateDistribution + ?Sized>(&self, machine: &D) -> SimReport {
+        self.run(machine)
+    }
+
+    /// Total elements moved under one candidate — the fast path for
+    /// ranking: skips the per-edge breakdown and the distinct
+    /// (sender, receiver) message sets (whose counts the element totals do
+    /// not depend on).
+    pub fn total_elements<D: TemplateDistribution + ?Sized>(&self, machine: &D) -> f64 {
+        let mut total = 0.0;
+        for edge in &self.edges {
+            let mut edge_elems = 0.0;
+            let sample_width = edge.sample_width();
+            for iteration in &edge.iterations {
+                for (s, chunk) in iteration.coords.chunks_exact(sample_width).enumerate() {
+                    let scale = iteration.scales[s];
+                    if edge.dst_replicated {
+                        edge_elems += scale;
+                        continue;
+                    }
+                    let src_owner = machine.owner_flat(&chunk[..edge.src_rank]);
+                    let dst_owner = machine.owner_flat(&chunk[edge.src_rank..]);
+                    if src_owner != dst_owner {
+                        edge_elems += scale;
+                    }
+                }
+            }
+            total += edge_elems * edge.weight;
+        }
+        total
+    }
+
+    fn run<D: TemplateDistribution + ?Sized>(&self, machine: &D) -> SimReport {
+        let mut report = SimReport {
+            processors: machine.num_processors(),
+            ..SimReport::default()
+        };
+        for edge in &self.edges {
+            let mut traffic = EdgeTraffic::default();
+            let sample_width = edge.sample_width();
+            for iteration in &edge.iterations {
+                let mut moves = 0.0;
+                let mut broadcast = 0.0;
+                let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+                for (s, chunk) in iteration.coords.chunks_exact(sample_width).enumerate() {
+                    let scale = iteration.scales[s];
+                    let src_owner = machine.owner_flat(&chunk[..edge.src_rank]);
+                    if edge.dst_replicated {
+                        broadcast += scale;
+                        pairs.insert((src_owner, usize::MAX));
+                    } else {
+                        let dst_owner = machine.owner_flat(&chunk[edge.src_rank..]);
+                        if src_owner != dst_owner {
+                            moves += scale;
+                            pairs.insert((src_owner, dst_owner));
+                        }
+                    }
+                }
+                traffic.element_moves += moves * edge.weight;
+                traffic.broadcast_elements += broadcast * edge.weight;
+                traffic.messages += pairs.len() as f64 * edge.weight;
+            }
+            if !traffic.is_zero() {
+                report.per_edge.push((edge.id, traffic));
+            }
+            report.total.add(&traffic);
+        }
+        report
+    }
+}
+
+impl CachedEdge {
+    fn sample_width(&self) -> usize {
+        if self.dst_replicated {
+            self.src_rank
+        } else {
+            self.src_rank + self.dst_rank
+        }
+    }
+}
+
 /// Decompose a linear processor id into per-axis grid coordinates (axis 0
 /// most significant — the composition order of `owner`).
 fn decompose(mut id: usize, dims: &[usize]) -> Vec<usize> {
@@ -426,6 +639,30 @@ impl<'a> RestingPlacement<'a> {
             opts,
         )
     }
+}
+
+/// One array's move at a phase boundary: the object's extents plus its
+/// resting placements on either side. A dynamic plan's boundary is a *list*
+/// of these — each array moves independently from wherever it actually
+/// rests (the layout chosen by the phase that last used it), there is no
+/// whole-boundary "flip" of a single global layout.
+pub struct RedistSpec<'a> {
+    /// The object's per-axis element extents.
+    pub extents: &'a [i64],
+    /// Where the object rests before the boundary.
+    pub src: RestingPlacement<'a>,
+    /// Where the next phase needs it.
+    pub dst: RestingPlacement<'a>,
+}
+
+/// Simulate the per-array redistribution steps of one boundary: each step is
+/// priced by the exact (sampled) owner comparison and the traffic summed.
+pub fn simulate_redistribution(steps: &[RedistSpec<'_>], opts: SimOptions) -> EdgeTraffic {
+    let mut total = EdgeTraffic::default();
+    for step in steps {
+        total.add(&step.src.traffic_to(&step.dst, step.extents, opts));
+    }
+    total
 }
 
 #[cfg(test)]
@@ -591,6 +828,64 @@ mod tests {
         let t = redistribution_traffic(&[16], &src, &m, &dst, &m, &[], SimOptions::default());
         assert_eq!(t.broadcast_elements, 16.0, "{t:?}");
         assert_eq!(t.element_moves, 0.0);
+    }
+
+    #[test]
+    fn cache_matches_simulate() {
+        // The placement cache must reproduce simulate() traffic exactly —
+        // same sampling, same scales, same message sets — for any candidate
+        // distribution, under exact and sampled options alike.
+        use alignment_core::pipeline::{align_program, PipelineConfig};
+        for program in [
+            programs::example1(200),
+            programs::figure1(24),
+            programs::figure4(16, 8, 4),
+            programs::stencil2d(24, 3),
+        ] {
+            let (adg, result) = align_program(&program, &PipelineConfig::default());
+            for opts in [
+                SimOptions::default(),
+                SimOptions::exact(),
+                SimOptions::sampled(64, 32),
+            ] {
+                let cache = PlacementCache::new(&adg, &result.alignment, opts);
+                for machine in [
+                    Machine::new(vec![2, 2], vec![8, 8]),
+                    Machine::new(vec![4, 1], vec![8, 32]),
+                    Machine::cyclic(vec![2, 2]),
+                ] {
+                    let direct = simulate(&adg, &result.alignment, &machine, opts);
+                    let cached = cache.price(&machine);
+                    assert_eq!(
+                        direct.total.element_moves, cached.total.element_moves,
+                        "{}: moves",
+                        program.name
+                    );
+                    assert_eq!(
+                        direct.total.broadcast_elements, cached.total.broadcast_elements,
+                        "{}: broadcast",
+                        program.name
+                    );
+                    assert_eq!(
+                        direct.total.messages, cached.total.messages,
+                        "{}: messages",
+                        program.name
+                    );
+                    assert_eq!(
+                        direct.per_edge.len(),
+                        cached.per_edge.len(),
+                        "{}",
+                        program.name
+                    );
+                    assert_eq!(
+                        cached.total_elements(),
+                        cache.total_elements(&machine),
+                        "{}: fast path",
+                        program.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

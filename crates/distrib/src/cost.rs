@@ -78,6 +78,16 @@ impl DistributionCost {
     pub fn is_zero(&self) -> bool {
         self.total() == 0.0
     }
+
+    /// Componentwise sum — pooling per-atom costs into a phase cost.
+    pub fn plus(&self, other: &DistributionCost) -> DistributionCost {
+        DistributionCost {
+            shift: self.shift + other.shift,
+            broadcast: self.broadcast + other.broadcast,
+            general: self.general + other.general,
+            imbalance: self.imbalance + other.imbalance,
+        }
+    }
 }
 
 impl std::fmt::Display for DistributionCost {

@@ -106,6 +106,18 @@ impl TemplateDistribution for ProgramDistribution {
         id
     }
 
+    fn owner_flat(&self, coords: &[i64]) -> usize {
+        let mut id = 0usize;
+        for (t, axis) in self.axes.iter().enumerate() {
+            let coord = match coords.get(t) {
+                Some(&c) if c != commsim::REPLICATED_COORD => c,
+                _ => 0,
+            };
+            id = id * axis.nprocs + axis.owner(coord);
+        }
+        id
+    }
+
     fn grid_dims(&self) -> Vec<usize> {
         self.grid()
     }

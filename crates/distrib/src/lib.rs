@@ -36,4 +36,7 @@ pub use layout::{AxisDistribution, Layout};
 pub use pipeline::{
     align_then_distribute, distribute_alignment, FullPipelineConfig, FullPipelineResult,
 };
-pub use solve::{solve_distribution, DistributionReport, RankedDistribution, SolveConfig};
+pub use solve::{
+    solve_distribution, solve_distribution_pooled, DistributionReport, RankedDistribution,
+    SignatureSpace, SolveConfig,
+};

@@ -125,6 +125,47 @@ fn axis_layout_candidates(extent: i64, g: usize, block_sizes: &[usize]) -> Vec<L
     out
 }
 
+/// The enumerable (grid, per-axis layout) signature space of a template:
+/// every grid shape of `config.nprocs` processors paired with its per-axis
+/// layout candidate lists. Shared by [`solve_distribution`] and the phase
+/// pipeline, which enumerates the space **once per phase** instead of once
+/// per atom.
+pub struct SignatureSpace {
+    /// Grid shapes (`∏ = nprocs`).
+    pub grids: Vec<Vec<usize>>,
+    /// Per-grid, per-axis layout candidates.
+    pub per_grid_layouts: Vec<Vec<Vec<Layout>>>,
+    /// Total number of (grid, layout) candidates in the space.
+    pub total_candidates: usize,
+}
+
+impl SignatureSpace {
+    /// Enumerate the space for a template with the given extents.
+    pub fn enumerate(extents: &[i64], config: &SolveConfig) -> SignatureSpace {
+        let t = extents.len();
+        assert!(t > 0, "cannot distribute a rank-0 template");
+        assert!(config.nprocs > 0, "need at least one processor");
+        let grids = enumerate_grids(config.nprocs, t);
+        let per_grid_layouts: Vec<Vec<Vec<Layout>>> = grids
+            .iter()
+            .map(|grid| {
+                (0..t)
+                    .map(|ax| axis_layout_candidates(extents[ax], grid[ax], &config.block_sizes))
+                    .collect()
+            })
+            .collect();
+        let total_candidates: usize = per_grid_layouts
+            .iter()
+            .map(|axes| axes.iter().map(Vec::len).product::<usize>())
+            .sum();
+        SignatureSpace {
+            grids,
+            per_grid_layouts,
+            total_candidates,
+        }
+    }
+}
+
 /// Search the (grid, layout) space for the cheapest distributions of an
 /// aligned program over `config.nprocs` processors.
 pub fn solve_distribution(
@@ -135,27 +176,33 @@ pub fn solve_distribution(
     let model =
         DistributionCostModel::with_max_points(adg, alignment, config.params.max_points_per_edge);
     let extents = model.template_extents();
-    let t = extents.len();
-    assert!(t > 0, "cannot distribute a rank-0 template");
-    assert!(config.nprocs > 0, "need at least one processor");
+    solve_distribution_pooled(std::slice::from_ref(&model), &extents, config)
+}
 
-    let grids = enumerate_grids(config.nprocs, t);
-    let per_grid_candidates: Vec<Vec<Vec<Layout>>> = grids
-        .iter()
-        .map(|grid| {
-            (0..t)
-                .map(|ax| axis_layout_candidates(extents[ax], grid[ax], &config.block_sizes))
-                .collect()
-        })
-        .collect();
-    let total_candidates: usize = per_grid_candidates
-        .iter()
-        .map(|axes| axes.iter().map(Vec::len).product::<usize>())
-        .sum();
-    let exhaustive = total_candidates <= config.max_exhaustive;
+/// Search the (grid, layout) space once for a *pool* of cost models sharing
+/// one template: each candidate is priced by every model (on the shared
+/// `extents`) and the models' costs summed. The phase pipeline uses this to
+/// search a whole phase — all its atoms — with a **single** enumeration of
+/// the signature space on the phase's covering template, instead of
+/// re-enumerating the same grids and layouts per atom.
+pub fn solve_distribution_pooled(
+    models: &[DistributionCostModel<'_>],
+    extents: &[i64],
+    config: &SolveConfig,
+) -> DistributionReport {
+    assert!(!models.is_empty(), "need at least one cost model");
+    let t = extents.len();
+    let space = SignatureSpace::enumerate(extents, config);
+    let exhaustive = space.total_candidates <= config.max_exhaustive;
 
     let mut ranked: Vec<RankedDistribution> = Vec::new();
     let mut evaluated = 0usize;
+    let pooled_cost = |dist: &ProgramDistribution| -> DistributionCost {
+        models
+            .iter()
+            .map(|m| m.cost(dist, &config.params))
+            .fold(DistributionCost::default(), |a, b| a.plus(&b))
+    };
     let mut consider = |dist: ProgramDistribution, cost: DistributionCost| {
         ranked.push(RankedDistribution {
             distribution: dist,
@@ -163,11 +210,11 @@ pub fn solve_distribution(
         });
     };
 
-    for (grid, candidates) in grids.iter().zip(&per_grid_candidates) {
+    for (grid, candidates) in space.grids.iter().zip(&space.per_grid_layouts) {
         if exhaustive {
             for layouts in cartesian(candidates) {
-                let dist = ProgramDistribution::new(&extents, grid, &layouts);
-                let cost = model.cost(&dist, &config.params);
+                let dist = ProgramDistribution::new(extents, grid, &layouts);
+                let cost = pooled_cost(&dist);
                 evaluated += 1;
                 consider(dist, cost);
             }
@@ -180,8 +227,8 @@ pub fn solve_distribution(
                     for &candidate in &candidates[ax] {
                         let mut layouts = base.clone();
                         layouts[ax] = candidate;
-                        let dist = ProgramDistribution::new(&extents, grid, &layouts);
-                        let cost = model.cost(&dist, &config.params);
+                        let dist = ProgramDistribution::new(extents, grid, &layouts);
+                        let cost = pooled_cost(&dist);
                         evaluated += 1;
                         next.push((cost.total(), layouts));
                         consider(dist, cost);
@@ -215,7 +262,7 @@ pub fn solve_distribution(
 
     DistributionReport {
         nprocs: config.nprocs,
-        template_extents: extents,
+        template_extents: extents.to_vec(),
         ranked,
         candidates_evaluated: evaluated,
         exhaustive,

@@ -14,37 +14,43 @@
 //!    from the ADG edge weights) and from axis-permutation flips of shared
 //!    arrays — so a topology flip *inside* a distribution-safe loop body is
 //!    a cuttable seam;
-//! 2. ranks a shared pool of [`distrib::ProgramDistribution`] signatures per
-//!    phase by pricing each atom's single analysis (no phase is ever
-//!    re-aligned), and prunes each phase's candidate layer by *dominance* —
-//!    a candidate survives only if no other candidate is simultaneously no
-//!    worse on the in-phase cost and on every boundary-redistribution edge;
-//! 3. [`redist`] — prices the inter-phase redistribution edges
-//!    (BLOCK ↔ CYCLIC remaps, transpose-style all-to-alls, replication
-//!    spreads and collapses) with a [`RedistCost`] model consistent with
-//!    [`distrib::DistribCostParams`], backed by the exact
-//!    [`commsim::redistribution_traffic`] owner comparison against the
-//!    *chosen resting placement* ([`commsim::RestingPlacement`]) — an array
-//!    untouched by a boundary's source phase may rest in either adjacent
-//!    candidate's layout;
-//! 4. [`dynamic`] — solves the resulting layered DAG (one layer per phase,
-//!    one node per surviving candidate, redistribution costs on the edges)
-//!    by shortest path, emitting a [`DynamicDistribution`]: a distribution
-//!    per phase plus explicit redistribution steps between them;
+//! 2. searches the (grid, layout) signature space **once per phase** — over
+//!    all the phase's atoms, on the phase's covering template
+//!    ([`distrib::solve_distribution_pooled`]) — and prices the shared
+//!    cross-phase signature pool per phase, so "staying put" on another
+//!    phase's favourite is always a comparable option;
+//! 3. [`redist`] — prices per-array redistribution moves (BLOCK ↔ CYCLIC
+//!    remaps, transpose-style all-to-alls, replication spreads and
+//!    collapses) with a [`RedistCost`] backed by the exact
+//!    [`commsim::redistribution_traffic`] owner comparison between *chosen
+//!    resting placements* ([`commsim::RestingPlacement`]);
+//! 4. [`dynamic`] — the **per-array layout-state DP**
+//!    ([`dynamic::solve_layout_dp`]): the state carries each array's actual
+//!    resting signature (the layout chosen by the phase that last used it),
+//!    a transition into a phase prices exactly the arrays that phase
+//!    touches from their true last-use layouts, and a layout switch must
+//!    beat staying put by a hysteresis margin. The resulting
+//!    [`DynamicDistribution::planned_cost`] — in-phase simulated traffic
+//!    plus per-array moves — equals the simulator's verdict under the same
+//!    sampling options (identically, under [`commsim::SimOptions::exact`]);
 //! 5. [`pipeline`] — [`align_then_distribute_dynamic`], the three-stage
-//!    driver (align → distribute per phase → redistribute between phases),
-//!    with [`simulate_dynamic`] validating the whole plan end to end in the
-//!    communication simulator.
+//!    driver (align → distribute per phase → redistribute between phases)
+//!    with DAG-driven boundary selection (detected seams the chosen path
+//!    does not use are cost-neutrally coalesced away), and
+//!    [`simulate_dynamic`] replaying
+//!    the identical accounting end to end in the communication simulator.
 
 pub mod dynamic;
 pub mod pipeline;
 pub mod redist;
 pub mod segment;
 
-pub use dynamic::{solve_dynamic, DynamicDistribution, PhaseCandidates, RedistStep};
+pub use dynamic::{
+    solve_layout_dp, DynamicDistribution, LayoutDpPlan, PhaseCandidates, RedistStep, SigId,
+};
 pub use pipeline::{
     align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
-    DynamicPipelineResult, DynamicSimReport, PhaseResult,
+    DynamicPipelineResult, DynamicSimReport, PhaseResult, Sig,
 };
 pub use redist::{price_redistribution, price_resting, RedistCost};
 pub use segment::{

@@ -47,6 +47,15 @@ impl RedistCost {
     pub fn is_zero(&self) -> bool {
         self.moved == 0.0 && self.broadcast == 0.0
     }
+
+    /// Raw element traffic of the move (point-to-point plus broadcast) —
+    /// the same units the communication simulator counts, and therefore the
+    /// scalar the per-array layout-state DP sums. Exactly
+    /// [`commsim::EdgeTraffic::elements`] of the underlying owner
+    /// comparison.
+    pub fn elements(&self) -> f64 {
+        self.moved + self.broadcast
+    }
 }
 
 impl std::fmt::Display for RedistCost {

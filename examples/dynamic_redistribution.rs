@@ -26,9 +26,9 @@ fn main() {
     }
     println!("\n{}", result.dynamic);
     println!(
-        "static best for comparison: {} (model cost {:.1})",
+        "static best for comparison: {} ({:.0} simulated elements)",
         result.static_result.best().distribution,
-        result.static_model_cost()
+        result.static_planned_cost
     );
 
     // Validate the plan end to end in the communication simulator.

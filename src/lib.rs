@@ -68,7 +68,9 @@ pub mod prelude {
         align_program, AlignmentResult, CommCost, CostModel, MobileOffsetConfig, OffsetStrategy,
         PipelineConfig, ProgramAlignment,
     };
-    pub use commsim::{simulate, Machine, SimOptions, SimReport, TemplateDistribution};
+    pub use commsim::{
+        simulate, Machine, PlacementCache, SimOptions, SimReport, TemplateDistribution,
+    };
     pub use distrib::{
         align_then_distribute, distribute_alignment, solve_distribution, AxisDistribution,
         DistribCostParams, DistributionCost, DistributionCostModel, DistributionReport,
@@ -77,7 +79,7 @@ pub mod prelude {
     };
     pub use phases::{
         align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
-        DynamicDistribution, DynamicPipelineResult, RedistCost,
+        DynamicDistribution, DynamicPipelineResult, PhaseResult, RedistCost, RedistStep,
     };
 }
 
