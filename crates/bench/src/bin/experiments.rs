@@ -62,6 +62,11 @@ fn main() {
             "Per-array layout-state DP — exact pricing vs the PR 4 min-approximation",
             e20,
         ),
+        (
+            "e21",
+            "Observability — solve-internals counters across machine sizes",
+            e21,
+        ),
     ];
 
     for (id, title, run) in experiments {
@@ -966,4 +971,51 @@ fn e20() {
     println!("true last-use layout (planned == sim dynamic by construction, exactly so");
     println!("under exact sampling), so each array pays exactly one all-to-all where it");
     println!("wants one, and dynamic wins at every machine size.");
+}
+
+// --- E21: observability — counter deltas across machine sizes -------------------------------------
+
+fn e21() {
+    let mut t = Table::new(&[
+        "P",
+        "phases",
+        "LP pivots",
+        "DP peak width",
+        "DP states merged",
+        "pricer hit%",
+        "cache prices/builds",
+        "elements priced",
+    ]);
+    let program = programs::reduction_tree(24, 24);
+    for p in [8usize, 16, 32, 64, 128] {
+        let before = trace::CounterSnapshot::now();
+        let result = align_then_distribute_dynamic(&program, p, &DynamicConfig::default());
+        let delta = trace::CounterSnapshot::now().delta_since(&before);
+        let get = |k: &str| delta.counters.get(k).copied().unwrap_or(0);
+        t.row(vec![
+            p.to_string(),
+            result.phases.len().to_string(),
+            get("lp.pivots").to_string(),
+            result.summary.peak_dp_layer_width.to_string(),
+            get("phases.dp.states_merged").to_string(),
+            format!("{:.0}", result.summary.pricer_hit_pct()),
+            format!(
+                "{}/{}",
+                get("commsim.cache.prices"),
+                get("commsim.cache.builds")
+            ),
+            get("commsim.elements_priced").to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("The always-on trace counters expose the solver's internal economy without");
+    println!("touching its results. LP pivots are exactly flat across P: alignment runs");
+    println!("before any machine parameter enters the pipeline. Downstream the counters");
+    println!("track the *surviving* signature space, not P itself — at larger P more");
+    println!("(grid, block-size) candidates collapse to the same feasible layout of the");
+    println!("24x24 arrays, so the DP layers get slightly narrower, fewer duplicate");
+    println!("states need merging, and the placement cache prices fewer layouts per");
+    println!("build (the prices/builds ratio is the per-phase candidate count). The");
+    println!("priced element volume moves with the candidate count, not P, because the");
+    println!("simulator samples a fixed fraction of each edge's iteration space.");
 }

@@ -1,0 +1,110 @@
+//! CI validator for exported Chrome traces.
+//!
+//! ```text
+//! trace_check <trace.json>
+//! ```
+//!
+//! Parses a `TRACE_JSON` export (the Chrome trace-event document
+//! `trace::chrome` writes) and fails (exit 1) unless it shows a real
+//! pipeline run:
+//!
+//! * the document parses and has a non-empty `traceEvents` array;
+//! * every pipeline layer (`lp`, `align`, `distrib`, `phases`, `commsim`)
+//!   contributed at least one timed (`"X"`) span;
+//! * spans have non-negative timestamps and durations;
+//! * at least one counter (`"C"`) sample carries a non-zero value.
+//!
+//! The CI `trace-validation` job runs the `dynamic_redistribution` example
+//! with `TRACE_JSON` set and feeds the result through this check, so a
+//! refactor that silently stops instrumenting a layer breaks the build.
+
+use bench::json::Json;
+use std::process::ExitCode;
+
+/// Every pipeline layer a full dynamic solve must leave spans in.
+const LAYERS: [&str; 5] = ["lp", "align", "distrib", "phases", "commsim"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_check <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    match check(path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+
+    let mut spans_per_layer: Vec<(&str, usize)> = LAYERS.iter().map(|&l| (l, 0)).collect();
+    let mut spans = 0usize;
+    let mut nonzero_counters = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no ph"))?;
+        match ph {
+            "X" => {
+                spans += 1;
+                let ts = e.get("ts").and_then(Json::as_f64).unwrap_or(-1.0);
+                let dur = e.get("dur").and_then(Json::as_f64).unwrap_or(-1.0);
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur ({ts}/{dur})"));
+                }
+                let cat = e.get("cat").and_then(Json::as_str).unwrap_or("");
+                if let Some(entry) = spans_per_layer.iter_mut().find(|(l, _)| *l == cat) {
+                    entry.1 += 1;
+                }
+            }
+            "C" => {
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                if value > 0.0 {
+                    nonzero_counters += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (layer, n) in &spans_per_layer {
+        if *n == 0 {
+            return Err(format!(
+                "no `{layer}` span — layer lost its instrumentation"
+            ));
+        }
+    }
+    if nonzero_counters == 0 {
+        return Err("no counter sample with a non-zero value".into());
+    }
+
+    let breakdown: Vec<String> = spans_per_layer
+        .iter()
+        .map(|(l, n)| format!("{l}={n}"))
+        .collect();
+    Ok(format!(
+        "ok: {spans} spans ({}), {nonzero_counters} non-zero counters",
+        breakdown.join(" ")
+    ))
+}

@@ -25,6 +25,8 @@ pub struct Measurement {
     pub median: Duration,
     /// Mean sample.
     pub mean: Duration,
+    /// Trace-counter deltas of the calibration run (name → count).
+    pub metrics: Vec<(String, u64)>,
 }
 
 /// A named group of benchmarks, mirroring criterion's `benchmark_group`.
@@ -67,10 +69,19 @@ impl BenchGroup {
     /// optimised away.
     pub fn bench<R>(&mut self, id: impl Into<String>, mut f: impl FnMut() -> R) -> &Measurement {
         let id = id.into();
-        // Calibration run (also warms caches).
+        // Calibration run (also warms caches). Trace-counter deltas around
+        // this one clean invocation become the record's `metrics` object:
+        // a per-run counter trail (LP pivots, DP states, cache hits, …)
+        // the regression gate stores alongside wall time.
+        let counters_before = trace::CounterSnapshot::now();
         let start = Instant::now();
         std::hint::black_box(f());
         let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let metrics: Vec<(String, u64)> = trace::CounterSnapshot::now()
+            .delta_since(&counters_before)
+            .counters
+            .into_iter()
+            .collect();
 
         let wanted = (self.target_time.as_secs_f64() / estimate.as_secs_f64()).ceil() as usize;
         let samples = wanted.clamp(self.min_samples, self.max_samples);
@@ -91,6 +102,7 @@ impl BenchGroup {
             min,
             median,
             mean,
+            metrics,
         });
         self.results.last().unwrap()
     }
@@ -127,13 +139,18 @@ impl BenchGroup {
         }
     }
 
-    /// Append this group's measurements to `path` as JSON lines.
+    /// Append this group's measurements to `path` as JSON lines. Relative
+    /// paths resolve against the workspace root (cargo runs bench binaries
+    /// with the *package* dir as cwd — see `trace::path`), so a plain
+    /// `BENCH_JSON=out.jsonl` lands next to `Cargo.lock` instead of
+    /// scattering files across package directories.
     fn append_json(&self, path: &str) -> std::io::Result<()> {
         use std::io::Write as _;
+        let resolved = trace::path::resolve_output_path(path);
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)?;
+            .open(&resolved)?;
         for m in &self.results {
             let record = crate::BenchRecord {
                 group: self.name.clone(),
@@ -142,6 +159,7 @@ impl BenchGroup {
                 min_ns: m.min.as_nanos() as u64,
                 median_ns: m.median.as_nanos() as u64,
                 mean_ns: m.mean.as_nanos() as u64,
+                metrics: m.metrics.clone(),
             };
             writeln!(file, "{}", record.to_json().to_string_compact())?;
         }

@@ -1,305 +1,16 @@
-//! Dependency-free JSON: a tiny value model, parser and writer, plus the
-//! benchmark-record schema the CI regression gate exchanges.
+//! The benchmark-record schema the CI regression gate exchanges, on top of
+//! the dependency-free JSON value model that now lives in [`trace::json`]
+//! (re-exported here so `bench::json::Json` keeps working).
 //!
-//! The container building this repository has no registry access, so serde
-//! is out of reach; the subset implemented here (objects, arrays, strings
-//! with escapes, finite numbers, booleans, null) is exactly what the
-//! benchmark files need. `BENCH_baseline.json` / `BENCH_pr.json` are arrays
-//! of flat [`BenchRecord`] objects; the bench binaries append records as
-//! JSON *lines* (one object per line, trivially mergeable across processes)
-//! and `bench_compare merge` folds the lines into the array document.
+//! `BENCH_baseline.json` / `BENCH_pr.json` are arrays of flat
+//! [`BenchRecord`] objects; the bench binaries append records as JSON
+//! *lines* (one object per line, trivially mergeable across processes) and
+//! `bench_compare merge` folds the lines into the array document. Since
+//! the trace layer landed, each record also carries a `metrics` object —
+//! the trace-counter deltas of one run of the benched closure — giving the
+//! gate a per-run counter trail alongside wall time.
 
-use std::fmt::Write as _;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parse a complete JSON document (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    /// Object field lookup.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// String value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Array elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Serialise compactly (no whitespace).
-    pub fn to_string_compact(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
-    /// Serialise with two-space indentation (stable diffs for committed
-    /// baselines).
-    pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
-                    let _ = write!(out, "{}", *n as i64);
-                } else {
-                    let _ = write!(out, "{n}");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
-                    items[i].write(out, indent, d)
-                })
-            }
-            Json::Obj(fields) => {
-                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
-                    write_escaped(out, &fields[i].0);
-                    out.push(':');
-                    if indent.is_some() {
-                        out.push(' ');
-                    }
-                    fields[i].1.write(out, indent, d)
-                })
-            }
-        }
-    }
-}
-
-fn write_seq(
-    out: &mut String,
-    indent: Option<usize>,
-    depth: usize,
-    open: char,
-    close: char,
-    len: usize,
-    mut item: impl FnMut(&mut String, usize, usize),
-) {
-    out.push(open);
-    for i in 0..len {
-        if i > 0 {
-            out.push(',');
-        }
-        if let Some(w) = indent {
-            out.push('\n');
-            out.push_str(&" ".repeat(w * (depth + 1)));
-        }
-        item(out, i, depth + 1);
-    }
-    if len > 0 {
-        if let Some(w) = indent {
-            out.push('\n');
-            out.push_str(&" ".repeat(w * depth));
-        }
-    }
-    out.push(close);
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    other => return Err(format!("object key must be a string, got {other:?}")),
-                };
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
-                }
-                *pos += 1;
-                let val = parse_value(b, pos)?;
-                fields.push((key, val));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
-                }
-            }
-        }
-        Some(b'"') => {
-            *pos += 1;
-            let mut s = String::new();
-            loop {
-                match b.get(*pos) {
-                    None => return Err("unterminated string".into()),
-                    Some(b'"') => {
-                        *pos += 1;
-                        return Ok(Json::Str(s));
-                    }
-                    Some(b'\\') => {
-                        *pos += 1;
-                        match b.get(*pos) {
-                            Some(b'"') => s.push('"'),
-                            Some(b'\\') => s.push('\\'),
-                            Some(b'/') => s.push('/'),
-                            Some(b'n') => s.push('\n'),
-                            Some(b'r') => s.push('\r'),
-                            Some(b't') => s.push('\t'),
-                            Some(b'b') => s.push('\u{8}'),
-                            Some(b'f') => s.push('\u{c}'),
-                            Some(b'u') => {
-                                let hex =
-                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
-                                let code = u32::from_str_radix(
-                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                    16,
-                                )
-                                .map_err(|e| e.to_string())?;
-                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                                *pos += 4;
-                            }
-                            other => return Err(format!("bad escape {other:?}")),
-                        }
-                        *pos += 1;
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 scalar (multi-byte sequences pass
-                        // through unchanged).
-                        let start = *pos;
-                        let mut end = start + 1;
-                        while end < b.len() && (b[end] & 0xC0) == 0x80 {
-                            end += 1;
-                        }
-                        s.push_str(std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?);
-                        *pos = end;
-                    }
-                }
-            }
-        }
-        Some(b't') if b[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if b[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if b[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < b.len()
-                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("bad number {text:?} at byte {start}"))
-        }
-    }
-}
+pub use trace::json::Json;
 
 /// One benchmark measurement as exchanged with the CI regression gate.
 #[derive(Debug, Clone, PartialEq)]
@@ -316,19 +27,36 @@ pub struct BenchRecord {
     pub median_ns: u64,
     /// Mean sample, nanoseconds.
     pub mean_ns: u64,
+    /// Trace-counter deltas of one run of the benched closure (name →
+    /// count, sorted by name). Empty for records predating the trace
+    /// layer; omitted from the JSON when empty, so old baselines and new
+    /// records interleave freely.
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl BenchRecord {
     /// The record as a JSON object.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("group".into(), Json::Str(self.group.clone())),
             ("id".into(), Json::Str(self.id.clone())),
             ("samples".into(), Json::Num(self.samples as f64)),
             ("min_ns".into(), Json::Num(self.min_ns as f64)),
             ("median_ns".into(), Json::Num(self.median_ns as f64)),
             ("mean_ns".into(), Json::Num(self.mean_ns as f64)),
-        ])
+        ];
+        if !self.metrics.is_empty() {
+            fields.push((
+                "metrics".into(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// Decode a record from a parsed JSON object.
@@ -345,6 +73,17 @@ impl BenchRecord {
                 .map(|n| n.max(0.0) as u64)
                 .ok_or_else(|| format!("missing numeric field {k:?}"))
         };
+        let metrics = match v.get("metrics") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, val)| {
+                    val.as_f64()
+                        .map(|n| (k.clone(), n.max(0.0) as u64))
+                        .ok_or_else(|| format!("non-numeric metric {k:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
         Ok(BenchRecord {
             group: str_field("group")?,
             id: str_field("id")?,
@@ -352,6 +91,7 @@ impl BenchRecord {
             min_ns: num_field("min_ns")?,
             median_ns: num_field("median_ns")?,
             mean_ns: num_field("mean_ns")?,
+            metrics,
         })
     }
 
@@ -399,6 +139,7 @@ mod tests {
             min_ns: median.saturating_sub(5),
             median_ns: median,
             mean_ns: median + 5,
+            metrics: Vec::new(),
         }
     }
 
@@ -415,33 +156,16 @@ mod tests {
     }
 
     #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let v =
-            Json::parse(r#"{"a": [1, 2.5, -3e2], "s": "x\n\"y\"", "b": true, "n": null}"#).unwrap();
-        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "x\n\"y\"");
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
-        assert_eq!(
-            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
-            Some(-300.0)
-        );
-        assert_eq!(v.get("b"), Some(&Json::Bool(true)));
-        assert_eq!(v.get("n"), Some(&Json::Null));
-    }
-
-    #[test]
-    fn parser_rejects_garbage() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1, 2,]").is_err());
-        assert!(Json::parse("[] trailing").is_err());
-        assert!(Json::parse("{\"a\" 1}").is_err());
-    }
-
-    #[test]
-    fn unicode_strings_roundtrip() {
-        let v = Json::parse(r#""µs and µs""#).unwrap();
-        assert_eq!(v.as_str().unwrap(), "µs and µs");
-        let out = Json::Str("µs".into()).to_string_compact();
-        assert_eq!(Json::parse(&out).unwrap().as_str().unwrap(), "µs");
+    fn metrics_roundtrip_and_stay_optional() {
+        let mut with = record("g", "a/1", 1000);
+        with.metrics = vec![("align.calls".into(), 3), ("lp.pivots".into(), 120)];
+        let doc = records_to_document(&[with.clone()]);
+        assert_eq!(parse_records(&doc).unwrap(), vec![with.clone()]);
+        // A metric-less record (old baseline) omits the field entirely and
+        // parses back with empty metrics.
+        let old = record("g", "b/2", 2000);
+        assert!(!old.to_json().to_string_compact().contains("metrics"));
+        assert!(with.to_json().to_string_compact().contains("lp.pivots"));
     }
 
     #[test]

@@ -165,6 +165,8 @@ pub fn simulate<D: TemplateDistribution + ?Sized>(
     machine: &D,
     opts: SimOptions,
 ) -> SimReport {
+    let _span = trace::span("commsim.simulate");
+    let sampling_before = trace::counter("commsim.sampling_events");
     let mut report = SimReport {
         processors: machine.num_processors(),
         ..SimReport::default()
@@ -176,6 +178,15 @@ pub fn simulate<D: TemplateDistribution + ?Sized>(
         }
         report.total.add(&traffic);
     }
+    // A run is "exact" when no edge strided its iterations and no object
+    // strided its element lattice — judged by what actually happened, not
+    // by the options (default options enumerate small programs exactly).
+    let kind = if trace::counter("commsim.sampling_events") > sampling_before {
+        "commsim.sims.sampled"
+    } else {
+        "commsim.sims.exact"
+    };
+    trace::count(kind, 1);
     report
 }
 
@@ -200,6 +211,9 @@ fn simulate_edge<D: TemplateDistribution + ?Sized>(
     let iter_stride = num_points
         .div_ceil(opts.iteration_budget(num_points))
         .max(1);
+    if iter_stride > 1 {
+        trace::count("commsim.sampling_events", 1);
+    }
     let iter_scale = iter_stride as f64;
     let mut idx = 0usize;
 
@@ -244,6 +258,10 @@ fn for_each_sampled_index(extents: &[i64], budget: usize, mut visit: impl FnMut(
         .collect();
     let sampled: i64 = sampled_per_axis.iter().product::<i64>().max(1);
     let scale = total as f64 / sampled as f64;
+    trace::count("commsim.elements_priced", sampled as u64);
+    if sampled < total {
+        trace::count("commsim.sampling_events", 1);
+    }
 
     let mut index = vec![1i64; extents.len()];
     loop {
@@ -355,6 +373,8 @@ impl PlacementCache {
     /// Evaluate every sampled (edge, iteration, element) placement of the
     /// aligned program once.
     pub fn new(adg: &Adg, alignment: &ProgramAlignment, opts: SimOptions) -> Self {
+        let _span = trace::span("commsim.cache.build");
+        trace::count("commsim.cache.builds", 1);
         let mut edges = Vec::new();
         for (eid, edge) in adg.edges() {
             let src_port = adg.port(edge.src);
@@ -436,6 +456,7 @@ impl PlacementCache {
     /// (sender, receiver) message sets (whose counts the element totals do
     /// not depend on).
     pub fn total_elements<D: TemplateDistribution + ?Sized>(&self, machine: &D) -> f64 {
+        trace::count("commsim.cache.prices", 1);
         let mut total = 0.0;
         for edge in &self.edges {
             let mut edge_elems = 0.0;
@@ -460,6 +481,7 @@ impl PlacementCache {
     }
 
     fn run<D: TemplateDistribution + ?Sized>(&self, machine: &D) -> SimReport {
+        trace::count("commsim.cache.prices", 1);
         let mut report = SimReport {
             processors: machine.num_processors(),
             ..SimReport::default()
@@ -658,6 +680,8 @@ pub struct RedistSpec<'a> {
 /// Simulate the per-array redistribution steps of one boundary: each step is
 /// priced by the exact (sampled) owner comparison and the traffic summed.
 pub fn simulate_redistribution(steps: &[RedistSpec<'_>], opts: SimOptions) -> EdgeTraffic {
+    let _span = trace::span("commsim.redistribution");
+    trace::count("commsim.redistributions", 1);
     let mut total = EdgeTraffic::default();
     for step in steps {
         total.add(&step.src.traffic_to(&step.dst, step.extents, opts));

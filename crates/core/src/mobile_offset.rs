@@ -33,18 +33,15 @@ use crate::position::{OffsetAlign, ProgramAlignment};
 use adg::{Adg, Edge, EdgeId, PortId};
 use align_ir::{Affine, IterationSpace, LivId};
 use lp::{Problem, Relation};
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashSet};
 
-thread_local! {
-    static LADDER_ENGAGED: Cell<u64> = const { Cell::new(0) };
-    static SINGLE_RANGE_ENGAGED: Cell<u64> = const { Cell::new(0) };
-}
-
 /// How often the rounding safety-net ladder of [`solve_axis_offsets`] has
-/// engaged on the current thread. Counters are thread-local so tests can
-/// assert on their own solves without interference from parallel test
-/// threads.
+/// engaged on the current thread. The counts live in the thread-local
+/// `trace` registry (`align.ladder_engaged` / `align.single_range_engaged`);
+/// this struct is the compatibility view the pre-trace API exposed, kept so
+/// regression tests and callers read one typed snapshot. Thread-locality
+/// means tests assert on their own solves without interference from
+/// parallel test threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FallbackStats {
     /// Solves where the primary strategy blew up on rounding and the ladder
@@ -56,18 +53,18 @@ pub struct FallbackStats {
     pub single_range_engaged: u64,
 }
 
-/// Current thread's fallback counters.
+/// Current thread's fallback counters (a view over the `trace` registry).
 pub fn fallback_stats() -> FallbackStats {
     FallbackStats {
-        ladder_engaged: LADDER_ENGAGED.with(Cell::get),
-        single_range_engaged: SINGLE_RANGE_ENGAGED.with(Cell::get),
+        ladder_engaged: trace::counter("align.ladder_engaged"),
+        single_range_engaged: trace::counter("align.single_range_engaged"),
     }
 }
 
 /// Reset the current thread's fallback counters (test setup).
 pub fn reset_fallback_stats() {
-    LADDER_ENGAGED.with(|c| c.set(0));
-    SINGLE_RANGE_ENGAGED.with(|c| c.set(0));
+    trace::reset_counter("align.ladder_engaged");
+    trace::reset_counter("align.single_range_engaged");
 }
 
 /// Strategy for choosing iteration-space subranges (Section 4.2).
@@ -243,6 +240,20 @@ fn initial_subranges(edge: &Edge, strategy: OffsetStrategy) -> Vec<Subrange> {
 /// Solve the offsets of one template axis and write them (rounded) into
 /// `alignment`. Ports in `replicated` get [`OffsetAlign::Replicated`] on this
 /// axis instead. Returns solve statistics.
+/// The trace counter tracking how often each offset strategy is chosen as
+/// the primary solve (`align.strategy.*`; ladder retries count their own
+/// rung separately via `align.ladder_engaged`).
+fn strategy_counter_name(strategy: OffsetStrategy) -> &'static str {
+    match strategy {
+        OffsetStrategy::Unrolling => "align.strategy.unrolling",
+        OffsetStrategy::SingleRange => "align.strategy.single_range",
+        OffsetStrategy::FixedPartition(_) => "align.strategy.fixed_partition",
+        OffsetStrategy::ZeroCrossing { .. } => "align.strategy.zero_crossing",
+        OffsetStrategy::RecursiveRefinement { .. } => "align.strategy.recursive_refinement",
+        OffsetStrategy::StateSpaceSearch { .. } => "align.strategy.state_space_search",
+    }
+}
+
 pub fn solve_axis_offsets(
     adg: &Adg,
     alignment: &mut ProgramAlignment,
@@ -250,6 +261,8 @@ pub fn solve_axis_offsets(
     replicated: &HashSet<PortId>,
     config: MobileOffsetConfig,
 ) -> OffsetSolveReport {
+    let _span = trace::span("align.solve_axis_offsets");
+    trace::count(strategy_counter_name(config.strategy), 1);
     // Edges participating in the objective: both endpoints non-replicated.
     let cost_edges: Vec<(EdgeId, &Edge)> = adg
         .edges()
@@ -326,7 +339,7 @@ pub fn solve_axis_offsets(
             || (r.exact_cost > 4.0 * (r.lp_objective.abs() + 1.0) && r.exact_cost > 100.0)
     };
     if best_report.as_ref().is_some_and(blown_up) {
-        LADDER_ENGAGED.with(|c| c.set(c.get() + 1));
+        trace::count("align.ladder_engaged", 1);
         let total_points: u64 = cost_edges.iter().map(|(_, e)| e.space.size()).sum();
         // Rung order: a finer fixed partition first (cheap, usually
         // enough); the static restriction second — pinning the array homes
@@ -354,7 +367,7 @@ pub fn solve_axis_offsets(
                 continue;
             }
             if matches!(alt, OffsetStrategy::SingleRange) {
-                SINGLE_RANGE_ENGAGED.with(|c| c.set(c.get() + 1));
+                trace::count("align.single_range_engaged", 1);
             }
             let alt_subranges: BTreeMap<EdgeId, Vec<Subrange>> = cost_edges
                 .iter()

@@ -19,26 +19,22 @@ use crate::replication::{label_all, ReplicationConfig, ReplicationLabeling};
 use crate::stride::solve_strides;
 use adg::{build_adg, Adg, NodeKind, PortId};
 use align_ir::Program;
-use std::cell::Cell;
 use std::collections::HashSet;
-
-thread_local! {
-    static ALIGN_CALLS: Cell<u64> = const { Cell::new(0) };
-}
 
 /// How many times [`align_program`] has run on the current thread since the
 /// last [`reset_align_call_count`]. The phase pipeline's contract is *one*
 /// alignment per atom (plus one for the whole-program static baseline);
-/// regression tests assert on this counter — the same thread-local pattern
-/// as `lp`'s and [`crate::mobile_offset::fallback_stats`]'s counters, so
-/// parallel test threads do not interfere.
+/// regression tests assert on this counter. The count lives in the
+/// thread-local `trace` registry as `align.calls` — this function is the
+/// compatibility view kept from the pre-trace API — so parallel test
+/// threads do not interfere.
 pub fn align_call_count() -> u64 {
-    ALIGN_CALLS.with(Cell::get)
+    trace::counter("align.calls")
 }
 
 /// Reset the current thread's [`align_call_count`] (test setup).
 pub fn reset_align_call_count() {
-    ALIGN_CALLS.with(|c| c.set(0));
+    trace::reset_counter("align.calls");
 }
 
 /// Configuration of the whole pipeline.
@@ -89,7 +85,8 @@ pub struct AlignmentResult {
 /// Run the full alignment analysis on a program. Returns the ADG (so callers
 /// can evaluate or simulate) and the result.
 pub fn align_program(program: &Program, config: &PipelineConfig) -> (Adg, AlignmentResult) {
-    ALIGN_CALLS.with(|c| c.set(c.get() + 1));
+    let _span = trace::span("align.program");
+    trace::count("align.calls", 1);
     let adg = build_adg(program);
     let result = align_adg(&adg, config);
     (adg, result)

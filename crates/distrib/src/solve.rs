@@ -191,8 +191,11 @@ pub fn solve_distribution_pooled(
     config: &SolveConfig,
 ) -> DistributionReport {
     assert!(!models.is_empty(), "need at least one cost model");
+    let _span = trace::span("distrib.solve");
+    trace::count("distrib.solves", 1);
     let t = extents.len();
     let space = SignatureSpace::enumerate(extents, config);
+    trace::record_value("distrib.signature_space", space.total_candidates as f64);
     let exhaustive = space.total_candidates <= config.max_exhaustive;
 
     let mut ranked: Vec<RankedDistribution> = Vec::new();
@@ -236,7 +239,12 @@ pub fn solve_distribution_pooled(
                 }
                 next.sort_by(|a, b| a.0.total_cmp(&b.0));
                 next.dedup_by(|a, b| a.1 == b.1);
-                next.truncate(config.beam_width.max(1));
+                let beam_width = config.beam_width.max(1);
+                trace::count(
+                    "distrib.beam_pruned",
+                    next.len().saturating_sub(beam_width) as u64,
+                );
+                next.truncate(beam_width);
                 beam = next.into_iter().map(|(_, l)| l).collect();
             }
         }
@@ -260,6 +268,7 @@ pub fn solve_distribution_pooled(
     ranked.dedup_by(|a, b| a.distribution == b.distribution);
     ranked.truncate(config.top_k.max(1));
 
+    trace::count("distrib.candidates_evaluated", evaluated as u64);
     DistributionReport {
         nprocs: config.nprocs,
         template_extents: extents.to_vec(),

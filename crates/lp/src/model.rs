@@ -288,7 +288,13 @@ impl Problem {
         &self,
         inner: impl FnOnce(&Problem) -> Result<Solution, SolveError>,
     ) -> Result<Solution, SolveError> {
+        let _span = trace::span("lp.solve");
+        trace::count("lp.solves", 1);
         let pre = crate::presolve::Presolve::new(self)?;
+        trace::count(
+            "lp.presolve_eliminated",
+            (self.num_vars() - pre.reduced.num_vars()) as u64,
+        );
         if pre.reduced.num_vars() == 0 {
             let values = pre.restore(&[]);
             let objective = pre.objective_offset;

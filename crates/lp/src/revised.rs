@@ -178,6 +178,7 @@ impl Revised {
     /// accumulated rounding damage; the caller gives up and lets the model
     /// layer fall back to the tableau oracle).
     fn refactorize(&mut self) -> bool {
+        trace::count("lp.refactorisations", 1);
         let old_basis = self.basis.clone();
         let old_etas = std::mem::take(&mut self.etas);
         let mut row_taken = vec![false; self.m];
@@ -300,6 +301,7 @@ impl Revised {
             let Some((q, decrease)) = entering else {
                 return RunResult::Optimal;
             };
+            trace::count("lp.pivots", 1);
             let s: f64 = if decrease { -1.0 } else { 1.0 };
 
             // Ratio test over x_B' = x_B − θ·s·d, plus the entering
@@ -701,7 +703,12 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         for c in phase1_cost.iter_mut().skip(art0) {
             *c = 1.0;
         }
+        let pivots_before_phase1 = trace::counter("lp.pivots");
         let phase1 = solver.run(&phase1_cost, max_iters, 4);
+        trace::count(
+            "lp.phase1_pivots",
+            trace::counter("lp.pivots") - pivots_before_phase1,
+        );
         let art_sum: f64 = (art0..ncols).map(|j| solver.x[j].abs()).sum();
         let b_scale = solver.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
         let feasible = art_sum <= 1e-7 * (1.0 + b_scale);

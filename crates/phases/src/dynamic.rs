@@ -173,6 +173,7 @@ pub fn solve_layout_dp(
     switch_margin: f64,
     mut move_cost: impl FnMut(usize, ArrayId, SigId, SigId) -> f64,
 ) -> LayoutDpPlan {
+    let _span = trace::span("phases.dp.solve");
     assert!(!layers.is_empty(), "need at least one phase");
     assert_eq!(layers.len(), refs.len(), "one reference set per phase");
     assert!(
@@ -262,9 +263,13 @@ pub fn solve_layout_dp(
         idx = s.back;
     }
 
+    let states_per_layer: Vec<usize> = state_layers.iter().map(Vec::len).collect();
+    for &w in &states_per_layer {
+        trace::record_value("phases.dp.layer_width", w as f64);
+    }
     LayoutDpPlan {
         chosen,
-        states_per_layer: state_layers.iter().map(Vec::len).collect(),
+        states_per_layer,
     }
 }
 
@@ -274,6 +279,7 @@ pub fn solve_layout_dp(
 /// cheaper can be part of an optimal continuation — the survivor keeps its
 /// own `(k, back)` for backtracking.
 fn dedup_states(states: &mut Vec<DpState>) {
+    let before = states.len();
     let mut best: HashMap<Resting, usize> = HashMap::new();
     let mut keep: Vec<DpState> = Vec::with_capacity(states.len());
     for s in states.drain(..) {
@@ -290,7 +296,12 @@ fn dedup_states(states: &mut Vec<DpState>) {
             }
         }
     }
+    trace::count("phases.dp.states_merged", (before - keep.len()) as u64);
     if keep.len() > MAX_STATES_PER_LAYER {
+        trace::count(
+            "phases.dp.states_pruned",
+            (keep.len() - MAX_STATES_PER_LAYER) as u64,
+        );
         keep.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         keep.truncate(MAX_STATES_PER_LAYER);
     }

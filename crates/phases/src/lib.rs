@@ -41,6 +41,7 @@
 //!    the identical accounting end to end in the communication simulator.
 
 pub mod dynamic;
+pub mod explain;
 pub mod pipeline;
 pub mod redist;
 pub mod segment;
@@ -48,9 +49,10 @@ pub mod segment;
 pub use dynamic::{
     solve_layout_dp, DynamicDistribution, LayoutDpPlan, PhaseCandidates, RedistStep, SigId,
 };
+pub use explain::explain;
 pub use pipeline::{
     align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
-    DynamicPipelineResult, DynamicSimReport, PhaseResult, Sig,
+    DynamicPipelineResult, DynamicSimReport, PhaseResult, Sig, SolveSummary,
 };
 pub use redist::{price_redistribution, price_resting, RedistCost};
 pub use segment::{

@@ -202,6 +202,69 @@ fn sig_of(d: &ProgramDistribution) -> Sig {
     (d.grid(), d.layouts())
 }
 
+/// A one-line digest of what one [`align_then_distribute_dynamic`] run did
+/// internally, assembled from the trace-counter deltas of the run (so
+/// identical solves report identical numbers). Spans are counted only when
+/// span recording is enabled ([`trace::TraceConfig`]); every other field is
+/// always live.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveSummary {
+    /// Timed spans the run recorded (0 with tracing disabled).
+    pub spans: usize,
+    /// Widest layer of the layout-state DP (live states after merging).
+    pub peak_dp_layer_width: usize,
+    /// Memoised boundary-pricing lookups answered from the memo.
+    pub pricer_hits: u64,
+    /// Boundary-pricing lookups that had to price from scratch.
+    pub pricer_misses: u64,
+    /// LP simplex pivots spent across all alignment solves.
+    pub lp_pivots: u64,
+}
+
+impl SolveSummary {
+    fn from_run(
+        at_entry: &trace::CounterSnapshot,
+        spans: usize,
+        peak_dp_layer_width: usize,
+    ) -> SolveSummary {
+        let delta = trace::CounterSnapshot::now().delta_since(at_entry);
+        let get = |name: &str| delta.counters.get(name).copied().unwrap_or(0);
+        SolveSummary {
+            spans,
+            peak_dp_layer_width,
+            pricer_hits: get("phases.pricer.hits"),
+            pricer_misses: get("phases.pricer.misses"),
+            lp_pivots: get("lp.pivots"),
+        }
+    }
+
+    /// Fraction of boundary-pricing lookups answered from the memo, as a
+    /// percentage (0 when the run priced no boundaries).
+    pub fn pricer_hit_pct(&self) -> f64 {
+        let total = self.pricer_hits + self.pricer_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.pricer_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SolveSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "solve: {} spans, peak DP layer {}, pricer hit {:.0}% ({}/{}), {} LP pivots",
+            self.spans,
+            self.peak_dp_layer_width,
+            self.pricer_hit_pct(),
+            self.pricer_hits,
+            self.pricer_hits + self.pricer_misses,
+            self.lp_pivots
+        )
+    }
+}
+
 /// The dynamic pipeline's full output.
 #[derive(Debug, Clone)]
 pub struct DynamicPipelineResult {
@@ -228,6 +291,8 @@ pub struct DynamicPipelineResult {
     /// [`DynamicConfig::sim`] — the number [`DynamicDistribution::planned_cost`]
     /// is compared against (same units, same options).
     pub static_planned_cost: f64,
+    /// One-line digest of the run's internal work (trace-counter deltas).
+    pub summary: SolveSummary,
     /// The configuration used (needed to re-price or simulate).
     pub config: DynamicConfig,
 }
@@ -381,8 +446,10 @@ impl<'a> MovePricer<'a> {
     /// `src` to the destination phase's signature `dst`.
     fn price(&mut self, q: usize, array: ArrayId, src: SigId, dst: SigId) -> RedistCost {
         if let Some(c) = self.memo.get(&(q, array, src, dst)) {
+            trace::count("phases.pricer.hits", 1);
             return *c;
         }
+        trace::count("phases.pricer.misses", 1);
         let cost = match (
             self.resting_before_phase(q, array),
             resting_at_start(&self.phases[q], array),
@@ -674,6 +741,11 @@ pub fn align_then_distribute_dynamic(
     nprocs: usize,
     config: &DynamicConfig,
 ) -> DynamicPipelineResult {
+    let _span = trace::span("phases.pipeline");
+    trace::count("phases.pipeline_runs", 1);
+    let counters_at_entry = trace::CounterSnapshot::now();
+    let spans_at_entry = trace::span_count();
+
     // Stage 0+1: one analysis per atom; boundaries from the signatures.
     let atoms = analyze_atoms(program, &config.alignment);
     let boundaries = match &config.boundaries {
@@ -692,9 +764,13 @@ pub fn align_then_distribute_dynamic(
     // over all the phase's atoms), then the cross-phase pool and the
     // pool-priced reports.
     let solve_cfg = config.solve_config(nprocs);
-    let mut phases = build_phases(atoms, &atom_ranges, &solve_cfg);
-    let pool = build_pool(&phases);
-    price_pool(&mut phases, &pool, &solve_cfg);
+    let (phases, pool) = {
+        let _span = trace::span("phases.search");
+        let mut phases = build_phases(atoms, &atom_ranges, &solve_cfg);
+        let pool = build_pool(&phases);
+        price_pool(&mut phases, &pool, &solve_cfg);
+        (phases, pool)
+    };
 
     let phase_refs: Vec<BTreeSet<ArrayId>> = phases.iter().map(|p| p.referenced()).collect();
     let live = build_live(program, &phase_refs);
@@ -702,7 +778,10 @@ pub fn align_then_distribute_dynamic(
     // Stage 3: candidate layers (model-capped, favourites retained,
     // in-phase costs simulated) and the per-array layout-state DP.
     let cap = config.max_candidates_per_phase.max(1);
-    let layers = build_layers(&phases, &pool, cap, &[], config.sim);
+    let layers = {
+        let _span = trace::span("phases.layers");
+        build_layers(&phases, &pool, cap, &[], config.sim)
+    };
     let mut pricer = MovePricer::new(&phases, &pool, program, config.sim);
     let plan = solve_layout_dp(
         &layers,
@@ -710,6 +789,7 @@ pub fn align_then_distribute_dynamic(
         config.switch_margin,
         |q, a, src, dst| pricer.price(q, a, src, dst).elements(),
     );
+    let peak_dp_layer_width = plan.states_per_layer.iter().copied().max().unwrap_or(0);
     let chosen_sigs: Vec<SigId> = plan
         .chosen
         .iter()
@@ -725,6 +805,7 @@ pub fn align_then_distribute_dynamic(
     // construction). The DP decided which seams are real; the rest
     // disappear from the plan.
     let (phases, live, layers, chosen_sigs, chosen, steps) = if config.coalesce_phases {
+        let _span = trace::span("phases.coalesce");
         coalesce(
             phases,
             live,
@@ -769,21 +850,31 @@ pub fn align_then_distribute_dynamic(
 
     // The static baseline over the whole program, simulated under the same
     // options the plan is priced with.
-    let static_result = align_then_distribute(
-        program,
-        nprocs,
-        &FullPipelineConfig {
-            alignment: config.alignment,
-            distribution: config.distribution.clone(),
-        },
+    let (static_result, static_planned_cost) = {
+        let _span = trace::span("phases.static_baseline");
+        let static_result = align_then_distribute(
+            program,
+            nprocs,
+            &FullPipelineConfig {
+                alignment: config.alignment,
+                distribution: config.distribution.clone(),
+            },
+        );
+        let static_planned_cost = simulate(
+            &static_result.adg,
+            &static_result.alignment.alignment,
+            &static_result.best().distribution,
+            config.sim,
+        )
+        .total_elements();
+        (static_result, static_planned_cost)
+    };
+
+    let summary = SolveSummary::from_run(
+        &counters_at_entry,
+        trace::span_count() - spans_at_entry,
+        peak_dp_layer_width,
     );
-    let static_planned_cost = simulate(
-        &static_result.adg,
-        &static_result.alignment.alignment,
-        &static_result.best().distribution,
-        config.sim,
-    )
-    .total_elements();
 
     DynamicPipelineResult {
         nprocs,
@@ -794,6 +885,7 @@ pub fn align_then_distribute_dynamic(
         dynamic,
         static_result,
         static_planned_cost,
+        summary,
         config: config.clone(),
     }
 }
@@ -845,6 +937,10 @@ fn coalesce(
             groups.push(vec![b + 1]);
         }
     }
+    trace::count(
+        "phases.seams_coalesced",
+        (phases.len() - groups.len()) as u64,
+    );
     if groups.len() == phases.len() {
         return (phases, live, layers, chosen_sigs, chosen, steps);
     }

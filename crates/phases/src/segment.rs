@@ -158,8 +158,10 @@ impl AtomAnalysis {
 /// align, and derive the signature and def/use sets. The returned vector is
 /// the substrate of the whole phase pipeline.
 pub fn analyze_atoms(program: &Program, config: &PipelineConfig) -> Vec<AtomAnalysis> {
-    program
-        .distributable_atoms()
+    let _span = trace::span("phases.analyze_atoms");
+    let atoms = program.distributable_atoms();
+    trace::count("phases.atoms_analyzed", atoms.len() as u64);
+    atoms
         .into_iter()
         .map(|atom| {
             let sub = program.from_atoms(std::slice::from_ref(&atom));
@@ -185,6 +187,7 @@ pub fn analyze_atoms(program: &Program, config: &PipelineConfig) -> Vec<AtomAnal
 /// conflicting communication topologies. Returns an empty vector for
 /// single-phase programs.
 pub fn detect_boundaries(atoms: &[AtomAnalysis], config: &SegmentationConfig) -> Vec<usize> {
+    let _span = trace::span("phases.detect_boundaries");
     let mut boundaries = Vec::new();
     // The signature the current phase is committed to: the last atom with
     // enough communication to have an opinion.
@@ -201,6 +204,7 @@ pub fn detect_boundaries(atoms: &[AtomAnalysis], config: &SegmentationConfig) ->
         }
         current = Some(sig);
     }
+    trace::count("phases.seams_proposed", boundaries.len() as u64);
     boundaries
 }
 

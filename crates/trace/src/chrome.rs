@@ -1,0 +1,195 @@
+//! Chrome trace-event export.
+//!
+//! Renders a drained [`Trace`] as the JSON object format the
+//! `chrome://tracing` / Perfetto UI loads: spans become complete (`"X"`)
+//! duration events with microsecond timestamps, structured events become
+//! instant (`"i"`) events, and every counter is emitted as one counter
+//! (`"C"`) sample so the UI shows the final totals alongside the
+//! timeline. The pipeline-layer prefix of each span name (`lp.`,
+//! `phases.`, …) is the event category, so layers are filterable.
+//!
+//! [`export_env_trace`] is the one-call hook examples and CI use: when the
+//! `TRACE_JSON` environment variable names a file, the current thread's
+//! trace is written there — relative paths resolving against the
+//! workspace root ([`crate::path`]), exactly like `BENCH_JSON`.
+
+use crate::json::Json;
+use crate::{EventRecord, SpanRecord, Trace};
+use std::path::PathBuf;
+
+fn layer_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1000.0)
+}
+
+fn span_event(s: &SpanRecord) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(s.name.into())),
+        ("cat".into(), Json::Str(layer_of(s.name).into())),
+        ("ph".into(), Json::Str("X".into())),
+        ("ts".into(), us(s.start_ns)),
+        ("dur".into(), us(s.dur_ns)),
+        ("pid".into(), Json::Num(1.0)),
+        ("tid".into(), Json::Num(1.0)),
+        (
+            "args".into(),
+            Json::Obj(vec![("depth".into(), Json::Num(s.depth as f64))]),
+        ),
+    ])
+}
+
+fn instant_event(e: &EventRecord) -> Json {
+    let args = e
+        .args
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(e.name.into())),
+        ("cat".into(), Json::Str(layer_of(e.name).into())),
+        ("ph".into(), Json::Str("i".into())),
+        ("s".into(), Json::Str("t".into())),
+        ("ts".into(), us(e.ts_ns)),
+        ("pid".into(), Json::Num(1.0)),
+        ("tid".into(), Json::Num(1.0)),
+        ("args".into(), Json::Obj(args)),
+    ])
+}
+
+fn counter_event(name: &str, value: u64, ts_ns: u64) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.into())),
+        ("cat".into(), Json::Str(layer_of(name).into())),
+        ("ph".into(), Json::Str("C".into())),
+        ("ts".into(), us(ts_ns)),
+        ("pid".into(), Json::Num(1.0)),
+        ("tid".into(), Json::Num(1.0)),
+        (
+            "args".into(),
+            Json::Obj(vec![("value".into(), Json::Num(value as f64))]),
+        ),
+    ])
+}
+
+/// The trace as a `chrome://tracing`-loadable JSON document.
+pub fn to_chrome_json(trace: &Trace) -> Json {
+    let end_ns = trace
+        .spans
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .chain(trace.events.iter().map(|e| e.ts_ns))
+        .max()
+        .unwrap_or(0);
+    let mut events: Vec<Json> = trace.spans.iter().map(span_event).collect();
+    events.extend(trace.events.iter().map(instant_event));
+    events.extend(
+        trace
+            .counters
+            .iter()
+            .map(|(name, &value)| counter_event(name, value, end_ns)),
+    );
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+}
+
+/// Write the trace to `path` (relative paths resolve against the
+/// workspace root). Returns the path actually written.
+pub fn write_chrome_trace(path: &str, trace: &Trace) -> std::io::Result<PathBuf> {
+    let resolved = crate::path::resolve_output_path(path);
+    if let Some(parent) = resolved.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&resolved, to_chrome_json(trace).to_string_pretty())?;
+    Ok(resolved)
+}
+
+/// Drain the current thread's trace ([`crate::take`]) and, when the
+/// `TRACE_JSON` environment variable names a file, write it there as a
+/// Chrome trace. Returns the written path, or `None` when the variable is
+/// unset/empty. Call once per run, after the work to be traced.
+pub fn export_env_trace() -> std::io::Result<Option<PathBuf>> {
+    let trace = crate::take();
+    match std::env::var("TRACE_JSON") {
+        Ok(path) if !path.is_empty() => write_chrome_trace(&path, &trace).map(Some),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::default();
+        t.spans.push(SpanRecord {
+            name: "phases.pipeline",
+            start_ns: 1_000,
+            dur_ns: 9_000,
+            depth: 0,
+            parent: None,
+        });
+        t.spans.push(SpanRecord {
+            name: "lp.solve",
+            start_ns: 2_000,
+            dur_ns: 3_000,
+            depth: 1,
+            parent: Some(0),
+        });
+        t.events.push(EventRecord {
+            name: "phases.boundary",
+            ts_ns: 6_000,
+            args: vec![("atom".into(), "1".into())],
+        });
+        t.counters.insert("lp.pivots".into(), 42);
+        t
+    }
+
+    #[test]
+    fn chrome_document_parses_and_has_all_event_kinds() {
+        let doc = to_chrome_json(&sample_trace());
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, vec!["X", "X", "i", "C"]);
+        // Timestamps are microseconds.
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(9.0));
+        assert_eq!(
+            events[1].get("cat").unwrap().as_str(),
+            Some("lp"),
+            "category is the layer prefix"
+        );
+        assert_eq!(
+            events[3]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn write_resolves_relative_paths_to_workspace_root() {
+        let path = "target/test-traces/chrome_trace_unit.json";
+        let written = write_chrome_trace(path, &sample_trace()).unwrap();
+        assert!(written.is_absolute() || written.starts_with(crate::path::workspace_root()));
+        assert!(written.ends_with(path));
+        let text = std::fs::read_to_string(&written).unwrap();
+        assert!(Json::parse(&text).is_ok());
+        std::fs::remove_file(&written).ok();
+    }
+}

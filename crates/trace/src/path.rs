@@ -1,0 +1,96 @@
+//! Workspace-root-relative output paths.
+//!
+//! Cargo runs test and bench binaries with the *package* directory as
+//! their working directory (`crates/bench`, `crates/trace`, …), so a
+//! relative `BENCH_JSON=out.jsonl` silently scatters files across package
+//! dirs — the CI recipe had to spell out `$PWD`-absolute paths to dodge
+//! it. [`resolve_output_path`] removes the footgun: relative paths are
+//! resolved against the **workspace root**, found by walking up from
+//! `CARGO_MANIFEST_DIR` (set by cargo for every `run`/`test`/`bench`
+//! invocation; falls back to the current directory) to the nearest
+//! ancestor that owns a `Cargo.lock` or a `[workspace]` manifest.
+
+use std::path::{Path, PathBuf};
+
+/// The workspace root: the nearest ancestor of `start` containing a
+/// `Cargo.lock`, else the nearest whose `Cargo.toml` declares
+/// `[workspace]`, else `start` itself.
+fn workspace_root_from(start: &Path) -> PathBuf {
+    for dir in start.ancestors() {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.to_path_buf();
+        }
+    }
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    start.to_path_buf()
+}
+
+/// The workspace root of the running binary (see module docs for the
+/// walk-up rules).
+pub fn workspace_root() -> PathBuf {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    workspace_root_from(&start)
+}
+
+/// Resolve an output path from an environment variable's value: absolute
+/// paths pass through untouched, relative ones land in the workspace root
+/// regardless of which package directory cargo started the binary in.
+pub fn resolve_output_path(path: &str) -> PathBuf {
+    let p = Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        workspace_root().join(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_paths_pass_through() {
+        let abs = if cfg!(windows) {
+            r"C:\tmp\out.json"
+        } else {
+            "/tmp/out.json"
+        };
+        assert_eq!(resolve_output_path(abs), PathBuf::from(abs));
+    }
+
+    #[test]
+    fn relative_paths_land_in_the_workspace_root() {
+        // Cargo runs this test with CARGO_MANIFEST_DIR = crates/trace; the
+        // resolved path must escape the package dir and land next to the
+        // workspace Cargo.lock.
+        let resolved = resolve_output_path("out.jsonl");
+        let root = resolved.parent().unwrap();
+        assert!(
+            root.join("Cargo.lock").is_file(),
+            "expected workspace root, got {}",
+            root.display()
+        );
+        assert!(!root.ends_with("crates/trace"), "{}", root.display());
+        assert_eq!(resolved.file_name().unwrap(), "out.jsonl");
+    }
+
+    #[test]
+    fn walkup_prefers_the_lockfile_owner() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.lock").is_file());
+        // Nested relative components survive.
+        let nested = resolve_output_path("target/traces/run1.json");
+        assert!(nested.starts_with(&root));
+        assert!(nested.ends_with("target/traces/run1.json"));
+    }
+}

@@ -59,6 +59,7 @@ pub use distrib;
 pub use lp;
 pub use netflow;
 pub use phases;
+pub use trace;
 
 /// Everything most applications need.
 pub mod prelude {
@@ -78,9 +79,11 @@ pub mod prelude {
         SolveConfig,
     };
     pub use phases::{
-        align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
+        align_then_distribute_dynamic, explain, simulate_dynamic, simulate_static, DynamicConfig,
         DynamicDistribution, DynamicPipelineResult, PhaseResult, RedistCost, RedistStep,
+        SolveSummary,
     };
+    pub use trace::{self, CounterSnapshot, TraceConfig};
 }
 
 #[cfg(test)]
