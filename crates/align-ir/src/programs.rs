@@ -627,8 +627,9 @@ pub fn multigrid_vcycle(n: i64, fine_steps: i64, coarse_steps: i64) -> Program {
 
 /// The phase-flip workload suite with stable labels: every built-in program
 /// whose communication topology changes mid-program (or may, depending on
-/// control weights). Tests and benches of the dynamic-redistribution
-/// pipeline iterate this list rather than hand-rolling their own.
+/// control weights), plus `lookup_table` as the gather/scatter
+/// stays-one-phase control case. Tests, benches and the counter gate
+/// iterate this list rather than hand-rolling their own.
 pub fn phase_workloads() -> Vec<(&'static str, Program)> {
     vec![
         ("fft_like", fft_like(32, 40)),
@@ -637,6 +638,7 @@ pub fn phase_workloads() -> Vec<(&'static str, Program)> {
         ("conditional_pipeline", conditional_pipeline(32, 8, 0.7)),
         ("multigrid_vcycle", multigrid_vcycle(32, 4, 4)),
         ("reduction_tree", reduction_tree(24, 24)),
+        ("lookup_table", lookup_table(256, 64, 10)),
     ]
 }
 

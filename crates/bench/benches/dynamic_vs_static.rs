@@ -30,6 +30,10 @@ fn main() {
             "reduction_tree/24x24",
             align_ir::programs::reduction_tree(24, 24),
         ),
+        (
+            "lookup_table/256x64x10",
+            align_ir::programs::lookup_table(256, 64, 10),
+        ),
     ];
     let mut group = BenchGroup::new("dynamic_vs_static");
     let mut lines = Vec::new();

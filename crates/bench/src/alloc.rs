@@ -1,0 +1,143 @@
+//! A counting global allocator for the bench harness.
+//!
+//! Wall time says *how long* a solve took; the allocator says *how much
+//! memory churn* it paid. Every binary linking this crate (the gated
+//! benches, `experiments`, the gate binaries) routes the global allocator
+//! through [`CountingAlloc`], which forwards to [`System`] and keeps three
+//! process-wide tallies: total allocation count, currently-live bytes, and
+//! the peak of live bytes since the last [`reset_peak`]. The bench harness
+//! snapshots these around each calibration run and stores the deltas as
+//! `alloc.allocations` / `alloc.peak_bytes` metrics in every BENCH_JSON
+//! row, so memory regressions are recorded from day one alongside the
+//! wall-time and trace-counter trails.
+//!
+//! The counters are relaxed atomics — a handful of uncontended atomic ops
+//! per allocation — so the measured pipeline is not meaningfully perturbed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to [`System`], counting allocations and live/peak bytes.
+pub struct CountingAlloc;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn on_alloc(size: usize) {
+    ALLOCATIONS.fetch_add(1, Relaxed);
+    let live = CURRENT_BYTES.fetch_add(size as u64, Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    // Saturate rather than wrap: bytes allocated before a stats window
+    // opened can be freed inside it.
+    let _ = CURRENT_BYTES.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(size as u64)));
+}
+
+// SAFETY: defers all allocation to `System`; bookkeeping never observes or
+// mutates the allocated memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// A point-in-time copy of the allocator's tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations since process start (reallocs count as one).
+    pub allocations: u64,
+    /// Bytes currently live.
+    pub current_bytes: u64,
+    /// Peak of live bytes since the last [`reset_peak`].
+    pub peak_bytes: u64,
+}
+
+/// Snapshot the process-wide allocation tallies.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocations: ALLOCATIONS.load(Relaxed),
+        current_bytes: CURRENT_BYTES.load(Relaxed),
+        peak_bytes: PEAK_BYTES.load(Relaxed),
+    }
+}
+
+/// Restart peak tracking from the currently-live byte count, so the next
+/// [`stats`] reports the peak of the region that follows.
+pub fn reset_peak() {
+    PEAK_BYTES.store(CURRENT_BYTES.load(Relaxed), Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tallies are process-wide and other test threads allocate
+    // concurrently, so assertions stick to race-proof invariants.
+
+    #[test]
+    fn allocations_and_peak_are_observed() {
+        let before = stats();
+        let v: Vec<u64> = Vec::with_capacity(64 * 1024);
+        let after = stats();
+        assert!(
+            after.allocations > before.allocations,
+            "a fresh 512 KiB Vec must show up: {before:?} -> {after:?}"
+        );
+        // While the Vec is live every peak candidate includes its bytes,
+        // whether the last reset_peak happened before or after the alloc.
+        assert!(
+            after.peak_bytes >= 64 * 1024 * 8,
+            "peak must cover the live Vec: {after:?}"
+        );
+        drop(v);
+        // The count is monotone; live bytes shrank by at least our free
+        // minus whatever other threads allocated (unassertable), so only
+        // check the counter kept moving forward.
+        assert!(stats().allocations >= after.allocations);
+    }
+
+    #[test]
+    fn reset_peak_keeps_stats_coherent() {
+        let big: Vec<u8> = vec![0; 1 << 20];
+        assert!(stats().peak_bytes >= 1 << 20);
+        drop(big);
+        reset_peak();
+        let s = stats();
+        assert!(s.allocations > 0);
+        // The freed MiB may or may not still dominate (another thread can
+        // race a large alloc in), but the tallies must stay well-formed.
+        assert!(s.peak_bytes <= u64::MAX / 2, "no wraparound: {s:?}");
+    }
+}

@@ -15,6 +15,13 @@
 //! from the current run (a silently dropped bench must not pass the gate).
 //! A small absolute slack (50 µs) keeps sub-millisecond benches from
 //! tripping the gate on scheduler noise alone.
+//!
+//! Alongside the wall-time table, `compare` prints the per-bench `metrics`
+//! counter deltas (trace counters plus the allocator axis) for every pair
+//! whose counters differ — the machine-independent view next to the noisy
+//! one, so a wall-time regression can be read against the counter trail in
+//! the same CI log. Counter drift is informational here; the *enforcing*
+//! counter gate is the `counter_gate` binary.
 
 use bench::json::{parse_records, records_to_document, BenchRecord};
 use std::process::ExitCode;
@@ -77,6 +84,59 @@ fn fmt_ns(ns: u64) -> String {
     bench::harness::fmt_duration(std::time::Duration::from_nanos(ns))
 }
 
+/// The per-bench counter story next to the wall-time one: for every pair
+/// carrying `metrics`, print the counters whose values moved (and counters
+/// present on only one side). Purely informational — the enforcing
+/// counter gate is `counter_gate` over the canonical suite.
+fn print_metric_deltas(baseline: &[BenchRecord], current: &[BenchRecord]) {
+    let mut rows: Vec<(String, String, u64, u64)> = Vec::new();
+    let mut compared = 0usize;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
+            continue;
+        };
+        if base.metrics.is_empty() || cur.metrics.is_empty() {
+            continue;
+        }
+        compared += 1;
+        let names: std::collections::BTreeSet<&String> = base
+            .metrics
+            .iter()
+            .map(|(n, _)| n)
+            .chain(cur.metrics.iter().map(|(n, _)| n))
+            .collect();
+        for name in names {
+            let get = |r: &BenchRecord| {
+                r.metrics
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0)
+            };
+            let (b, c) = (get(base), get(cur));
+            if b != c {
+                rows.push((base.key(), name.clone(), b, c));
+            }
+        }
+    }
+    if compared == 0 {
+        return;
+    }
+    if rows.is_empty() {
+        println!("counter deltas: all metrics identical across {compared} benchmark(s)\n");
+        return;
+    }
+    println!("| benchmark | counter | baseline | current | delta |");
+    println!("|---|---|---:|---:|---:|");
+    for (key, name, b, c) in &rows {
+        println!(
+            "| {key} | {name} | {b} | {c} | {:+} |",
+            *c as i128 - *b as i128
+        );
+    }
+    println!();
+}
+
 fn compare(baseline_path: &str, current_path: &str, tolerance: f64) -> ExitCode {
     let (baseline, current) = match (load(baseline_path), load(current_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -127,6 +187,7 @@ fn compare(baseline_path: &str, current_path: &str, tolerance: f64) -> ExitCode 
         }
     }
     println!();
+    print_metric_deltas(&baseline, &current);
 
     let mut failed = false;
     if !missing.is_empty() {

@@ -1,0 +1,103 @@
+//! The machine-independent counter regression gate.
+//!
+//! ```text
+//! counter_gate [--record] [PATH]
+//! ```
+//!
+//! Solves the canonical suite (every `phase_workloads()` entry at the
+//! pinned processor count, default configuration — see
+//! `bench::countergate`) and compares its counter trail against the
+//! committed baseline at `PATH` (default `COUNTER_baseline.json`, resolved
+//! against the workspace root like every other harness path). Counters
+//! must match the baseline **exactly**, except the explicitly-listed
+//! sampled-sim counters which get a relative band; any divergence prints a
+//! named-counter diff table and exits non-zero.
+//!
+//! `--record` re-runs the suite and (over)writes the baseline instead —
+//! the reviewed way to accept an intentional algorithmic change.
+
+use bench::countergate;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut record = false;
+    let mut path = String::from("COUNTER_baseline.json");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--record" => record = true,
+            "--help" | "-h" => {
+                println!("usage: counter_gate [--record] [PATH]");
+                println!("  compares the canonical suite's trace counters against PATH");
+                println!("  (default COUNTER_baseline.json at the workspace root);");
+                println!("  --record (over)writes the baseline instead of comparing");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => path = other.to_owned(),
+            other => {
+                eprintln!("counter_gate: unknown flag {other:?} (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let resolved = trace::path::resolve_output_path(&path);
+
+    eprintln!(
+        "counter_gate: solving the canonical suite ({} workloads at P={})...",
+        align_ir::programs::phase_workloads().len(),
+        countergate::SUITE_NPROCS
+    );
+    let current = countergate::run_suite();
+
+    if record {
+        let doc = current.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&resolved, doc + "\n") {
+            eprintln!("counter_gate: cannot write {}: {e}", resolved.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "counter_gate: recorded {} workload(s) to {}",
+            current.workloads.len(),
+            resolved.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&resolved) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "counter_gate: cannot read baseline {}: {e}\n\
+                 counter_gate: run `counter_gate --record` to create it",
+                resolved.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match countergate::SuiteCounters::from_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("counter_gate: bad baseline {}: {e}", resolved.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match countergate::compare(&baseline, &current) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(diffs) => {
+            println!(
+                "counter gate FAILED: {} divergence(s) from {}\n",
+                diffs.len(),
+                resolved.display()
+            );
+            print!("{}", countergate::render_diffs(&diffs));
+            println!(
+                "\nIf this change is intentional, re-baseline with:\n\
+                 \tcargo run --release -p bench --bin counter_gate -- --record"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Span-profile the gated bench workloads.
+//!
+//! ```text
+//! profile [--top N] [--nprocs P] [WORKLOAD ...]
+//! ```
+//!
+//! Runs each named `phase_workloads()` entry (default: all of them) with
+//! span recording enabled and prints `trace::profile`'s inclusive/exclusive
+//! hot-path table — the measured answer to "where does the solve time go"
+//! that the ROADMAP's raw-speed item starts from. One extra untimed solve
+//! warms caches first so the table reflects steady-state work, and the
+//! `TRACE_JSON` environment variable exports the last workload's Chrome
+//! trace alongside, exactly like the examples.
+
+use phases::{align_then_distribute_dynamic, DynamicConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut top = 10usize;
+    let mut nprocs = bench::countergate::SUITE_NPROCS;
+    let mut picked: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => return usage("--top needs a number"),
+            },
+            "--nprocs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(p) => nprocs = p,
+                None => return usage("--nprocs needs a number"),
+            },
+            "--help" | "-h" => {
+                println!("usage: profile [--top N] [--nprocs P] [WORKLOAD ...]");
+                println!("  span-profiles phase_workloads() entries (default: all)");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => picked.push(other.to_owned()),
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let workloads = align_ir::programs::phase_workloads();
+    if let Some(unknown) = picked
+        .iter()
+        .find(|p| !workloads.iter().any(|(name, _)| name == p))
+    {
+        let known: Vec<&str> = workloads.iter().map(|(n, _)| *n).collect();
+        eprintln!("profile: unknown workload {unknown:?}; known: {known:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let cfg = DynamicConfig::default();
+    for (name, program) in &workloads {
+        if !picked.is_empty() && !picked.iter().any(|p| p == name) {
+            continue;
+        }
+        // Warm-up solve outside the recorded window.
+        let _ = align_then_distribute_dynamic(program, nprocs, &cfg);
+        trace::reset();
+        trace::configure(trace::TraceConfig::enabled());
+        let result = align_then_distribute_dynamic(program, nprocs, &cfg);
+        trace::configure(trace::TraceConfig::default());
+        let t = trace::take();
+        println!(
+            "\n## {name} (P={nprocs}, planned cost {:.1})\n",
+            result.dynamic.planned_cost
+        );
+        print!("{}", trace::profile::report(&t, top));
+        if let Err(e) = export_trace(&t) {
+            eprintln!("profile: could not export TRACE_JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Honour `TRACE_JSON` the way the examples do — the last profiled
+/// workload's trace wins, mirroring `trace::chrome::export_env_trace`.
+fn export_trace(t: &trace::Trace) -> std::io::Result<()> {
+    if let Ok(path) = std::env::var("TRACE_JSON") {
+        if !path.is_empty() {
+            trace::chrome::write_chrome_trace(&path, t)?;
+        }
+    }
+    Ok(())
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("profile: {msg} (see --help)");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,355 @@
+//! The machine-independent regression gate: counter baselines over the
+//! canonical solve suite.
+//!
+//! The wall-time gate (`bench_compare`, 25% on medians) is inherently
+//! machine-dependent; the trace counters are not — identical solves emit
+//! identical counter values on any machine (asserted by
+//! `tests/trace_tests.rs` and re-verified across processes). This module
+//! turns that determinism into enforcement: [`run_suite`] solves every
+//! [`phase_workloads`](align_ir::programs::phase_workloads) entry at a
+//! pinned processor count and configuration and snapshots the per-workload
+//! counters; [`compare`] diffs two such suites, demanding **exact
+//! equality** for every counter except the explicitly-listed sampled-sim
+//! counters ([`TOLERANCED`]), which get a relative band. The committed
+//! `COUNTER_baseline.json` plus the `counter_gate` binary make this a CI
+//! job: an algorithmic regression — a cache bypassed, a search exploring a
+//! different space, a pricer doing more work — fails the gate with the
+//! offending counter named, long before the change is big enough to trip a
+//! noisy wall-time gate.
+
+use crate::json::Json;
+use align_ir::programs;
+use align_ir::Program;
+use phases::{align_then_distribute_dynamic, DynamicConfig};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Processor count every suite solve is pinned to.
+pub const SUITE_NPROCS: usize = 8;
+
+/// Sampled-simulation counters that are allowed a relative tolerance band
+/// (`|current - baseline| <= band * max(baseline, 1)`): their values depend
+/// on the sampling thresholds in `SimOptions`, which are part of the
+/// config's contract but conceptually estimates rather than exact work
+/// counts. Every counter not listed here must match the baseline exactly.
+pub const TOLERANCED: &[(&str, f64)] = &[
+    ("commsim.sampling_events", 0.25),
+    ("commsim.sims.sampled", 0.25),
+    ("commsim.sims.exact", 0.25),
+];
+
+/// The pinned configuration of the canonical suite: the pipeline's default
+/// configuration at [`SUITE_NPROCS`] processors. Tracking the defaults is
+/// deliberate — a change to any default is an algorithmic-contract change
+/// and *should* fire the gate, forcing a reviewed `--record`.
+pub fn suite_config() -> DynamicConfig {
+    DynamicConfig::default()
+}
+
+/// The counter trail one suite workload left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadCounters {
+    /// Workload label from `phase_workloads()`.
+    pub name: String,
+    /// Counter name → value at end of solve (fresh trace state).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// A full suite run: every workload's counters at the pinned nprocs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteCounters {
+    /// Processor count the suite was solved at.
+    pub nprocs: usize,
+    /// Per-workload counter trails, in `phase_workloads()` order.
+    pub workloads: Vec<WorkloadCounters>,
+}
+
+/// One named divergence between a baseline and a current run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDiff {
+    /// Workload the divergence is in.
+    pub workload: String,
+    /// The offending counter (or a `<...>` marker for structural drift:
+    /// a workload missing from one side, or a mismatched nprocs).
+    pub counter: String,
+    /// Baseline value (0 when absent).
+    pub baseline: u64,
+    /// Current value (0 when absent).
+    pub current: u64,
+}
+
+impl fmt::Display for CounterDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} baseline {} current {}",
+            self.workload, self.counter, self.baseline, self.current
+        )
+    }
+}
+
+/// Solve one workload on a fresh trace state and collect its counters.
+pub fn run_workload(name: &str, program: &Program, config: &DynamicConfig) -> WorkloadCounters {
+    trace::reset();
+    let _ = align_then_distribute_dynamic(program, SUITE_NPROCS, config);
+    let snapshot = trace::CounterSnapshot::now();
+    trace::reset();
+    WorkloadCounters {
+        name: name.to_owned(),
+        counters: snapshot.counters,
+    }
+}
+
+/// Solve the full canonical suite under [`suite_config`].
+pub fn run_suite() -> SuiteCounters {
+    let config = suite_config();
+    let workloads = programs::phase_workloads()
+        .iter()
+        .map(|(name, program)| run_workload(name, program, &config))
+        .collect();
+    SuiteCounters {
+        nprocs: SUITE_NPROCS,
+        workloads,
+    }
+}
+
+fn tolerance_for(counter: &str) -> f64 {
+    TOLERANCED
+        .iter()
+        .find(|(name, _)| *name == counter)
+        .map(|&(_, band)| band)
+        .unwrap_or(0.0)
+}
+
+fn within_band(baseline: u64, current: u64, band: f64) -> bool {
+    let b = baseline as f64;
+    let c = current as f64;
+    (c - b).abs() <= band * b.max(1.0)
+}
+
+/// Diff `current` against `baseline`. `Ok` carries a one-line summary;
+/// `Err` carries every named divergence: counters outside their band
+/// (exact-match for everything not in [`TOLERANCED`]), counters appearing
+/// or disappearing, workloads missing from either side, mismatched nprocs.
+pub fn compare(
+    baseline: &SuiteCounters,
+    current: &SuiteCounters,
+) -> Result<String, Vec<CounterDiff>> {
+    let mut diffs: Vec<CounterDiff> = Vec::new();
+    if baseline.nprocs != current.nprocs {
+        diffs.push(CounterDiff {
+            workload: "<suite>".into(),
+            counter: "<nprocs>".into(),
+            baseline: baseline.nprocs as u64,
+            current: current.nprocs as u64,
+        });
+    }
+    let cur: BTreeMap<&str, &WorkloadCounters> = current
+        .workloads
+        .iter()
+        .map(|w| (w.name.as_str(), w))
+        .collect();
+    let base: BTreeMap<&str, &WorkloadCounters> = baseline
+        .workloads
+        .iter()
+        .map(|w| (w.name.as_str(), w))
+        .collect();
+    let mut counters_checked = 0usize;
+    for w in &baseline.workloads {
+        let Some(c) = cur.get(w.name.as_str()) else {
+            diffs.push(CounterDiff {
+                workload: w.name.clone(),
+                counter: "<workload missing from current run>".into(),
+                baseline: w.counters.len() as u64,
+                current: 0,
+            });
+            continue;
+        };
+        let names: std::collections::BTreeSet<&String> =
+            w.counters.keys().chain(c.counters.keys()).collect();
+        for name in names {
+            let b = w.counters.get(name).copied().unwrap_or(0);
+            let v = c.counters.get(name).copied().unwrap_or(0);
+            counters_checked += 1;
+            if !within_band(b, v, tolerance_for(name)) {
+                diffs.push(CounterDiff {
+                    workload: w.name.clone(),
+                    counter: name.clone(),
+                    baseline: b,
+                    current: v,
+                });
+            }
+        }
+    }
+    for w in &current.workloads {
+        if !base.contains_key(w.name.as_str()) {
+            diffs.push(CounterDiff {
+                workload: w.name.clone(),
+                counter: "<workload not in baseline — re-record>".into(),
+                baseline: 0,
+                current: w.counters.len() as u64,
+            });
+        }
+    }
+    if diffs.is_empty() {
+        Ok(format!(
+            "counter gate: {} workload(s), {counters_checked} counter(s) checked, all within bands",
+            baseline.workloads.len(),
+        ))
+    } else {
+        Err(diffs)
+    }
+}
+
+/// Render divergences as the markdown table the gate binary prints.
+pub fn render_diffs(diffs: &[CounterDiff]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "| workload | counter | baseline | current |");
+    let _ = writeln!(out, "|---|---|---:|---:|");
+    for d in diffs {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            d.workload, d.counter, d.baseline, d.current
+        );
+    }
+    out
+}
+
+impl SuiteCounters {
+    /// The suite as the JSON document committed as `COUNTER_baseline.json`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nprocs".into(), Json::Num(self.nprocs as f64)),
+            (
+                "workloads".into(),
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(w.name.clone())),
+                                (
+                                    "counters".into(),
+                                    Json::Obj(
+                                        w.counters
+                                            .iter()
+                                            .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a committed baseline document.
+    pub fn from_json(text: &str) -> Result<SuiteCounters, String> {
+        let doc = Json::parse(text)?;
+        let nprocs = doc
+            .get("nprocs")
+            .and_then(Json::as_f64)
+            .ok_or("missing numeric field \"nprocs\"")? as usize;
+        let workloads = doc
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field \"workloads\"")?
+            .iter()
+            .map(|w| {
+                let name = w
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("workload missing \"name\"")?
+                    .to_owned();
+                let counters = match w.get("counters") {
+                    Some(Json::Obj(fields)) => fields
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_f64()
+                                .map(|n| (k.clone(), n.max(0.0) as u64))
+                                .ok_or_else(|| format!("non-numeric counter {k:?}"))
+                        })
+                        .collect::<Result<BTreeMap<_, _>, _>>()?,
+                    _ => return Err(format!("workload {name:?} missing \"counters\"")),
+                };
+                Ok(WorkloadCounters { name, counters })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SuiteCounters { nprocs, workloads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite(entries: &[(&str, &[(&str, u64)])]) -> SuiteCounters {
+        SuiteCounters {
+            nprocs: SUITE_NPROCS,
+            workloads: entries
+                .iter()
+                .map(|(name, counters)| WorkloadCounters {
+                    name: (*name).to_owned(),
+                    counters: counters.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_suites_pass_and_roundtrip_json() {
+        let s = suite(&[
+            ("fft", &[("lp.pivots", 120), ("phases.pricer.hits", 3)]),
+            ("tree", &[("commsim.elements_priced", 9000)]),
+        ]);
+        assert!(compare(&s, &s).is_ok());
+        let text = s.to_json().to_string_pretty();
+        assert_eq!(SuiteCounters::from_json(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn deterministic_counter_drift_of_one_fails_with_the_counter_named() {
+        let base = suite(&[("fft", &[("lp.pivots", 120)])]);
+        let cur = suite(&[("fft", &[("lp.pivots", 121)])]);
+        let diffs = compare(&base, &cur).unwrap_err();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].counter, "lp.pivots");
+        assert_eq!(diffs[0].workload, "fft");
+        assert_eq!((diffs[0].baseline, diffs[0].current), (120, 121));
+        assert!(render_diffs(&diffs).contains("| fft | lp.pivots | 120 | 121 |"));
+    }
+
+    #[test]
+    fn sampled_sim_counters_get_their_band_but_not_more() {
+        let base = suite(&[("fft", &[("commsim.sims.sampled", 100)])]);
+        let near = suite(&[("fft", &[("commsim.sims.sampled", 120)])]);
+        assert!(compare(&base, &near).is_ok(), "20% is inside the 25% band");
+        let far = suite(&[("fft", &[("commsim.sims.sampled", 130)])]);
+        let diffs = compare(&base, &far).unwrap_err();
+        assert_eq!(diffs[0].counter, "commsim.sims.sampled");
+    }
+
+    #[test]
+    fn appearing_and_disappearing_counters_fail() {
+        let base = suite(&[("fft", &[("lp.pivots", 120)])]);
+        let cur = suite(&[("fft", &[("distrib.solves", 4)])]);
+        let diffs = compare(&base, &cur).unwrap_err();
+        let names: Vec<&str> = diffs.iter().map(|d| d.counter.as_str()).collect();
+        assert!(names.contains(&"lp.pivots"), "{names:?}");
+        assert!(names.contains(&"distrib.solves"), "{names:?}");
+    }
+
+    #[test]
+    fn workload_set_drift_fails_in_both_directions() {
+        let base = suite(&[("fft", &[("lp.pivots", 1)]), ("old", &[("lp.pivots", 2)])]);
+        let cur = suite(&[("fft", &[("lp.pivots", 1)]), ("new", &[("lp.pivots", 2)])]);
+        let diffs = compare(&base, &cur).unwrap_err();
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        assert!(diffs.iter().any(|d| d.workload == "old"));
+        assert!(diffs.iter().any(|d| d.workload == "new"));
+    }
+}

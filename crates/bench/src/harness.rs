@@ -72,16 +72,31 @@ impl BenchGroup {
         // Calibration run (also warms caches). Trace-counter deltas around
         // this one clean invocation become the record's `metrics` object:
         // a per-run counter trail (LP pivots, DP states, cache hits, …)
-        // the regression gate stores alongside wall time.
+        // the regression gate stores alongside wall time. The counting
+        // global allocator contributes a memory axis to the same trail.
         let counters_before = trace::CounterSnapshot::now();
+        crate::alloc::reset_peak();
+        let alloc_before = crate::alloc::stats();
         let start = Instant::now();
         std::hint::black_box(f());
         let estimate = start.elapsed().max(Duration::from_nanos(1));
-        let metrics: Vec<(String, u64)> = trace::CounterSnapshot::now()
+        let alloc_after = crate::alloc::stats();
+        let mut metrics: Vec<(String, u64)> = trace::CounterSnapshot::now()
             .delta_since(&counters_before)
             .counters
             .into_iter()
             .collect();
+        metrics.push((
+            "alloc.allocations".into(),
+            alloc_after.allocations - alloc_before.allocations,
+        ));
+        metrics.push((
+            "alloc.peak_bytes".into(),
+            alloc_after
+                .peak_bytes
+                .saturating_sub(alloc_before.current_bytes),
+        ));
+        metrics.sort();
 
         let wanted = (self.target_time.as_secs_f64() / estimate.as_secs_f64()).ceil() as usize;
         let samples = wanted.clamp(self.min_samples, self.max_samples);
@@ -200,6 +215,27 @@ mod tests {
         assert!((3..=10).contains(&m.samples));
         assert!(m.min <= m.median && m.median <= m.mean.max(m.median));
         assert_eq!(g.results().len(), 1);
+    }
+
+    #[test]
+    fn bench_metrics_carry_the_alloc_axis() {
+        let mut g = BenchGroup::new("test")
+            .target_time(Duration::from_millis(1))
+            .sample_bounds(1, 2);
+        let m = g.bench("vec", || vec![0u8; 4096]).clone();
+        let names: Vec<&str> = m.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"alloc.allocations"), "{names:?}");
+        assert!(names.contains(&"alloc.peak_bytes"), "{names:?}");
+        let allocs = m
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "alloc.allocations")
+            .unwrap()
+            .1;
+        assert!(allocs >= 1, "the calibration Vec must be counted");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "metrics are sorted by name");
     }
 
     #[test]

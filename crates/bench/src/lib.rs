@@ -6,6 +6,8 @@
 //! the same configurations. This library holds the pieces both share:
 //! workload generators and small formatting helpers.
 
+pub mod alloc;
+pub mod countergate;
 pub mod harness;
 pub mod json;
 pub mod random_programs;

@@ -49,7 +49,7 @@ pub mod segment;
 pub use dynamic::{
     solve_layout_dp, DynamicDistribution, LayoutDpPlan, PhaseCandidates, RedistStep, SigId,
 };
-pub use explain::explain;
+pub use explain::{explain, explain_diff, PhaseDelta, PlanDiff, StepDelta};
 pub use pipeline::{
     align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
     DynamicPipelineResult, DynamicSimReport, PhaseResult, Sig, SolveSummary,

@@ -85,6 +85,14 @@ pub struct DynamicConfig {
     /// redistribution — are coalesced away and the adjacent phases merged.
     /// The equal-cover requirement makes every merge exactly cost-neutral.
     pub coalesce_phases: bool,
+    /// Memoise redistribution pricing in the layout-state DP (the
+    /// `MovePricer` cache). On by default; turning it off re-prices every
+    /// `(phase, array, src, dst)` query from scratch. The plan is
+    /// unchanged — this is an ablation/diagnostic knob, and the canonical
+    /// "injected algorithmic regression" the counter gate's tests use:
+    /// disabling it shifts `phases.pricer.*` and the downstream `commsim.*`
+    /// pricing counters without moving any cost.
+    pub pricer_memo: bool,
 }
 
 impl Default for DynamicConfig {
@@ -98,6 +106,7 @@ impl Default for DynamicConfig {
             sim: SimOptions::default(),
             switch_margin: 0.0,
             coalesce_phases: true,
+            pricer_memo: true,
         }
     }
 }
@@ -403,6 +412,7 @@ struct MovePricer<'a> {
     pool: &'a [Sig],
     program: &'a Program,
     sim: SimOptions,
+    use_memo: bool,
     memo: HashMap<(usize, ArrayId, SigId, SigId), RedistCost>,
     resting: HashMap<(usize, ArrayId), Option<RestingSpot>>,
 }
@@ -417,12 +427,14 @@ impl<'a> MovePricer<'a> {
         pool: &'a [Sig],
         program: &'a Program,
         sim: SimOptions,
+        use_memo: bool,
     ) -> Self {
         MovePricer {
             phases,
             pool,
             program,
             sim,
+            use_memo,
             memo: HashMap::new(),
             resting: HashMap::new(),
         }
@@ -445,9 +457,11 @@ impl<'a> MovePricer<'a> {
     /// Exact price of moving `array` into phase `q` from resting signature
     /// `src` to the destination phase's signature `dst`.
     fn price(&mut self, q: usize, array: ArrayId, src: SigId, dst: SigId) -> RedistCost {
-        if let Some(c) = self.memo.get(&(q, array, src, dst)) {
-            trace::count("phases.pricer.hits", 1);
-            return *c;
+        if self.use_memo {
+            if let Some(c) = self.memo.get(&(q, array, src, dst)) {
+                trace::count("phases.pricer.hits", 1);
+                return *c;
+            }
         }
         trace::count("phases.pricer.misses", 1);
         let cost = match (
@@ -466,7 +480,9 @@ impl<'a> MovePricer<'a> {
             }
             _ => RedistCost::default(),
         };
-        self.memo.insert((q, array, src, dst), cost);
+        if self.use_memo {
+            self.memo.insert((q, array, src, dst), cost);
+        }
         cost
     }
 }
@@ -782,7 +798,7 @@ pub fn align_then_distribute_dynamic(
         let _span = trace::span("phases.layers");
         build_layers(&phases, &pool, cap, &[], config.sim)
     };
-    let mut pricer = MovePricer::new(&phases, &pool, program, config.sim);
+    let mut pricer = MovePricer::new(&phases, &pool, program, config.sim, config.pricer_memo);
     let plan = solve_layout_dp(
         &layers,
         &phase_refs,
@@ -818,6 +834,7 @@ pub fn align_then_distribute_dynamic(
             program,
             cap,
             config.sim,
+            config.pricer_memo,
         )
     } else {
         (phases, live, layers, chosen_sigs, plan.chosen, steps)
@@ -917,6 +934,7 @@ fn coalesce(
     program: &Program,
     cap: usize,
     sim: SimOptions,
+    pricer_memo: bool,
 ) -> (
     Vec<PhaseResult>,
     Vec<Vec<(ArrayId, String, Vec<i64>)>>,
@@ -977,7 +995,7 @@ fn coalesce(
 
     let phase_refs: Vec<BTreeSet<ArrayId>> = new_phases.iter().map(|p| p.referenced()).collect();
     let live = build_live(program, &phase_refs);
-    let mut pricer = MovePricer::new(&new_phases, pool, program, sim);
+    let mut pricer = MovePricer::new(&new_phases, pool, program, sim, pricer_memo);
     let steps = build_steps(&new_phases, &live, &new_sigs, &mut pricer);
     drop(pricer);
     (new_phases, live, new_layers, new_sigs, new_chosen, steps)

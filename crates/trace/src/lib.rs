@@ -33,6 +33,7 @@
 pub mod chrome;
 pub mod json;
 pub mod path;
+pub mod profile;
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -476,6 +477,71 @@ mod tests {
         assert_eq!(h.buckets[0], 1); // 1.0 -> bucket 0
         assert_eq!(h.buckets[2], 2); // 4.0, 5.0 -> bucket 2
         assert!((h.mean() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0.0);
+        assert_eq!(h.mean(), 0.0, "mean of nothing is 0, not NaN");
+        assert!(h.buckets.iter().all(|&b| b == 0));
+        // min/max are the fold identities until something records.
+        assert_eq!(h.min, f64::INFINITY);
+        assert_eq!(h.max, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_all_statistics() {
+        reset();
+        record_value("test.single", 7.0);
+        let h = distribution("test.single").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 7.0);
+        assert_eq!(h.min, 7.0);
+        assert_eq!(h.max, 7.0);
+        assert_eq!(h.mean(), 7.0);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 1);
+        assert_eq!(h.buckets[2], 1); // floor(log2(7)) == 2
+    }
+
+    #[test]
+    fn histogram_buckets_split_exactly_at_powers_of_two() {
+        reset();
+        // Bucket i holds values v with floor(log2(max(v,1))) == i, so each
+        // power of two opens a new bucket and 2^k - 1 stays in the old one.
+        for v in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 7.0, 8.0] {
+            record_value("test.edges", v);
+        }
+        let h = distribution("test.edges").unwrap();
+        assert_eq!(h.buckets[0], 4); // 0, 0.5, 1, 1.5 (sub-1 clamps to 1)
+        assert_eq!(h.buckets[1], 2); // 2, 3
+        assert_eq!(h.buckets[2], 2); // 4, 7
+        assert_eq!(h.buckets[3], 1); // 8
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        // Values past the largest boundary land in the final bucket.
+        reset();
+        record_value("test.huge", 2.0f64.powi(60));
+        let h = distribution("test.huge").unwrap();
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn delta_since_clamps_counters_reset_mid_run() {
+        reset();
+        count("test.kept", 5);
+        count("test.reset", 9);
+        let before = CounterSnapshot::now();
+        count("test.kept", 2);
+        reset_counter("test.reset"); // mid-run reset: value drops 9 -> 0
+        count("test.reset", 4); // climbs back, but below the snapshot
+        let after = CounterSnapshot::now();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.get("test.kept"), 2);
+        // The shrunken counter clamps to zero and is dropped entirely
+        // rather than reporting a wrapped-around delta.
+        assert_eq!(delta.get("test.reset"), 0);
+        assert!(!delta.counters.contains_key("test.reset"));
     }
 
     #[test]

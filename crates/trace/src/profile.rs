@@ -1,0 +1,248 @@
+//! Span-tree profiling: fold a drained [`Trace`] into per-span-name time
+//! attribution.
+//!
+//! A trace records every span with its duration and parent, so the tree
+//! already contains a complete wall-time attribution — this module folds it
+//! into the two numbers a performance investigation starts from, per
+//! `layer.stage` span name:
+//!
+//! * **inclusive** time — the span's full duration, children included.
+//!   Nested occurrences of the *same* name (recursion) count only the
+//!   outermost occurrence, so a name's inclusive time never exceeds the
+//!   trace's total;
+//! * **exclusive** time — the span's duration minus its *direct* children,
+//!   i.e. time spent in the stage itself rather than anything it called.
+//!   Exclusive times are disjoint by construction, so they sum to at most
+//!   the root total and ranking by them names the actual hot code.
+//!
+//! [`Profile::from_trace`] builds the aggregate, [`Profile::render`] prints
+//! the top-N hot-path table (markdown, widest exclusive first), and
+//! [`report`] is the one-call convenience the `profile` binary and the
+//! experiment harness use.
+
+use crate::Trace;
+use std::collections::BTreeMap;
+
+/// Aggregated timing of all spans sharing one name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name (`layer.stage`).
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total duration, children included (self-nested occurrences counted
+    /// once, at the outermost level).
+    pub inclusive_ns: u64,
+    /// Total duration minus direct children — time in the stage itself.
+    pub exclusive_ns: u64,
+}
+
+impl ProfileRow {
+    /// Exclusive share of the profile's total, as a percentage.
+    pub fn exclusive_pct(&self, total_ns: u64) -> f64 {
+        if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * self.exclusive_ns as f64 / total_ns as f64
+        }
+    }
+}
+
+/// A folded trace: one row per span name, hottest exclusive time first.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Rows sorted by descending exclusive time (ties: name).
+    pub rows: Vec<ProfileRow>,
+    /// Sum of the root spans' durations — the wall time the trace covers.
+    pub total_ns: u64,
+}
+
+impl Profile {
+    /// Fold a drained trace into per-name inclusive/exclusive aggregates.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        // Direct-children durations, charged to the parent index.
+        let mut children_ns = vec![0u64; trace.spans.len()];
+        for s in &trace.spans {
+            if let Some(p) = s.parent {
+                children_ns[p] += s.dur_ns;
+            }
+        }
+        let mut agg: BTreeMap<&'static str, ProfileRow> = BTreeMap::new();
+        let mut total_ns = 0u64;
+        for (i, s) in trace.spans.iter().enumerate() {
+            if s.parent.is_none() {
+                total_ns += s.dur_ns;
+            }
+            let row = agg.entry(s.name).or_insert(ProfileRow {
+                name: s.name,
+                count: 0,
+                inclusive_ns: 0,
+                exclusive_ns: 0,
+            });
+            row.count += 1;
+            // Clock jitter can make children appear to outlast the parent
+            // by nanoseconds; clamp rather than wrap.
+            row.exclusive_ns += s.dur_ns.saturating_sub(children_ns[i]);
+            // Inclusive: only the outermost occurrence of a name counts, so
+            // recursive spans are not double-charged.
+            let mut ancestor = s.parent;
+            let mut self_nested = false;
+            while let Some(a) = ancestor {
+                if trace.spans[a].name == s.name {
+                    self_nested = true;
+                    break;
+                }
+                ancestor = trace.spans[a].parent;
+            }
+            if !self_nested {
+                row.inclusive_ns += s.dur_ns;
+            }
+        }
+        let mut rows: Vec<ProfileRow> = agg.into_values().collect();
+        rows.sort_by(|a, b| b.exclusive_ns.cmp(&a.exclusive_ns).then(a.name.cmp(b.name)));
+        Profile { rows, total_ns }
+    }
+
+    /// The `n` rows with the largest exclusive time.
+    pub fn top_exclusive(&self, n: usize) -> &[ProfileRow] {
+        &self.rows[..self.rows.len().min(n)]
+    }
+
+    /// The top-N hot-path table as markdown: span, call count, inclusive
+    /// and exclusive time, and the exclusive share of the trace total.
+    pub fn render(&self, top_n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| span | calls | inclusive | exclusive | excl % |\n\
+             |---|---:|---:|---:|---:|"
+        );
+        for r in self.top_exclusive(top_n) {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.1}% |",
+                r.name,
+                r.count,
+                fmt_ns(r.inclusive_ns),
+                fmt_ns(r.exclusive_ns),
+                r.exclusive_pct(self.total_ns)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ntotal traced: {} across {} span name(s)",
+            fmt_ns(self.total_ns),
+            self.rows.len()
+        );
+        out
+    }
+}
+
+/// One-call report: fold `trace` and render the top-`top_n` table.
+pub fn report(trace: &Trace, top_n: usize) -> String {
+    Profile::from_trace(trace).render(top_n)
+}
+
+/// Human-readable nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn span(
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        depth: usize,
+        parent: Option<usize>,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_ns,
+            dur_ns,
+            depth,
+            parent,
+        }
+    }
+
+    #[test]
+    fn exclusive_subtracts_direct_children_only() {
+        // root(100) -> mid(60) -> leaf(20): root excl 40, mid excl 40.
+        let mut t = Trace::default();
+        t.spans.push(span("phases.pipeline", 0, 100, 0, None));
+        t.spans.push(span("phases.search", 10, 60, 1, Some(0)));
+        t.spans.push(span("lp.solve", 20, 20, 2, Some(1)));
+        let p = Profile::from_trace(&t);
+        assert_eq!(p.total_ns, 100);
+        let get = |n: &str| p.rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(get("phases.pipeline").exclusive_ns, 40);
+        assert_eq!(get("phases.pipeline").inclusive_ns, 100);
+        assert_eq!(get("phases.search").exclusive_ns, 40);
+        assert_eq!(get("phases.search").inclusive_ns, 60);
+        assert_eq!(get("lp.solve").exclusive_ns, 20);
+        // Exclusive times are disjoint and sum to the total.
+        assert_eq!(p.rows.iter().map(|r| r.exclusive_ns).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn recursion_counts_inclusive_once() {
+        // solve(100) -> solve(60): inclusive must be 100, not 160.
+        let mut t = Trace::default();
+        t.spans.push(span("lp.solve", 0, 100, 0, None));
+        t.spans.push(span("lp.solve", 10, 60, 1, Some(0)));
+        let p = Profile::from_trace(&t);
+        assert_eq!(p.rows.len(), 1);
+        assert_eq!(p.rows[0].count, 2);
+        assert_eq!(p.rows[0].inclusive_ns, 100);
+        assert_eq!(p.rows[0].exclusive_ns, 100); // 40 outer + 60 inner
+    }
+
+    #[test]
+    fn rows_rank_by_exclusive_and_render_caps_top_n() {
+        let mut t = Trace::default();
+        t.spans.push(span("a.root", 0, 100, 0, None));
+        t.spans.push(span("b.hot", 0, 70, 1, Some(0)));
+        t.spans.push(span("c.cold", 70, 10, 1, Some(0)));
+        let p = Profile::from_trace(&t);
+        let names: Vec<&str> = p.rows.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["b.hot", "a.root", "c.cold"]);
+        assert_eq!(p.top_exclusive(2).len(), 2);
+        let table = p.render(2);
+        assert!(table.contains("b.hot"), "{table}");
+        assert!(table.contains("a.root"), "{table}");
+        assert!(!table.contains("c.cold"), "top-2 excludes the cold row");
+        assert!(table.contains("3 span name(s)"), "{table}");
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_nothing() {
+        let p = Profile::from_trace(&Trace::default());
+        assert!(p.rows.is_empty());
+        assert_eq!(p.total_ns, 0);
+        assert_eq!(p.rows.iter().map(|r| r.exclusive_pct(0)).sum::<f64>(), 0.0);
+        assert!(report(&Trace::default(), 10).contains("0 span name(s)"));
+    }
+
+    #[test]
+    fn jitter_outliving_child_clamps_to_zero_exclusive() {
+        let mut t = Trace::default();
+        t.spans.push(span("a.parent", 0, 50, 0, None));
+        t.spans.push(span("b.child", 0, 60, 1, Some(0)));
+        let p = Profile::from_trace(&t);
+        let parent = p.rows.iter().find(|r| r.name == "a.parent").unwrap();
+        assert_eq!(parent.exclusive_ns, 0, "clamped, not wrapped");
+    }
+}

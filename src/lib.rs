@@ -79,9 +79,9 @@ pub mod prelude {
         SolveConfig,
     };
     pub use phases::{
-        align_then_distribute_dynamic, explain, simulate_dynamic, simulate_static, DynamicConfig,
-        DynamicDistribution, DynamicPipelineResult, PhaseResult, RedistCost, RedistStep,
-        SolveSummary,
+        align_then_distribute_dynamic, explain, explain_diff, simulate_dynamic, simulate_static,
+        DynamicConfig, DynamicDistribution, DynamicPipelineResult, PhaseResult, PlanDiff,
+        RedistCost, RedistStep, SolveSummary,
     };
     pub use trace::{self, CounterSnapshot, TraceConfig};
 }
