@@ -6,6 +6,12 @@
 //! possibly loop-skewed) sections of randomly chosen source arrays, so the
 //! offset-alignment problem has genuine conflicts and zero crossings — the
 //! regime the Section 4.2 strategies differ in.
+//!
+//! This generator is the seed of ROADMAP's "workload generator + experiment
+//! lab" item: `tests/random_smoke.rs` runs every seeded program through the
+//! full dynamic pipeline at P=8, so each axis the generator grows
+//! (fissionable bodies, transposes, reductions, ragged extents) is
+//! end-to-end exercised from day one.
 
 use crate::rng::Rng;
 use align_ir::builder::{add, rng, ProgramBuilder};

@@ -1,0 +1,61 @@
+//! Seeded smoke sweep over the random program generator: every generated
+//! program must survive the *full* dynamic pipeline at P=8 — not just the
+//! offset solves the generator was originally written to stress (E7/E15).
+//! This is the seed of the ROADMAP's workload-generator item: as the
+//! generator grows axes (fissionable bodies, transposes, reductions,
+//! ragged extents), this sweep is where a generated shape that breaks the
+//! planner first shows up.
+
+use bench::{random_loop_program, RandomProgramConfig};
+use phases::{align_then_distribute_dynamic, simulate_dynamic, DynamicConfig};
+
+const NPROCS: usize = 8;
+
+/// Small instances: the sweep is about *shape* coverage (which conflicts
+/// the RNG wires up), not LP size, and it rides in the tier-1 suite.
+fn smoke_config(seed: u64, allow_skew: bool) -> RandomProgramConfig {
+    RandomProgramConfig {
+        array_size: 48,
+        trips: 6,
+        statements: 3,
+        max_shift: 4,
+        allow_skew,
+        seed,
+        ..RandomProgramConfig::default()
+    }
+}
+
+#[test]
+fn every_seeded_program_solves_end_to_end() {
+    for seed in 0..8 {
+        let program = random_loop_program(smoke_config(seed, true));
+        let result = align_then_distribute_dynamic(&program, NPROCS, &DynamicConfig::default());
+
+        assert!(
+            result.dynamic.planned_cost.is_finite(),
+            "seed {seed}: non-finite planned cost"
+        );
+        assert!(
+            result.static_planned_cost.is_finite(),
+            "seed {seed}: non-finite static cost"
+        );
+        // The plan's price must survive a replay through the simulator
+        // under the options it was priced with.
+        let replay = simulate_dynamic(&result, result.config.sim);
+        assert!(
+            (result.dynamic.planned_cost - replay.total_elements()).abs() <= 1e-6,
+            "seed {seed}: planned {} != simulated {}",
+            result.dynamic.planned_cost,
+            replay.total_elements()
+        );
+    }
+}
+
+#[test]
+fn skewless_and_skewed_shapes_both_solve() {
+    for (allow_skew, seed) in [(false, 3), (true, 3), (false, 7), (true, 7)] {
+        let program = random_loop_program(smoke_config(seed, allow_skew));
+        let result = align_then_distribute_dynamic(&program, NPROCS, &DynamicConfig::default());
+        assert!(result.dynamic.planned_cost.is_finite());
+    }
+}

@@ -30,7 +30,7 @@ use std::collections::HashSet;
 /// that moves an `Θ(1/b)` boundary fraction is therefore resolved reliably
 /// only while `s ≲ b`; raise the caps (or [`SimOptions::exact`]) when
 /// pricing fine-grained layouts of very large objects.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
     /// Maximum number of elements enumerated per object per iteration;
     /// objects larger than [`SimOptions::exact_below`] are strided down to
@@ -303,16 +303,21 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
     let mut broadcast = 0.0;
     let mut pairs: HashSet<(usize, usize)> = HashSet::new();
 
+    let src_eval = PosEval::new(src, point);
+    let dst_eval = PosEval::new(dst, point);
+    let mut src_buf = Vec::new();
+    let mut dst_buf = Vec::new();
+
     let total: usize = extents.iter().product::<i64>().max(1) as usize;
     for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
-        let src_pos = src.position_of(index, point);
-        let src_owner = machine.owner(&src_pos);
+        src_eval.write(index, &mut src_buf);
+        let src_owner = machine.owner_flat(&src_buf);
         if dst_replicated {
             broadcast += scale;
             pairs.insert((src_owner, usize::MAX));
         } else {
-            let dst_pos = dst.position_of(index, point);
-            let dst_owner = machine.owner(&dst_pos);
+            dst_eval.write(index, &mut dst_buf);
+            let dst_owner = machine.owner_flat(&dst_buf);
             if src_owner != dst_owner {
                 moves += scale;
                 pairs.insert((src_owner, dst_owner));
@@ -329,6 +334,49 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
 
 use crate::machine::REPLICATED_COORD;
 
+/// [`PortAlignment::position_of`] with the per-traversal work hoisted out of
+/// the element loop: offsets and strides are affine in the *iteration point*
+/// and never in the element index, so one traversal evaluates them once and
+/// every element reduces to one integer multiply-add per body axis into a
+/// reusable flat buffer ([`REPLICATED_COORD`] standing in for `None`).
+/// Produces bit-identical coordinates to `position_of` — the owner values,
+/// and therefore every traffic count, are unchanged.
+struct PosEval {
+    /// Per template axis: the offset at this iteration point.
+    base: Vec<i64>,
+    /// Per body axis: (template axis, stride at this iteration point).
+    terms: Vec<(usize, i64)>,
+}
+
+impl PosEval {
+    fn new(align: &PortAlignment, point: &[(LivId, i64)]) -> PosEval {
+        PosEval {
+            base: align
+                .offsets
+                .iter()
+                .map(|o| o.eval(point).unwrap_or(REPLICATED_COORD))
+                .collect(),
+            terms: align
+                .axis_map
+                .iter()
+                .enumerate()
+                .map(|(b, &t)| (t, align.strides[b].eval_assoc(point)))
+                .collect(),
+        }
+    }
+
+    /// Write the template coordinates of element `index` into `out`.
+    fn write(&self, index: &[i64], out: &mut Vec<i64>) {
+        out.clear();
+        out.extend_from_slice(&self.base);
+        for (b, &(t, stride)) in self.terms.iter().enumerate() {
+            if out[t] != REPLICATED_COORD {
+                out[t] += stride * index[b];
+            }
+        }
+    }
+}
+
 /// Pre-evaluated element placements of one (ADG, alignment) pair.
 ///
 /// [`simulate`] spends most of its time evaluating *positions* — affine
@@ -344,10 +392,12 @@ use crate::machine::REPLICATED_COORD;
 /// `d`: `cache.price(&d)` reports the **identical** traffic to
 /// `simulate(adg, alignment, &d, opts)` — locked in by the
 /// `cache_matches_simulate` test.
+#[derive(Debug, Clone)]
 pub struct PlacementCache {
     edges: Vec<CachedEdge>,
 }
 
+#[derive(Debug, Clone)]
 struct CachedEdge {
     id: EdgeId,
     /// Iteration-sampling scale × the edge's control weight.
@@ -360,6 +410,7 @@ struct CachedEdge {
     iterations: Vec<CachedIteration>,
 }
 
+#[derive(Debug, Clone)]
 struct CachedIteration {
     /// Flat-packed coords per sample: `src_rank` source coordinates then
     /// (unless the edge broadcasts) `dst_rank` destination coordinates,
@@ -411,11 +462,15 @@ impl PlacementCache {
                 let mut coords = Vec::new();
                 let mut scales = Vec::new();
                 let budget = opts.element_budget(total_elements as usize);
+                let src_eval = PosEval::new(src_align, point);
+                let dst_eval = PosEval::new(dst_align, point);
+                let mut src_buf = Vec::new();
+                let mut dst_buf = Vec::new();
                 for_each_sampled_index(&extents, budget, |index, scale| {
-                    let src_pos = src_align.position_of(index, point);
+                    src_eval.write(index, &mut src_buf);
                     if !dst_replicated {
-                        let dst_pos = dst_align.position_of(index, point);
-                        if dst_pos == src_pos {
+                        dst_eval.write(index, &mut dst_buf);
+                        if dst_buf == src_buf {
                             // Identical positions have identical owners
                             // under EVERY distribution: the sample can
                             // never contribute traffic, so don't store it.
@@ -424,10 +479,10 @@ impl PlacementCache {
                             // survive into the cache.)
                             return;
                         }
-                        coords.extend(src_pos.iter().map(|c| c.unwrap_or(REPLICATED_COORD)));
-                        coords.extend(dst_pos.iter().map(|c| c.unwrap_or(REPLICATED_COORD)));
+                        coords.extend_from_slice(&src_buf);
+                        coords.extend_from_slice(&dst_buf);
                     } else {
-                        coords.extend(src_pos.iter().map(|c| c.unwrap_or(REPLICATED_COORD)));
+                        coords.extend_from_slice(&src_buf);
                     }
                     scales.push(scale);
                 });
@@ -586,29 +641,34 @@ where
     let mut broadcast = 0.0;
     let mut pairs: HashSet<(usize, usize)> = HashSet::new();
 
+    let src_eval = PosEval::new(src, point);
+    let dst_eval = PosEval::new(dst, point);
+    let mut src_buf = Vec::new();
+    let mut dst_buf = Vec::new();
+
     let total: usize = extents.iter().product::<i64>().max(1) as usize;
     for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
-        let src_pos = src.position_of(index, point);
+        src_eval.write(index, &mut src_buf);
         if spread {
             broadcast += scale;
-            pairs.insert((src_dist.owner(&src_pos), usize::MAX));
+            pairs.insert((src_dist.owner_flat(&src_buf), usize::MAX));
             return;
         }
-        let dst_pos = dst.position_of(index, point);
-        let dst_owner = dst_dist.owner(&dst_pos);
+        dst_eval.write(index, &mut dst_buf);
+        let dst_owner = dst_dist.owner_flat(&dst_buf);
         // Does any source copy already live on dst_owner? Decompose the
         // destination owner in the source grid's radix and compare axis by
         // axis; replicated source axes hold copies at every coordinate.
         let dst_in_src = decompose(dst_owner, &src_dims);
         let held = src_dims.iter().enumerate().all(|(t, _)| {
-            match src_pos.get(t).copied().flatten() {
-                Some(c) => src_dist.owner_coord(t, c) == dst_in_src[t],
-                None => true, // replicated along t: a copy at every coordinate
+            match src_buf.get(t).copied() {
+                Some(c) if c != REPLICATED_COORD => src_dist.owner_coord(t, c) == dst_in_src[t],
+                _ => true, // replicated along t: a copy at every coordinate
             }
         });
         if !held {
             moves += scale;
-            pairs.insert((src_dist.owner(&src_pos), dst_owner));
+            pairs.insert((src_dist.owner_flat(&src_buf), dst_owner));
         }
     });
 

@@ -118,6 +118,10 @@ pub struct MobileOffsetConfig {
     /// zero, leaving only static offsets. This is the static-alignment
     /// baseline of the Figure 1 experiment.
     pub forbid_mobile: bool,
+    /// Simplex pricing rule for the offset LPs. Alternate optima of a flat
+    /// LP round differently, so the fallback ladder retries a blown-up
+    /// rounding under the other rule before reaching for coarser subranges.
+    pub pricing: lp::PricingRule,
 }
 
 impl Default for MobileOffsetConfig {
@@ -127,6 +131,7 @@ impl Default for MobileOffsetConfig {
         MobileOffsetConfig {
             strategy: OffsetStrategy::FixedPartition(3),
             forbid_mobile: false,
+            pricing: lp::PricingRule::default(),
         }
     }
 }
@@ -341,28 +346,47 @@ pub fn solve_axis_offsets(
     if best_report.as_ref().is_some_and(blown_up) {
         trace::count("align.ladder_engaged", 1);
         let total_points: u64 = cost_edges.iter().map(|(_, e)| e.space.size()).sum();
-        // Rung order: a finer fixed partition first (cheap, usually
-        // enough); the static restriction second — pinning the array homes
-        // removes most of the degeneracy that defeats the solver on hard
-        // mobile instances, so a mobile solve that keeps failing degrades
-        // to the (always meaningful) static solution instead of to garbage;
-        // exact unrolling third and only for small iteration spaces — its
-        // LP has one surrogate pair per iteration *point* and is by far the
+        // Rung order: the *other* pricing rule first — it is the cheapest
+        // retry of all (same subranges, same LP; a flat optimum has many
+        // vertices and a different pricing path usually parks on one whose
+        // coefficients round cleanly); then a finer fixed partition (cheap,
+        // usually enough) under each rule in turn — rounding fragility is a
+        // property of the (subranges, pricing-path) pair, so every strategy
+        // rung gets both rules before the ladder escalates; the static
+        // restriction next — pinning the array homes removes most of the
+        // degeneracy that defeats the solver on hard mobile instances, so a
+        // mobile solve that keeps failing degrades to the (always
+        // meaningful) static solution instead of to garbage; exact
+        // unrolling after that and only for small iteration spaces — its LP
+        // has one surrogate pair per iteration *point* and is by far the
         // most expensive thing the ladder can do. `SingleRange` comes dead
         // last: its one-subrange objective is the coarsest approximation of
         // the lot (error bound 3x) and it only ever mattered as a crutch
         // for the tableau solver's stalls.
+        let other_rule = match config.pricing {
+            lp::PricingRule::Devex => lp::PricingRule::Dantzig,
+            lp::PricingRule::Dantzig => lp::PricingRule::Devex,
+        };
+        let m5 = OffsetStrategy::FixedPartition(5);
         let ladder = [
+            (config.strategy, false, other_rule, "other-pricing"),
+            (m5, false, config.pricing, "fixed-partition(m=5)"),
+            (m5, false, other_rule, "fixed-partition(m=5)+other-pricing"),
+            (m5, true, config.pricing, "static"),
             (
-                OffsetStrategy::FixedPartition(5),
+                OffsetStrategy::Unrolling,
                 false,
-                "fixed-partition(m=5)",
+                config.pricing,
+                "unrolling",
             ),
-            (OffsetStrategy::FixedPartition(5), true, "static"),
-            (OffsetStrategy::Unrolling, false, "unrolling"),
-            (OffsetStrategy::SingleRange, false, "single-range"),
+            (
+                OffsetStrategy::SingleRange,
+                false,
+                config.pricing,
+                "single-range",
+            ),
         ];
-        for (alt, force_static, label) in ladder {
+        for (alt, force_static, pricing, label) in ladder {
             if matches!(alt, OffsetStrategy::Unrolling) && total_points > 1024 {
                 continue;
             }
@@ -375,6 +399,7 @@ pub fn solve_axis_offsets(
                 .collect();
             let alt_config = MobileOffsetConfig {
                 forbid_mobile: config.forbid_mobile || force_static,
+                pricing,
                 ..config
             };
             let (mut report, offsets) = solve_once(
@@ -433,6 +458,7 @@ fn solve_once(
     config: MobileOffsetConfig,
 ) -> (OffsetSolveReport, Vec<Option<Affine>>) {
     let OffsetLp { mut problem, vars } = build_offset_constraints(adg, alignment, axis, replicated);
+    problem.set_pricing(config.pricing);
     // Snapshot of the hard node constraints (used only to cross-check the
     // cost model's violation pricing in debug builds — see below).
     #[cfg(debug_assertions)]

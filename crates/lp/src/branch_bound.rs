@@ -4,11 +4,22 @@
 //! mixed integer linear programming" instead of rounding the LP relaxation.
 //! This module provides that alternative: depth-first branch and bound over
 //! the variables marked integral with [`Problem::set_integer`], using the
-//! revised simplex (via [`Problem::solve`], bounds tightened per node — the
-//! bounded-variable ratio test absorbs the branching bounds without adding
-//! rows) for every relaxation.
+//! bounded-variable revised simplex for every relaxation (bounds tightened
+//! per node — the ratio test absorbs the branching bounds without adding
+//! rows).
+//!
+//! Child relaxations are solved **warm**: every node keeps the
+//! [`BasisSnapshot`] its relaxation ended on and hands it to both children.
+//! A child differs from its parent in exactly one variable's bounds, so
+//! resuming from the parent's factorised basis usually needs no phase-1
+//! pivots at all (the parent vertex is still feasible, or one eviction
+//! away from it) where a cold start would re-run the crash-basis two-phase
+//! method from scratch. The warm path skips the equality-chain presolve —
+//! snapshots are expressed over the *unpresolved* columns — and falls back
+//! to the full presolve+tableau ladder only on numerical failure.
 
 use crate::model::{Problem, Relation, Solution, SolveError, VarId};
+use crate::revised::{self, BasisSnapshot};
 
 /// Tolerance for deciding that a relaxation value is already integral.
 const INT_TOL: f64 = 1e-6;
@@ -20,6 +31,18 @@ const INT_TOL: f64 = 1e-6;
 /// search returns the best incumbent found if the budget is exhausted, or
 /// [`SolveError::IterationLimit`] if no incumbent was found at all.
 pub fn solve_milp(problem: &Problem, max_nodes: usize) -> Result<Solution, SolveError> {
+    solve_milp_with(problem, max_nodes, true)
+}
+
+/// [`solve_milp`] with warm starts switchable off. Cold mode exists for
+/// regression tests and experiments that compare the two paths; incumbents
+/// must come out identical either way (locked by a test), only the phase-1
+/// pivot counts differ.
+pub fn solve_milp_with(
+    problem: &Problem,
+    max_nodes: usize,
+    warm_starts: bool,
+) -> Result<Solution, SolveError> {
     let integer_vars: Vec<VarId> = (0..problem.num_vars())
         .map(VarId)
         .filter(|&v| problem.is_integer(v))
@@ -30,16 +53,22 @@ pub fn solve_milp(problem: &Problem, max_nodes: usize) -> Result<Solution, Solve
 
     let mut best: Option<Solution> = None;
     let mut nodes = 0usize;
-    // Stack of subproblems (each a copy of the problem with tightened bounds).
-    let mut stack: Vec<Problem> = vec![problem.clone()];
+    // Stack of subproblems: tightened bounds plus the parent's final basis.
+    let mut stack: Vec<(Problem, Option<BasisSnapshot>)> = vec![(problem.clone(), None)];
 
-    while let Some(sub) = stack.pop() {
+    while let Some((sub, parent_basis)) = stack.pop() {
         if nodes >= max_nodes {
             break;
         }
         nodes += 1;
-        let relax = match sub.solve() {
-            Ok(s) => s,
+        trace::count("lp.milp_nodes", 1);
+        let warm = if warm_starts {
+            parent_basis.as_ref()
+        } else {
+            None
+        };
+        let (relax, basis) = match node_relaxation(&sub, warm) {
+            Ok(pair) => pair,
             Err(SolveError::Infeasible) => continue,
             Err(e) => return Err(e),
         };
@@ -84,20 +113,36 @@ pub fn solve_milp(problem: &Problem, max_nodes: usize) -> Result<Solution, Solve
                 if floor >= lo - 1e-9 {
                     let mut down = sub.clone();
                     down.set_bounds(v, lo, floor.min(hi));
-                    stack.push(down);
+                    stack.push((down, basis.clone()));
                 }
                 // Up branch: v >= ceil(x)
                 let ceil = floor + 1.0;
                 if ceil <= hi + 1e-9 {
                     let mut up = sub.clone();
                     up.set_bounds(v, ceil.max(lo), hi);
-                    stack.push(up);
+                    stack.push((up, basis));
                 }
             }
         }
     }
 
     best.ok_or(SolveError::IterationLimit)
+}
+
+/// Solve one node's LP relaxation, producing the basis snapshot the node's
+/// children resume from. The direct revised solve (no presolve — the
+/// snapshot is expressed over the unpresolved columns) is tried first; on
+/// numerical failure the node is re-solved through the full
+/// presolve+tableau ladder of [`Problem::solve`], losing only the snapshot.
+fn node_relaxation(
+    sub: &Problem,
+    warm: Option<&BasisSnapshot>,
+) -> Result<(Solution, Option<BasisSnapshot>), SolveError> {
+    match revised::solve_with_start(sub, warm) {
+        Ok((sol, snap)) => Ok((sol, Some(snap))),
+        Err(SolveError::IterationLimit) => sub.solve().map(|sol| (sol, None)),
+        Err(e) => Err(e),
+    }
 }
 
 /// Convenience: build a constraint stating `var == value` (used by callers
@@ -179,5 +224,75 @@ mod tests {
         p.set_integer(x);
         let s = solve_milp(&p, 100).unwrap();
         assert_close(s.value(x), 3.0);
+    }
+
+    /// Build a MILP whose search tree is deep enough for warm starts to
+    /// matter, and whose equality rows defeat the crash basis (no single
+    /// column can absorb an RHS of 33 within its [0, 7] box), so every cold
+    /// node pays real phase-1 pivots where a warm child starts one small
+    /// eviction away from feasible.
+    fn deep_milp() -> Problem {
+        let mut p = Problem::new();
+        let n = 8;
+        let vars: Vec<_> = (0..n)
+            .map(|i| {
+                let v = p.add_var(format!("x{i}"), 0.0, 7.0, 1.0 + 0.1 * i as f64);
+                p.set_integer(v);
+                v
+            })
+            .collect();
+        let take = |ix: &[usize], coeffs: &[f64]| -> Vec<(VarId, f64)> {
+            ix.iter().zip(coeffs).map(|(&i, &c)| (vars[i], c)).collect()
+        };
+        p.add_constraint(
+            take(&[0, 1, 2, 3], &[2.0, 3.0, 2.0, 3.0]),
+            Relation::Eq,
+            33.0,
+        );
+        p.add_constraint(
+            take(&[4, 5, 6, 7], &[3.0, 2.0, 3.0, 2.0]),
+            Relation::Eq,
+            31.0,
+        );
+        let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(all, Relation::Le, 26.0);
+        p
+    }
+
+    #[test]
+    fn warm_and_cold_runs_agree_bitwise_on_the_incumbent() {
+        let p = deep_milp();
+        let warm = solve_milp_with(&p, 10_000, true).unwrap();
+        let cold = solve_milp_with(&p, 10_000, false).unwrap();
+        // Incumbent objectives must be *bitwise* identical: both paths snap
+        // integer values exactly and re-price through the same
+        // `eval_objective`, so any drift means the searches diverged.
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(warm.values, cold.values);
+    }
+
+    #[test]
+    fn warm_children_pay_fewer_phase1_pivots_than_cold() {
+        let p = deep_milp();
+        trace::reset();
+        let _ = solve_milp_with(&p, 10_000, false).unwrap();
+        let cold_phase1 = trace::counter("lp.phase1_pivots");
+        let cold_nodes = trace::counter("lp.milp_nodes");
+        trace::reset();
+        let _ = solve_milp_with(&p, 10_000, true).unwrap();
+        let warm_phase1 = trace::counter("lp.phase1_pivots");
+        let warm_nodes = trace::counter("lp.milp_nodes");
+        let warm_hits = trace::counter("lp.warm_starts");
+        trace::reset();
+        // Degenerate relaxations can land on different optimal vertices, so
+        // the two searches may branch differently and visit trees of
+        // different size; compare phase-1 effort per node, not per run.
+        assert!(warm_hits > 0, "no node actually warm-started");
+        assert!(cold_nodes > 0 && warm_nodes > 0);
+        assert!(
+            warm_phase1 * cold_nodes < cold_phase1 * warm_nodes,
+            "warm children must pay strictly fewer phase-1 pivots per node \
+             ({warm_phase1}/{warm_nodes} vs {cold_phase1}/{cold_nodes})"
+        );
     }
 }

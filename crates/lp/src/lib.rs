@@ -9,9 +9,14 @@
 //! The production path ([`Problem::solve`]) is an equality-chain presolve
 //! followed by a bounded-variable *revised* simplex ([`revised`]): the basis
 //! inverse is kept in product form (an eta file over a ±1 start basis),
-//! box bounds are handled by the ratio test instead of explicit rows, and
+//! box bounds are handled by the ratio test instead of explicit rows, the
+//! entering column is chosen by a configurable [`PricingRule`] (Devex by
+//! default, Dantzig as fallback — see [`Problem::set_pricing`]), and
 //! Bland's rule takes over as an anti-cycling fallback after a run of
-//! degenerate pivots. The original dense two-phase tableau simplex
+//! degenerate pivots. Solves can resume from a previous solve's basis
+//! ([`solve_with_start`]); the branch-and-bound wrapper ([`solve_milp`])
+//! uses this so child nodes warm-start from their parent's vertex instead
+//! of re-running the two-phase method. The original dense two-phase tableau simplex
 //! ([`simplex`]) is retained as a differential-testing oracle behind
 //! [`Problem::solve_tableau`], and as a last-resort fallback when the
 //! revised solver reports numerical failure. Both are designed for the
@@ -42,8 +47,9 @@ pub mod presolve;
 pub mod revised;
 pub mod simplex;
 
-pub use branch_bound::solve_milp;
+pub use branch_bound::{solve_milp, solve_milp_with};
 pub use model::{Problem, Relation, Solution, SolveError, VarId};
+pub use revised::{solve_with_start, BasisSnapshot, PricingRule};
 
 /// Numerical tolerance used throughout the solver.
 pub const EPS: f64 = 1e-9;

@@ -61,6 +61,7 @@ pub(crate) struct Constraint {
 pub struct Problem {
     pub(crate) vars: Vec<Variable>,
     pub(crate) constraints: Vec<Constraint>,
+    pub(crate) pricing: crate::revised::PricingRule,
 }
 
 /// Errors reported by the solver.
@@ -164,6 +165,19 @@ impl Problem {
     /// Current objective coefficient of a variable.
     pub fn objective_coeff(&self, v: VarId) -> f64 {
         self.vars[v.0].obj
+    }
+
+    /// Select the simplex pricing rule ([`crate::PricingRule`]) used by
+    /// every solve of this problem (and, via [`Clone`], of any problem
+    /// derived from it — branch-and-bound children inherit the rule). The
+    /// default is Devex; Dantzig is kept as the simple fallback.
+    pub fn set_pricing(&mut self, rule: crate::revised::PricingRule) {
+        self.pricing = rule;
+    }
+
+    /// The pricing rule solves of this problem will use.
+    pub fn pricing(&self) -> crate::revised::PricingRule {
+        self.pricing
     }
 
     /// Tighten (replace) the bounds of a variable.
@@ -290,7 +304,10 @@ impl Problem {
     ) -> Result<Solution, SolveError> {
         let _span = trace::span("lp.solve");
         trace::count("lp.solves", 1);
-        let pre = crate::presolve::Presolve::new(self)?;
+        let mut pre = crate::presolve::Presolve::new(self)?;
+        // The reduced problem is rebuilt variable-by-variable; carry the
+        // pricing rule over so the configured rule actually runs.
+        pre.reduced.pricing = self.pricing;
         trace::count(
             "lp.presolve_eliminated",
             (self.num_vars() - pre.reduced.num_vars()) as u64,

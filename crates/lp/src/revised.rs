@@ -11,10 +11,10 @@
 //!   (product-form update). `FTRAN` / `BTRAN` sweeps through the eta file
 //!   replace the `O(m·n)` Gauss-Jordan row updates of the tableau with
 //!   `O(m·k)` work (`k` = etas since the last refactorisation), and the
-//!   file is rebuilt from the sparse constraint columns whenever it grows
-//!   past a fixed interval (`REFACTOR_INTERVAL`), so rounding error cannot
-//!   accumulate across an unbounded pivot sequence the way it does in a
-//!   tableau.
+//!   file is rebuilt from the sparse constraint columns once
+//!   `REFACTOR_INTERVAL` *pivot* etas have accumulated on top of the last
+//!   reinversion, so rounding error cannot accumulate across an unbounded
+//!   pivot sequence the way it does in a tableau.
 //! * **Bounded variables stay implicit.** A finite upper bound is handled
 //!   by the ratio test (a nonbasic variable can sit at *either* bound and a
 //!   pivot can be a pure *bound flip*), so box constraints on offsets no
@@ -22,8 +22,13 @@
 //!   exactly the rows that made the mobile-offset tableaux large and
 //!   degenerate. Free variables are priced in both directions instead of
 //!   being split into differences of non-negatives.
-//! * **Anti-cycling is positional.** Dantzig pricing (most negative reduced
-//!   cost, ties by magnitude) switches to Bland's rule — smallest eligible
+//! * **Pricing is pluggable and anti-cycling is positional.** The entering
+//!   column is chosen by a [`PricingRule`]: Devex reference-framework
+//!   pricing (the default — reduced cost normalised by an iteratively
+//!   maintained estimate of the column's steepest-edge norm, which cuts
+//!   pivot counts sharply on the degenerate alignment LPs) or classic
+//!   Dantzig pricing (most negative reduced cost, kept as the simple
+//!   fallback). Either rule switches to Bland's rule — smallest eligible
 //!   column entering, smallest basis column leaving — after a run of
 //!   degenerate pivots, and switches back after the first pivot that moves
 //!   the objective. Bland makes termination *finite*; because finite is not
@@ -32,10 +37,14 @@
 //!   never turn a stall into a spurious Infeasible) bounds the pivot count
 //!   in practice.
 //!
-//! Phase 1 starts from an all-artificial basis (`B₀ = diag(±1)`, one
-//! artificial per row, signed so the start point is within bounds) and
-//! minimises the artificial sum; phase 2 fixes the artificials to zero and
-//! minimises the user objective over the surviving basis.
+//! Phase 1 starts from a crash basis (slack / structural columns where the
+//! start residuals allow, signed artificials for the rest) and minimises
+//! the artificial sum; phase 2 fixes the artificials to zero and minimises
+//! the user objective over the surviving basis. A solve can also start from
+//! the final basis of a previous solve over the *same* rows and columns
+//! ([`solve_with_start`]): branch-and-bound children differ from their
+//! parent only in one variable's bounds, so resuming from the parent's
+//! factorised basis usually skips phase 1 entirely.
 
 use crate::model::{Problem, Relation, Solution, SolveError};
 use crate::EPS;
@@ -46,8 +55,69 @@ const PRICE_TOL: f64 = 1e-9;
 const PIVOT_TOL: f64 = 1e-8;
 /// Degenerate-pivot streak after which Bland's rule takes over.
 const BLAND_AFTER: usize = 40;
-/// Refactorise (rebuild the eta file from the basis columns) this often.
+/// Refactorise after this many *pivot* etas accumulate on top of the last
+/// reinversion. (The reinversion itself contributes one eta per basis
+/// column, so the trigger must count etas *since* the rebuild — comparing
+/// the raw file length against a constant would refactorise on every pivot
+/// once `m` exceeds the interval, which is exactly the `O(m)`-per-pivot
+/// slowdown PR 8 removed.)
 const REFACTOR_INTERVAL: usize = 64;
+/// A Devex weight above this triggers a reference-framework reset (all
+/// weights back to 1): the iterated estimates have drifted too far from
+/// any real steepest-edge norm to rank columns meaningfully.
+const DEVEX_RESET: f64 = 1e8;
+
+/// How the simplex selects the entering column. Configured per problem via
+/// [`Problem::set_pricing`]; the default is [`PricingRule::Devex`].
+///
+/// Both rules find an optimal vertex; they differ only in how many pivots
+/// the journey takes. Devex prices a column by `c̄²/w` where `w` estimates
+/// the steepest-edge norm `‖B⁻¹aⱼ‖²`, which on the degenerate alignment
+/// LPs avoids the long ties Dantzig wanders through.
+///
+/// ```
+/// use lp::{PricingRule, Problem, Relation};
+/// let mut p = Problem::new();
+/// let x = p.add_nonneg_var("x", 2.0);
+/// let y = p.add_nonneg_var("y", 3.0);
+/// p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+/// let devex = p.solve().unwrap(); // Devex is the default rule
+/// p.set_pricing(PricingRule::Dantzig); // classic rule kept as fallback
+/// let dantzig = p.solve().unwrap();
+/// assert!((devex.objective - dantzig.objective).abs() < 1e-9);
+/// assert_eq!(p.pricing(), PricingRule::Dantzig);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Devex reference-framework pricing (Forrest–Goldfarb): reduced cost
+    /// squared over an iteratively updated weight. The default.
+    #[default]
+    Devex,
+    /// Classic Dantzig pricing: most negative reduced cost, ties by
+    /// magnitude.
+    Dantzig,
+}
+
+/// The final basis of a solve, reusable as the starting point of another
+/// solve over the same constraint rows and variables
+/// ([`solve_with_start`]). Opaque: rows are encoded structurally (a
+/// structural/slack column index, or "this row's artificial") so the
+/// snapshot is valid for any problem with identical shape — in particular
+/// a branch-and-bound child whose only difference is a tightened bound.
+#[derive(Debug, Clone)]
+pub struct BasisSnapshot {
+    /// Rows of the snapshot's problem.
+    m: usize,
+    /// Structural + slack column count (artificials start here).
+    art0: usize,
+    /// Basic column per row: `>= 0` is a structural/slack column index,
+    /// `-1` means the row's own artificial.
+    rows: Vec<i64>,
+    /// Values of every structural and slack column at the final vertex.
+    x: Vec<f64>,
+    /// ±1 seed diagonal (artificial signs) of the factorisation.
+    sign: Vec<f64>,
+}
 
 /// One product-form update: `B_new = B_old · E` where `E` is the identity
 /// with column `row` replaced by `d = B_old⁻¹ a_entering`.
@@ -80,7 +150,10 @@ struct Revised {
     sign: Vec<f64>,
     /// Eta file since the last refactorisation.
     etas: Vec<Eta>,
-    /// First artificial column index (artificial `i` lives at `art0 + i`).
+    /// Eta-file length at which the next reinversion fires (the last
+    /// rebuild's length plus [`REFACTOR_INTERVAL`]).
+    next_refactor: usize,
+    /// First artificial column index.
     art0: usize,
 }
 
@@ -207,6 +280,7 @@ impl Revised {
             new_basis[r] = j;
         }
         self.basis = new_basis;
+        self.next_refactor = self.etas.len() + REFACTOR_INTERVAL;
         self.recompute_basics();
         true
     }
@@ -223,15 +297,24 @@ impl Revised {
     /// is far better than burning the whole iteration budget. Phase 1 gets
     /// extra patience because stopping it early would misreport a feasible
     /// problem as infeasible.
-    fn run(&mut self, cost: &[f64], max_iters: usize, stall_patience: usize) -> RunResult {
+    fn run(
+        &mut self,
+        cost: &[f64],
+        max_iters: usize,
+        stall_patience: usize,
+        rule: PricingRule,
+    ) -> RunResult {
         let mut degenerate_streak = 0usize;
         let cost_scale = cost.iter().fold(0.0f64, |a, &c| a.max(c.abs()));
         let stall_tol = 1e-10 * (1.0 + cost_scale);
         let stall_limit = 500.max((self.m + self.cols.len()) / 4) * stall_patience.max(1);
         let mut last_obj = f64::INFINITY;
         let mut stalled = 0usize;
+        // Devex reference framework: every nonbasic column starts with unit
+        // weight; pivots grow the weights of columns the pivot row touches.
+        let mut weights = vec![1.0f64; self.cols.len()];
         for _ in 0..max_iters {
-            if self.etas.len() >= REFACTOR_INTERVAL && !self.refactorize() {
+            if self.etas.len() >= self.next_refactor && !self.refactorize() {
                 return RunResult::IterationLimit;
             }
             let obj: f64 = self
@@ -262,6 +345,7 @@ impl Revised {
             // decrease (true) the entering variable.
             let mut entering: Option<(usize, bool)> = None;
             let mut best_mag = PRICE_TOL;
+            let mut best_score = 0.0f64;
             for (j, col) in self.cols.iter().enumerate() {
                 if self.in_basis[j] || self.upper[j] - self.lower[j] <= EPS {
                     continue;
@@ -292,9 +376,20 @@ impl Revised {
                         entering = Some((j, decrease));
                         break;
                     }
-                    if cbar.abs() > best_mag {
-                        best_mag = cbar.abs();
-                        entering = Some((j, decrease));
+                    match rule {
+                        PricingRule::Dantzig => {
+                            if cbar.abs() > best_mag {
+                                best_mag = cbar.abs();
+                                entering = Some((j, decrease));
+                            }
+                        }
+                        PricingRule::Devex => {
+                            let score = cbar * cbar / weights[j];
+                            if score > best_score {
+                                best_score = score;
+                                entering = Some((j, decrease));
+                            }
+                        }
                     }
                 }
             }
@@ -381,6 +476,43 @@ impl Revised {
                         degenerate_streak = 0;
                     }
                     let leave = self.basis[r];
+                    if rule == PricingRule::Devex {
+                        // Devex weight update over the *old* basis inverse
+                        // (before the eta for this pivot is appended):
+                        // ρ = eᵣᵀB⁻¹ gives the pivot row, and every
+                        // nonbasic column j with αⱼ = ρ·aⱼ ≠ 0 inherits
+                        // w_j = max(w_j, (αⱼ/α_q)²·w_q) — the
+                        // reference-framework recurrence that makes the
+                        // weights track steepest-edge norms.
+                        let mut rho = vec![0.0; self.m];
+                        rho[r] = 1.0;
+                        self.btran(&mut rho);
+                        let alpha_q = d[r];
+                        let wq = weights[q].max(1.0);
+                        let ratio_w = wq / (alpha_q * alpha_q);
+                        let mut wmax = 0.0f64;
+                        for (j, col) in self.cols.iter().enumerate() {
+                            if self.in_basis[j] || j == q || j >= self.art0 {
+                                continue;
+                            }
+                            let mut alpha = 0.0;
+                            for &(i, a) in col {
+                                alpha += rho[i] * a;
+                            }
+                            if alpha != 0.0 {
+                                let cand = alpha * alpha * ratio_w;
+                                if cand > weights[j] {
+                                    weights[j] = cand;
+                                }
+                            }
+                            wmax = wmax.max(weights[j]);
+                        }
+                        weights[leave] = ratio_w.max(1.0);
+                        weights[q] = 1.0;
+                        if wmax.max(weights[leave]) > DEVEX_RESET {
+                            weights.fill(1.0);
+                        }
+                    }
                     for (i, &di) in d.iter().enumerate() {
                         if di != 0.0 {
                             let bi = self.basis[i];
@@ -436,6 +568,21 @@ impl Revised {
             }
         }
     }
+
+    /// The reusable snapshot of the current basis (see [`BasisSnapshot`]).
+    fn snapshot(&self) -> BasisSnapshot {
+        BasisSnapshot {
+            m: self.m,
+            art0: self.art0,
+            rows: self
+                .basis
+                .iter()
+                .map(|&j| if j >= self.art0 { -1 } else { j as i64 })
+                .collect(),
+            x: self.x[..self.art0].to_vec(),
+            sign: self.sign.clone(),
+        }
+    }
 }
 
 /// The finite bound closest to zero (0 for a free variable).
@@ -455,35 +602,23 @@ fn nearest_bound(lower: f64, upper: f64) -> f64 {
     }
 }
 
-/// Solve `problem` with the bounded-variable revised simplex.
-pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+/// Standard-form columns (structural | slack) before a start basis is
+/// chosen: shared between the cold (crash) and warm (snapshot) paths.
+struct Standard {
+    m: usize,
+    n: usize,
+    cols: Vec<Vec<(usize, f64)>>,
+    b: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    x: Vec<f64>,
+    slack_of_row: Vec<Option<usize>>,
+}
+
+fn standard_form(problem: &Problem) -> Standard {
     let n = problem.vars.len();
     let m = problem.constraints.len();
 
-    if m == 0 {
-        // Pure bound minimisation: each variable independently runs to the
-        // bound its objective coefficient points at.
-        let mut values = vec![0.0; n];
-        for (i, v) in problem.vars.iter().enumerate() {
-            values[i] = if v.obj > 0.0 {
-                if !v.lower.is_finite() {
-                    return Err(SolveError::Unbounded);
-                }
-                v.lower
-            } else if v.obj < 0.0 {
-                if !v.upper.is_finite() {
-                    return Err(SolveError::Unbounded);
-                }
-                v.upper
-            } else {
-                nearest_bound(v.lower, v.upper)
-            };
-        }
-        let objective = problem.eval_objective(&values);
-        return Ok(Solution { values, objective });
-    }
-
-    // --- Build standard-form columns: structural | slack | artificial. ---
     // Rows are equilibrated by their largest structural coefficient, like the
     // tableau solver: alignment constraint systems mix element-count weights
     // in the thousands with unit coefficients.
@@ -539,6 +674,31 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         upper.push(hi);
         x.push(0.0);
     }
+
+    Standard {
+        m,
+        n,
+        cols,
+        b,
+        lower,
+        upper,
+        x,
+        slack_of_row,
+    }
+}
+
+/// Build the solver state from a crash basis (the cold path).
+fn cold_start(sf: Standard) -> Revised {
+    let Standard {
+        m,
+        n,
+        mut cols,
+        b,
+        mut lower,
+        mut upper,
+        mut x,
+        slack_of_row,
+    } = sf;
 
     // Crash basis from the residual of the nonbasic start point. Rows are
     // processed in order and each picks the cheapest basic column that makes
@@ -672,6 +832,89 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         in_basis[j] = true;
     }
 
+    Revised {
+        m,
+        cols,
+        lower,
+        upper,
+        x,
+        b,
+        basis,
+        in_basis,
+        sign,
+        etas: Vec::new(),
+        next_refactor: 0,
+        art0,
+    }
+}
+
+/// Build the solver state from the final basis of a previous solve over a
+/// problem with identical shape (the warm path). Returns `None` when the
+/// snapshot does not fit or its basis cannot be made primal-feasible
+/// cheaply — the caller falls back to [`cold_start`].
+///
+/// Basic variables whose parent value violates a (tightened) child bound
+/// are *evicted*: clamped to the violated bound and replaced in the basis
+/// by their row's artificial, which phase 1 then drives back out. A
+/// branch-and-bound child tightens one bound, so at most a couple of rows
+/// need evicting and phase 1 is a handful of pivots — against the dozens a
+/// cold crash start would pay.
+fn warm_start(sf: Standard, snap: &BasisSnapshot) -> Option<Revised> {
+    let Standard {
+        m,
+        n: _,
+        mut cols,
+        b,
+        mut lower,
+        mut upper,
+        mut x,
+        slack_of_row: _,
+    } = sf;
+    let art0 = cols.len();
+    if snap.m != m || snap.art0 != art0 {
+        return None;
+    }
+
+    // Start every structural/slack column at its parent value, clamped into
+    // the (possibly tightened) child bounds.
+    for j in 0..art0 {
+        x[j] = snap.x[j].clamp(lower[j], upper[j]);
+        if !x[j].is_finite() {
+            return None;
+        }
+    }
+    // One artificial per row, signed as in the parent factorisation.
+    let mut sign = snap.sign.clone();
+    for (r, s) in sign.iter_mut().enumerate() {
+        if *s != 1.0 && *s != -1.0 {
+            *s = 1.0;
+        }
+        cols.push(vec![(r, *s)]);
+        lower.push(0.0);
+        upper.push(f64::INFINITY);
+        x.push(0.0);
+    }
+    let ncols = cols.len();
+
+    let mut basis = vec![usize::MAX; m];
+    let mut in_basis = vec![false; ncols];
+    for (r, &enc) in snap.rows.iter().enumerate() {
+        let j = if enc < 0 {
+            art0 + r
+        } else {
+            let j = enc as usize;
+            if j >= art0 {
+                return None;
+            }
+            j
+        };
+        if in_basis[j] {
+            return None;
+        }
+        basis[r] = j;
+        in_basis[j] = true;
+    }
+
     let mut solver = Revised {
         m,
         cols,
@@ -683,35 +926,149 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         in_basis,
         sign,
         etas: Vec::new(),
+        next_refactor: 0,
         art0,
     };
 
-    // The crash basis mixes slack, structural and artificial columns, so it
-    // is not the ±1 diagonal any more; factorise it once up front (the
-    // diagonal stays as the factorisation seed) and derive all basic values
-    // consistently from the nonbasic point.
-    if !solver.refactorize() {
-        return Err(SolveError::IterationLimit);
+    // Factorise the parent basis and derive basic values; then evict any
+    // basic variable the tightened bounds push infeasible. Each eviction
+    // changes the basis, so re-factorise and re-check — with one branching
+    // bound this settles in one round, but a few rounds are allowed for
+    // sign flips of artificials on rows whose residual changed side.
+    for _ in 0..4 {
+        if !solver.refactorize() {
+            return None;
+        }
+        let mut dirty = false;
+        for r in 0..m {
+            let j = solver.basis[r];
+            let (lo, hi) = (solver.lower[j], solver.upper[j]);
+            let v = solver.x[j];
+            if v >= lo - 1e-7 && v <= hi + 1e-7 {
+                if v < lo || v > hi {
+                    solver.x[j] = v.clamp(lo, hi);
+                }
+                continue;
+            }
+            dirty = true;
+            if j < solver.art0 {
+                // Clamp to the violated side, hand the row to its artificial.
+                solver.x[j] = v.clamp(lo, hi);
+                solver.in_basis[j] = false;
+                let art = solver.art0 + r;
+                solver.basis[r] = art;
+                solver.in_basis[art] = true;
+            } else {
+                // A basic artificial went negative: flip its sign so the
+                // next factorisation sees a positive value.
+                solver.sign[r] = -solver.sign[r];
+                solver.cols[j] = vec![(r, solver.sign[r])];
+            }
+        }
+        if !dirty {
+            return Some(solver);
+        }
+    }
+    None
+}
+
+/// Solve `problem` with the bounded-variable revised simplex.
+pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    solve_with_start(problem, None).map(|(sol, _)| sol)
+}
+
+/// Solve `problem`, optionally resuming from the final basis of a previous
+/// solve over a problem with identical rows and variables (only bounds and
+/// objective may differ — exactly the branch-and-bound child shape). The
+/// returned snapshot can seed the next solve. An unusable snapshot is not
+/// an error; the solve silently falls back to a cold crash start.
+pub fn solve_with_start(
+    problem: &Problem,
+    warm: Option<&BasisSnapshot>,
+) -> Result<(Solution, BasisSnapshot), SolveError> {
+    let n = problem.vars.len();
+    let m = problem.constraints.len();
+
+    if m == 0 {
+        // Pure bound minimisation: each variable independently runs to the
+        // bound its objective coefficient points at.
+        let mut values = vec![0.0; n];
+        for (i, v) in problem.vars.iter().enumerate() {
+            values[i] = if v.obj > 0.0 {
+                if !v.lower.is_finite() {
+                    return Err(SolveError::Unbounded);
+                }
+                v.lower
+            } else if v.obj < 0.0 {
+                if !v.upper.is_finite() {
+                    return Err(SolveError::Unbounded);
+                }
+                v.upper
+            } else {
+                nearest_bound(v.lower, v.upper)
+            };
+        }
+        let objective = problem.eval_objective(&values);
+        let snapshot = BasisSnapshot {
+            m: 0,
+            art0: n,
+            rows: Vec::new(),
+            x: values.clone(),
+            sign: Vec::new(),
+        };
+        return Ok((Solution { values, objective }, snapshot));
     }
 
+    let rule = problem.pricing();
+    let (mut solver, warm_started) = match warm.and_then(|s| warm_start(standard_form(problem), s))
+    {
+        Some(solver) => {
+            trace::count("lp.warm_starts", 1);
+            (solver, true)
+        }
+        None => {
+            if warm.is_some() {
+                trace::count("lp.warm_fallbacks", 1);
+            }
+            let mut solver = cold_start(standard_form(problem));
+            // The crash basis mixes slack, structural and artificial
+            // columns, so it is not the ±1 diagonal any more; factorise it
+            // once up front (the diagonal stays as the factorisation seed)
+            // and derive all basic values consistently.
+            if !solver.refactorize() {
+                return Err(SolveError::IterationLimit);
+            }
+            (solver, false)
+        }
+    };
+
+    let art0 = solver.art0;
+    let ncols = solver.cols.len();
     let max_iters = 400 * (ncols + m + 10);
 
-    // --- Phase 1: minimise the artificial sum (skipped when the crash
-    // basis is already feasible). ---
-    if art0 < ncols {
+    // --- Phase 1: minimise the artificial sum. Skipped when the start
+    // basis is already feasible: for a cold start that means the crash
+    // needed no artificials; for a warm start, that no artificial carries
+    // residual (the usual case when only a bound was tightened). ---
+    let b_scale = solver.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let art_sum = |s: &Revised| -> f64 { (art0..s.cols.len()).map(|j| s.x[j].abs()).sum() };
+    let needs_phase1 = if warm_started {
+        art_sum(&solver) > 1e-7 * (1.0 + b_scale)
+    } else {
+        art0 < ncols
+    };
+    if needs_phase1 {
         let mut phase1_cost = vec![0.0; ncols];
         for c in phase1_cost.iter_mut().skip(art0) {
             *c = 1.0;
         }
         let pivots_before_phase1 = trace::counter("lp.pivots");
-        let phase1 = solver.run(&phase1_cost, max_iters, 4);
+        let phase1 = solver.run(&phase1_cost, max_iters, 4, rule);
         trace::count(
             "lp.phase1_pivots",
             trace::counter("lp.pivots") - pivots_before_phase1,
         );
-        let art_sum: f64 = (art0..ncols).map(|j| solver.x[j].abs()).sum();
-        let b_scale = solver.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
-        let feasible = art_sum <= 1e-7 * (1.0 + b_scale);
+        let feasible = art_sum(&solver) <= 1e-7 * (1.0 + b_scale);
         match phase1 {
             RunResult::Optimal if !feasible => return Err(SolveError::Infeasible),
             RunResult::Optimal => {}
@@ -744,7 +1101,7 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
     for (j, c) in phase2_cost.iter_mut().enumerate().take(n) {
         *c = problem.vars[j].obj;
     }
-    match solver.run(&phase2_cost, max_iters, 1) {
+    match solver.run(&phase2_cost, max_iters, 1, rule) {
         // A stalled phase 2 is accepted as optimal: the vertex is feasible
         // and the callers this solver serves re-price the result exactly.
         RunResult::Optimal | RunResult::Stalled => {}
@@ -754,7 +1111,8 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
 
     let values: Vec<f64> = solver.x[..n].to_vec();
     let objective = problem.eval_objective(&values);
-    Ok(Solution { values, objective })
+    let snapshot = solver.snapshot();
+    Ok((Solution { values, objective }, snapshot))
 }
 
 #[cfg(test)]
@@ -967,6 +1325,57 @@ mod tests {
     }
 
     #[test]
+    fn refactorisation_cadence_is_per_pivot_not_per_file_length() {
+        // On a problem with more rows than REFACTOR_INTERVAL the eta file is
+        // longer than the interval immediately after every reinversion; the
+        // trigger must count etas *since* the rebuild, not the raw length —
+        // otherwise every pivot refactorises and the solver degrades to
+        // O(m²) per pivot. Locked by counters: refactorisations must stay
+        // well below the pivot count.
+        trace::reset();
+        let n = 150;
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_nonneg_var(format!("x{i}"), 1.0 + (i % 7) as f64))
+            .collect();
+        for i in 0..n - 1 {
+            p.add_constraint(vec![(vars[i], 1.0), (vars[i + 1], 1.0)], Relation::Ge, 2.0);
+        }
+        let _ = solve(&p).unwrap();
+        let pivots = trace::counter("lp.pivots");
+        let refactors = trace::counter("lp.refactorisations");
+        assert!(
+            refactors <= 2 + pivots / (REFACTOR_INTERVAL as u64 / 2),
+            "refactorising too often: {refactors} reinversions for {pivots} pivots"
+        );
+        trace::reset();
+    }
+
+    #[test]
+    fn dantzig_and_devex_agree_on_objectives() {
+        // Both rules must land on an optimal vertex; on a non-degenerate
+        // problem the optimum is unique, so the full solutions agree.
+        let build = || {
+            let mut p = Problem::new();
+            let x = p.add_nonneg_var("x", 1.0);
+            let y = p.add_nonneg_var("y", 1.0);
+            p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Ge, 4.0);
+            p.add_constraint(vec![(x, 3.0), (y, 1.0)], Relation::Ge, 6.0);
+            p
+        };
+        let mut devex = build();
+        devex.set_pricing(PricingRule::Devex);
+        let mut dantzig = build();
+        dantzig.set_pricing(PricingRule::Dantzig);
+        let sd = solve(&devex).unwrap();
+        let sz = solve(&dantzig).unwrap();
+        assert_close(sd.objective, sz.objective);
+        for (a, b) in sd.values.iter().zip(&sz.values) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
     fn moderately_sized_random_feasible_problem() {
         let n = 40;
         let m = 30;
@@ -989,5 +1398,92 @@ mod tests {
         let s = solve(&p).unwrap();
         assert!(p.is_feasible(&s.values, 1e-5));
         assert!(s.objective.abs() < 1e-6);
+    }
+
+    #[test]
+    fn both_rules_solve_the_random_problem_feasibly() {
+        let n = 40;
+        let m = 30;
+        let build = |rule: PricingRule| {
+            let mut p = Problem::new();
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_nonneg_var(format!("x{i}"), ((i * 7 + 3) % 11) as f64 / 7.0 + 0.1))
+                .collect();
+            let mut state = 0xdeadbeef12345678u64;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 9) as f64 - 4.0
+            };
+            for _ in 0..m {
+                let terms: Vec<_> = vars.iter().map(|&v| (v, next())).collect();
+                let lhs_at_ones: f64 = terms.iter().map(|(_, a)| *a).sum();
+                p.add_constraint(terms, Relation::Le, lhs_at_ones.abs() + 5.0);
+            }
+            p.set_pricing(rule);
+            p
+        };
+        let pd = build(PricingRule::Devex);
+        let pz = build(PricingRule::Dantzig);
+        let sd = solve(&pd).unwrap();
+        let sz = solve(&pz).unwrap();
+        assert!(pd.is_feasible(&sd.values, 1e-5));
+        assert!(pz.is_feasible(&sz.values, 1e-5));
+        assert!((sd.objective - sz.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_resumes_from_parent_basis() {
+        // Solve, tighten one bound (the branch-and-bound child shape), and
+        // re-solve from the parent snapshot: the result must match a cold
+        // solve exactly, with strictly fewer phase-1 pivots.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 10.0, -5.0);
+        let y = p.add_var("y", 0.0, 10.0, -4.0);
+        p.add_constraint(vec![(x, 6.0), (y, 4.0)], Relation::Le, 24.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 6.0);
+        let (_, snap) = solve_with_start(&p, None).unwrap();
+
+        let mut child = p.clone();
+        child.set_bounds(x, 0.0, 3.0);
+
+        trace::reset();
+        let (cold, _) = solve_with_start(&child, None).unwrap();
+        let cold_phase1 = trace::counter("lp.phase1_pivots");
+        trace::reset();
+        let (warm, _) = solve_with_start(&child, Some(&snap)).unwrap();
+        let warm_phase1 = trace::counter("lp.phase1_pivots");
+        assert_eq!(trace::counter("lp.warm_starts"), 1);
+        trace::reset();
+
+        assert_close(warm.objective, cold.objective);
+        assert!(child.is_feasible(&warm.values, 1e-6));
+        assert!(
+            warm_phase1 <= cold_phase1,
+            "warm start must not pay more phase-1 pivots ({warm_phase1} vs {cold_phase1})"
+        );
+    }
+
+    #[test]
+    fn warm_start_with_mismatched_shape_falls_back() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let (_, snap) = solve_with_start(&p, None).unwrap();
+
+        // A different problem shape: the snapshot cannot fit and the solve
+        // must silently cold-start instead of failing.
+        let mut q = Problem::new();
+        let a = q.add_nonneg_var("a", 1.0);
+        let b = q.add_nonneg_var("b", 1.0);
+        q.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+        q.add_constraint(vec![(a, 1.0)], Relation::Le, 2.0);
+        trace::reset();
+        let (s, _) = solve_with_start(&q, Some(&snap)).unwrap();
+        assert_eq!(trace::counter("lp.warm_starts"), 0);
+        assert_eq!(trace::counter("lp.warm_fallbacks"), 1);
+        trace::reset();
+        assert!(q.is_feasible(&s.values, 1e-6));
     }
 }

@@ -122,6 +122,41 @@ impl std::fmt::Display for DynamicDistribution {
     }
 }
 
+/// What the DP asks of its boundary-move pricer.
+///
+/// [`DpPricer::price`] is the exact per-cell query the DP always made; any
+/// `FnMut(usize, ArrayId, SigId, SigId) -> f64` closure is a pricer via the
+/// blanket impl. [`DpPricer::prefill`] lets a memoising pricer see a
+/// layer's **complete query set up front**: the transition loop enumerates
+/// every (previous state, candidate) pair unconditionally, so the distinct
+/// `(array, src, dst)` cells it will ask about are known before the loop
+/// runs, and a pricer can compute them in parallel (each cell is an
+/// independent owner-comparison) while keeping its hit/miss accounting —
+/// and therefore every trace counter — bitwise-identical to serial
+/// on-demand pricing. [`DpPricer::wants_prefill`] gates the (small) cost
+/// of assembling the query set; the closure impl declines.
+pub trait DpPricer {
+    /// Exact price (in simulated elements) of moving `array` into phase
+    /// `phase` from resting signature `src` to signature `dst`.
+    fn price(&mut self, phase: usize, array: ArrayId, src: SigId, dst: SigId) -> f64;
+
+    /// Announce the deduplicated query set of one layer, in first-query
+    /// order, before its transition loop. Default: ignore.
+    fn prefill(&mut self, _phase: usize, _cells: &[(ArrayId, SigId, SigId)]) {}
+
+    /// Whether [`DpPricer::prefill`] is worth calling (the query set is
+    /// only assembled when it is). Default: no.
+    fn wants_prefill(&self) -> bool {
+        false
+    }
+}
+
+impl<F: FnMut(usize, ArrayId, SigId, SigId) -> f64> DpPricer for F {
+    fn price(&mut self, phase: usize, array: ArrayId, src: SigId, dst: SigId) -> f64 {
+        self(phase, array, src, dst)
+    }
+}
+
 /// Safety cap on the number of live DP states per layer: beyond this the
 /// most expensive states are dropped (a beam). Real workloads stay far
 /// below; the cap only guards adversarial inputs.
@@ -163,15 +198,15 @@ pub struct LayoutDpPlan {
 ///   search-only — callers re-price the returned plan exactly;
 /// * `move_cost` — exact price (in simulated elements) of moving `array`
 ///   into the given destination phase from resting signature `src` to the
-///   destination phase's signature `dst`. Called only for arrays the
-///   destination phase touches that were referenced before; memoisation is
-///   the caller's (the same (phase, array, src, dst) query recurs across
-///   states).
+///   destination phase's signature `dst` ([`DpPricer`]; any closure of the
+///   same shape works). Called only for arrays the destination phase
+///   touches that were referenced before; memoisation is the pricer's (the
+///   same (phase, array, src, dst) query recurs across states).
 pub fn solve_layout_dp(
     layers: &[PhaseCandidates],
     refs: &[BTreeSet<ArrayId>],
     switch_margin: f64,
-    mut move_cost: impl FnMut(usize, ArrayId, SigId, SigId) -> f64,
+    move_cost: &mut dyn DpPricer,
 ) -> LayoutDpPlan {
     let _span = trace::span("phases.dp.solve");
     assert!(!layers.is_empty(), "need at least one phase");
@@ -212,13 +247,32 @@ pub fn solve_layout_dp(
     state_layers.push(first);
 
     for b in 1..n {
+        // Hand a memoising pricer the layer's complete query set before the
+        // transition loop: the loop below visits every (state, candidate)
+        // pair unconditionally, so this enumeration (same iteration order,
+        // deduplicated) is exactly the cells it will ask for.
+        if move_cost.wants_prefill() {
+            let mut seen: std::collections::HashSet<(ArrayId, SigId, SigId)> =
+                std::collections::HashSet::new();
+            let mut cells: Vec<(ArrayId, SigId, SigId)> = Vec::new();
+            for s in &state_layers[b - 1] {
+                for &sig in &layers[b].sigs {
+                    for &(a, src) in &s.resting {
+                        if refs[b].contains(&a) && seen.insert((a, src, sig)) {
+                            cells.push((a, src, sig));
+                        }
+                    }
+                }
+            }
+            move_cost.prefill(b, &cells);
+        }
         let mut next: Vec<DpState> = Vec::new();
         for (prev_idx, s) in state_layers[b - 1].iter().enumerate() {
             for (k, &sig) in layers[b].sigs.iter().enumerate() {
                 let mut cost = s.cost + layers[b].costs[k];
                 for &(a, src) in &s.resting {
                     if refs[b].contains(&a) {
-                        cost += move_cost(b, a, src, sig);
+                        cost += move_cost.price(b, a, src, sig);
                         if src != sig {
                             cost += switch_margin;
                         }
@@ -338,7 +392,7 @@ mod tests {
             layer(&[0.0, 100.0], &[&[4, 1], &[1, 4]], &[0, 1]),
             layer(&[100.0, 0.0], &[&[4, 1], &[1, 4]], &[0, 1]),
         ];
-        let plan = solve_layout_dp(&layers, &one_array_refs(2), 0.0, |_, _, src, dst| {
+        let plan = solve_layout_dp(&layers, &one_array_refs(2), 0.0, &mut |_, _, src, dst| {
             if src == dst {
                 0.0
             } else {
@@ -354,7 +408,7 @@ mod tests {
             layer(&[0.0, 10.0], &[&[4, 1], &[1, 4]], &[0, 1]),
             layer(&[10.0, 0.0], &[&[4, 1], &[1, 4]], &[0, 1]),
         ];
-        let plan = solve_layout_dp(&layers, &one_array_refs(2), 0.0, |_, _, src, dst| {
+        let plan = solve_layout_dp(&layers, &one_array_refs(2), 0.0, &mut |_, _, src, dst| {
             if src == dst {
                 0.0
             } else {
@@ -368,7 +422,7 @@ mod tests {
     #[test]
     fn single_phase_is_just_the_cheapest_candidate() {
         let layers = vec![layer(&[5.0, 3.0, 7.0], &[&[4], &[2], &[1]], &[0, 1, 2])];
-        let plan = solve_layout_dp(&layers, &one_array_refs(1), 0.0, |_, _, _, _| {
+        let plan = solve_layout_dp(&layers, &one_array_refs(1), 0.0, &mut |_, _, _, _| {
             unreachable!("no boundaries")
         });
         assert_eq!(plan.chosen, vec![1]);
@@ -383,14 +437,17 @@ mod tests {
             layer(&[5.0, 5.0], &[&[4, 1], &[2, 2]], &[0, 2]),
             layer(&[50.0, 0.0], &[&[4, 1], &[1, 4]], &[0, 1]),
         ];
-        let plan = solve_layout_dp(&layers, &one_array_refs(3), 0.0, |_, _, src, dst| {
-            match (src, dst) {
+        let plan = solve_layout_dp(
+            &layers,
+            &one_array_refs(3),
+            0.0,
+            &mut |_, _, src, dst| match (src, dst) {
                 (0, 2) => 1.0,
                 (2, 1) => 1.0,
                 (a, c) if a == c => 3.0,
                 _ => 100.0,
-            }
-        });
+            },
+        );
         // 0 (cost 0) -> move 1 -> sig2 (cost 5) -> move 1 -> sig1 (cost 0).
         assert_eq!(plan.chosen, vec![0, 1, 1]);
     }
@@ -414,7 +471,7 @@ mod tests {
             layer(&[0.0, 100.0], &[&[4, 1], &[1, 4]], &[0, 1]),
         ];
         let mut b_moves_priced = 0usize;
-        let plan = solve_layout_dp(&layers, &refs, 0.0, |phase, arr, src, dst| {
+        let plan = solve_layout_dp(&layers, &refs, 0.0, &mut |phase, arr, src, dst| {
             if arr == b && phase == 2 {
                 b_moves_priced += 1;
             }
@@ -438,10 +495,10 @@ mod tests {
             layer(&[1.0, 0.0], &[&[4, 1], &[1, 4]], &[0, 1]),
         ];
         let refs = one_array_refs(2);
-        let free_moves = |_: usize, _: ArrayId, _: SigId, _: SigId| 0.0;
-        let eager = solve_layout_dp(&layers, &refs, 0.0, free_moves);
+        let mut free_moves = |_: usize, _: ArrayId, _: SigId, _: SigId| 0.0;
+        let eager = solve_layout_dp(&layers, &refs, 0.0, &mut free_moves);
         assert_eq!(eager.chosen, vec![0, 1]);
-        let steady = solve_layout_dp(&layers, &refs, 2.0, free_moves);
+        let steady = solve_layout_dp(&layers, &refs, 2.0, &mut free_moves);
         assert_eq!(steady.chosen, vec![0, 0]);
     }
 
@@ -457,18 +514,13 @@ mod tests {
         let layers: Vec<PhaseCandidates> = (0..3)
             .map(|_| layer(&[1.0, 2.0, 3.0, 4.0], &grid_refs, &[0, 1, 2, 3]))
             .collect();
-        let plan = solve_layout_dp(
-            &layers,
-            &refs,
-            0.0,
-            |_, _, src, dst| {
-                if src == dst {
-                    0.0
-                } else {
-                    1.0
-                }
-            },
-        );
+        let plan = solve_layout_dp(&layers, &refs, 0.0, &mut |_, _, src, dst| {
+            if src == dst {
+                0.0
+            } else {
+                1.0
+            }
+        });
         // Every phase touches both arrays, so the resting map is (sig, sig)
         // per candidate — at most 4 states per layer survive per choice.
         assert!(plan.states_per_layer.iter().all(|&s| s <= 4));

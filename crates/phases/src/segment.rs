@@ -161,25 +161,27 @@ pub fn analyze_atoms(program: &Program, config: &PipelineConfig) -> Vec<AtomAnal
     let _span = trace::span("phases.analyze_atoms");
     let atoms = program.distributable_atoms();
     trace::count("phases.atoms_analyzed", atoms.len() as u64);
-    atoms
-        .into_iter()
-        .map(|atom| {
-            let sub = program.from_atoms(std::slice::from_ref(&atom));
-            let (adg, alignment) = align_program(&sub, config);
-            let signature = PhaseSignature::from_parts(&adg, &alignment);
-            let mut referenced = arrays_read(&sub.body, &sub);
-            referenced.extend(arrays_assigned(&sub.body));
-            AtomAnalysis {
-                stmt_index: atom.stmt_index,
-                piece: atom.piece,
-                program: sub,
-                adg,
-                alignment,
-                signature,
-                referenced,
-            }
-        })
-        .collect()
+    // Atoms are aligned independently, so the per-atom alignment passes fan
+    // out over the pool. Results come back in atom order and each worker's
+    // counter delta (`lp.*`, `adg.*`) is absorbed, so every gated counter
+    // total is bitwise-identical to a serial run at any worker count.
+    pool::map(atoms.len(), |i| {
+        let atom = &atoms[i];
+        let sub = program.from_atoms(std::slice::from_ref(atom));
+        let (adg, alignment) = align_program(&sub, config);
+        let signature = PhaseSignature::from_parts(&adg, &alignment);
+        let mut referenced = arrays_read(&sub.body, &sub);
+        referenced.extend(arrays_assigned(&sub.body));
+        AtomAnalysis {
+            stmt_index: atom.stmt_index,
+            piece: atom.piece,
+            program: sub,
+            adg,
+            alignment,
+            signature,
+            referenced,
+        }
+    })
 }
 
 /// Detect phase boundaries over an already-analysed atom sequence: positions

@@ -1,0 +1,89 @@
+//! Pricing-rule A/B lock: the simplex pricing rule (Devex vs Dantzig) may
+//! change how many pivots the LP spends, but it must never change what the
+//! pipeline *decides*. Every phase workload is solved end-to-end under both
+//! rules and the plans are compared bit-for-bit: chosen candidate indices,
+//! per-phase distributions, every redistribution step, the planned cost,
+//! and the static baseline. This is the contract that lets the counter
+//! gate's divergences stay confined to `lp.*` work counters.
+
+use align_ir::programs;
+use alignment_core::PricingRule;
+use phases::{align_then_distribute_dynamic, DynamicConfig};
+
+const NPROCS: usize = 8;
+
+fn solve(program: &align_ir::ast::Program, rule: PricingRule) -> phases::DynamicPipelineResult {
+    let mut config = DynamicConfig::default();
+    config.alignment.offset.pricing = rule;
+    align_then_distribute_dynamic(program, NPROCS, &config)
+}
+
+#[test]
+fn devex_and_dantzig_produce_identical_plans() {
+    for (name, program) in programs::phase_workloads() {
+        let devex = solve(&program, PricingRule::Devex);
+        let dantzig = solve(&program, PricingRule::Dantzig);
+
+        // The dynamic plan: same candidate choices, same instantiated
+        // per-phase distributions, same planned cost to the last bit.
+        assert_eq!(
+            devex.dynamic.chosen, dantzig.dynamic.chosen,
+            "{name}: chosen candidates differ"
+        );
+        assert_eq!(
+            devex.dynamic.per_phase, dantzig.dynamic.per_phase,
+            "{name}: per-phase distributions differ"
+        );
+        assert_eq!(
+            devex.dynamic.planned_cost.to_bits(),
+            dantzig.dynamic.planned_cost.to_bits(),
+            "{name}: planned cost differs ({} vs {})",
+            devex.dynamic.planned_cost,
+            dantzig.dynamic.planned_cost
+        );
+
+        // Every redistribution step: same arrays, same source phases, same
+        // exact element cost.
+        assert_eq!(
+            devex.dynamic.steps.len(),
+            dantzig.dynamic.steps.len(),
+            "{name}: boundary count differs"
+        );
+        for (b, (sa, sb)) in devex
+            .dynamic
+            .steps
+            .iter()
+            .zip(&dantzig.dynamic.steps)
+            .enumerate()
+        {
+            assert_eq!(sa.len(), sb.len(), "{name}: step count at boundary {b}");
+            for (x, y) in sa.iter().zip(sb) {
+                assert_eq!(x.array, y.array, "{name}: stepped array at boundary {b}");
+                assert_eq!(
+                    x.src_phase, y.src_phase,
+                    "{name}: source phase of {} at boundary {b}",
+                    x.name
+                );
+                assert_eq!(
+                    x.cost.elements().to_bits(),
+                    y.cost.elements().to_bits(),
+                    "{name}: step cost of {} at boundary {b}",
+                    x.name
+                );
+            }
+        }
+
+        // The static baseline: same winning distribution, same simulated
+        // cost.
+        assert_eq!(
+            devex.static_result.best().distribution,
+            dantzig.static_result.best().distribution,
+            "{name}: static distribution differs"
+        );
+        assert_eq!(
+            devex.static_planned_cost.to_bits(),
+            dantzig.static_planned_cost.to_bits(),
+            "{name}: static planned cost differs"
+        );
+    }
+}
