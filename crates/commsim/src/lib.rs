@@ -26,6 +26,6 @@ pub mod simulate;
 
 pub use machine::{Machine, TemplateDistribution, REPLICATED_COORD};
 pub use simulate::{
-    redistribution_traffic, simulate, simulate_redistribution, EdgeTraffic, PlacementCache,
-    RedistSpec, RestingPlacement, SimOptions, SimReport,
+    identical_placement_traffic, redistribution_traffic, simulate, simulate_redistribution,
+    EdgeTraffic, PlacementCache, RedistSpec, RestingPlacement, SimOptions, SimReport,
 };

@@ -216,6 +216,7 @@ fn simulate_edge<D: TemplateDistribution + ?Sized>(
     }
     let iter_scale = iter_stride as f64;
     let mut idx = 0usize;
+    let mut pairs = PairSet::new(machine.num_processors());
 
     edge.space.for_each_point(|point| {
         let take = idx.is_multiple_of(iter_stride);
@@ -232,7 +233,9 @@ fn simulate_edge<D: TemplateDistribution + ?Sized>(
         if total_elements == 0 {
             return;
         }
-        let per_iter = element_traffic(&extents, src_align, dst_align, machine, point, opts);
+        let per_iter = element_traffic(
+            &extents, src_align, dst_align, machine, point, opts, &mut pairs,
+        );
         traffic.element_moves += per_iter.element_moves * iter_scale * edge.control_weight;
         traffic.messages += per_iter.messages * iter_scale * edge.control_weight;
         traffic.broadcast_elements +=
@@ -241,27 +244,60 @@ fn simulate_edge<D: TemplateDistribution + ?Sized>(
     traffic
 }
 
+/// The sampling lattice of one element traversal: per-axis strides chosen so
+/// the sampled count stays within the budget, plus the bookkeeping the
+/// counters need. Shared between the real traversal and the fast paths that
+/// can prove a traversal contributes nothing — both must book identical
+/// `commsim.elements_priced` / `commsim.sampling_events` counts.
+struct SampleLattice {
+    strides: Vec<i64>,
+    sampled: i64,
+    total: i64,
+    scale: f64,
+}
+
+impl SampleLattice {
+    fn new(extents: &[i64], budget: usize) -> SampleLattice {
+        let total: i64 = extents.iter().product::<i64>().max(1);
+        let shrink =
+            ((total as f64) / budget.max(1) as f64).powf(1.0 / extents.len().max(1) as f64);
+        let strides: Vec<i64> = extents
+            .iter()
+            .map(|_| (shrink.ceil() as i64).max(1))
+            .collect();
+        let sampled: i64 = extents
+            .iter()
+            .zip(&strides)
+            .map(|(&e, &s)| (e + s - 1) / s)
+            .product::<i64>()
+            .max(1);
+        let scale = total as f64 / sampled as f64;
+        SampleLattice {
+            strides,
+            sampled,
+            total,
+            scale,
+        }
+    }
+
+    /// Book the traversal's counters (identical whether or not the element
+    /// loop actually runs).
+    fn count(&self) {
+        trace::count("commsim.elements_priced", self.sampled as u64);
+        if self.sampled < self.total {
+            trace::count("commsim.sampling_events", 1);
+        }
+    }
+}
+
 /// Visit a bounded sample of the (1-based) element indices of an object with
 /// the given extents: every axis is strided so the sampled count stays within
 /// `budget`, and each visited index represents `scale` real elements.
 fn for_each_sampled_index(extents: &[i64], budget: usize, mut visit: impl FnMut(&[i64], f64)) {
-    let total: i64 = extents.iter().product::<i64>().max(1);
-    let shrink = ((total as f64) / budget.max(1) as f64).powf(1.0 / extents.len().max(1) as f64);
-    let strides: Vec<i64> = extents
-        .iter()
-        .map(|_| (shrink.ceil() as i64).max(1))
-        .collect();
-    let sampled_per_axis: Vec<i64> = extents
-        .iter()
-        .zip(&strides)
-        .map(|(&e, &s)| (e + s - 1) / s)
-        .collect();
-    let sampled: i64 = sampled_per_axis.iter().product::<i64>().max(1);
-    let scale = total as f64 / sampled as f64;
-    trace::count("commsim.elements_priced", sampled as u64);
-    if sampled < total {
-        trace::count("commsim.sampling_events", 1);
-    }
+    let lattice = SampleLattice::new(extents, budget);
+    lattice.count();
+    let strides = &lattice.strides;
+    let scale = lattice.scale;
 
     let mut index = vec![1i64; extents.len()];
     loop {
@@ -286,8 +322,88 @@ fn for_each_sampled_index(extents: &[i64], budget: usize, mut visit: impl FnMut(
     }
 }
 
+/// Distinct `(sender, receiver)` pair tracker for the element loops. The
+/// straightforward `HashSet<(usize, usize)>` pays a SipHash per *element*
+/// (the loops insert on every moved element, not every distinct pair),
+/// which dominates the traversal on high-traffic edges. Small machines —
+/// the only kind the pipeline prices — use an epoch-marked dense matrix
+/// instead: one array read/write per insert, `begin` is O(1), and the
+/// distinct-pair count (the only output) is identical. Machines too large
+/// for the dense matrix spill to the hash set.
+struct PairSet {
+    /// `nprocs + 1`: receiver `usize::MAX` (a broadcast) maps to the extra
+    /// last column.
+    stride: usize,
+    /// Dense marks (empty when spilling).
+    marks: Vec<u32>,
+    epoch: u32,
+    spill: HashSet<(usize, usize)>,
+    len: usize,
+}
+
+impl PairSet {
+    /// Cells cap for the dense representation (4 MiB of marks).
+    const DENSE_LIMIT: usize = 1 << 20;
+
+    fn new(nprocs: usize) -> PairSet {
+        let stride = nprocs + 1;
+        let cells = stride.saturating_mul(stride);
+        let marks = if cells <= Self::DENSE_LIMIT {
+            vec![0u32; cells]
+        } else {
+            Vec::new()
+        };
+        PairSet {
+            stride,
+            marks,
+            epoch: 0,
+            spill: HashSet::new(),
+            len: 0,
+        }
+    }
+
+    /// Start a fresh traversal: the set becomes empty.
+    fn begin(&mut self) {
+        self.len = 0;
+        if self.marks.is_empty() {
+            self.spill.clear();
+        } else {
+            self.epoch = self.epoch.wrapping_add(1);
+            if self.epoch == 0 {
+                self.marks.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, src: usize, dst: usize) {
+        if self.marks.is_empty() {
+            if self.spill.insert((src, dst)) {
+                self.len += 1;
+            }
+            return;
+        }
+        let dst = if dst == usize::MAX {
+            self.stride - 1
+        } else {
+            dst
+        };
+        let cell = src * self.stride + dst;
+        if self.marks[cell] != self.epoch {
+            self.marks[cell] = self.epoch;
+            self.len += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// Traffic of one traversal: enumerate (or sample) the elements of the object
-/// and compare owners under the two alignments.
+/// and compare owners under the two alignments. `pairs` is caller-provided
+/// workspace (reused across the iteration points of an edge).
 fn element_traffic<D: TemplateDistribution + ?Sized>(
     extents: &[i64],
     src: &PortAlignment,
@@ -295,32 +411,49 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
     machine: &D,
     point: &[(LivId, i64)],
     opts: SimOptions,
+    pairs: &mut PairSet,
 ) -> EdgeTraffic {
     let dst_replicated = dst.offsets.iter().any(OffsetAlign::is_replicated)
         && !src.offsets.iter().any(OffsetAlign::is_replicated);
 
     let mut moves = 0.0;
     let mut broadcast = 0.0;
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    pairs.begin();
 
     let src_eval = PosEval::new(src, point);
     let dst_eval = PosEval::new(dst, point);
+    let total: usize = extents.iter().product::<i64>().max(1) as usize;
+
+    // A perfectly aligned traversal (identical position evaluators, no
+    // replication asymmetry) puts every element's copies on the same owner:
+    // book the traversal's sampling counters and skip the element loop.
+    if !dst_replicated && src_eval == dst_eval {
+        SampleLattice::new(extents, opts.element_budget(total)).count();
+        return EdgeTraffic::default();
+    }
+
     let mut src_buf = Vec::new();
     let mut dst_buf = Vec::new();
 
-    let total: usize = extents.iter().product::<i64>().max(1) as usize;
     for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
         src_eval.write(index, &mut src_buf);
-        let src_owner = machine.owner_flat(&src_buf);
         if dst_replicated {
             broadcast += scale;
-            pairs.insert((src_owner, usize::MAX));
+            pairs.insert(machine.owner_flat(&src_buf), usize::MAX);
         } else {
             dst_eval.write(index, &mut dst_buf);
+            // Identical template positions have identical owners (same
+            // machine on both sides): the element cannot move, so skip both
+            // owner evaluations — on a well-aligned program this is the
+            // overwhelmingly common case.
+            if src_buf == dst_buf {
+                return;
+            }
+            let src_owner = machine.owner_flat(&src_buf);
             let dst_owner = machine.owner_flat(&dst_buf);
             if src_owner != dst_owner {
                 moves += scale;
-                pairs.insert((src_owner, dst_owner));
+                pairs.insert(src_owner, dst_owner);
             }
         }
     });
@@ -341,6 +474,11 @@ use crate::machine::REPLICATED_COORD;
 /// reusable flat buffer ([`REPLICATED_COORD`] standing in for `None`).
 /// Produces bit-identical coordinates to `position_of` — the owner values,
 /// and therefore every traffic count, are unchanged.
+///
+/// Two equal evaluators produce equal coordinates at every element index —
+/// the element loops use this to prove a perfectly aligned traversal moves
+/// nothing without enumerating it.
+#[derive(PartialEq)]
 struct PosEval {
     /// Per template axis: the offset at this iteration point.
     base: Vec<i64>,
@@ -395,6 +533,79 @@ impl PosEval {
 #[derive(Debug, Clone)]
 pub struct PlacementCache {
     edges: Vec<CachedEdge>,
+    /// Per-template-axis lower/upper bounds over every stored coordinate
+    /// (source and destination alike, replicated sentinels excluded), so a
+    /// price call can build per-axis owner lookup tables covering exactly
+    /// the coordinates its sweep will ask about.
+    coord_lo: Vec<i64>,
+    coord_hi: Vec<i64>,
+}
+
+/// Per-axis owner lookup tables over a known coordinate range: the
+/// per-sample `owner_flat` arithmetic (a euclidean divide and remainder per
+/// axis) collapses to one bounds-free load per axis. The mixed-radix fold
+/// (axis 0 most significant, missing/replicated axes pinned to cell 0)
+/// reproduces [`TemplateDistribution::owner_flat`] exactly — guaranteed by
+/// the trait's `owner_coord` composition contract.
+struct OwnerTables {
+    axes: Vec<OwnerAxisTable>,
+}
+
+struct OwnerAxisTable {
+    g: usize,
+    lo: i64,
+    owners: Vec<u32>,
+    /// Owner of cell 0 — what `owner_flat` substitutes for replicated or
+    /// missing coordinates.
+    zero: u32,
+}
+
+impl OwnerTables {
+    /// Widest per-axis coordinate span worth tabulating; beyond it the
+    /// sweep falls back to direct `owner_flat` calls.
+    const MAX_SPAN: i64 = 1 << 16;
+
+    fn build<D: TemplateDistribution + ?Sized>(
+        machine: &D,
+        lo: &[i64],
+        hi: &[i64],
+    ) -> Option<OwnerTables> {
+        let dims = machine.grid_dims();
+        let mut axes = Vec::with_capacity(dims.len());
+        for (t, &g) in dims.iter().enumerate() {
+            // Cover cell 0 as well, so the replicated/missing substitute is
+            // a plain table read.
+            let (l, h) = match (lo.get(t), hi.get(t)) {
+                (Some(&l), Some(&h)) if l <= h => (l.min(0), h.max(0)),
+                _ => (0, 0),
+            };
+            if h - l >= Self::MAX_SPAN {
+                return None;
+            }
+            let owners: Vec<u32> = (l..=h).map(|c| machine.owner_coord(t, c) as u32).collect();
+            let zero = owners[(-l) as usize];
+            axes.push(OwnerAxisTable {
+                g,
+                lo: l,
+                owners,
+                zero,
+            });
+        }
+        Some(OwnerTables { axes })
+    }
+
+    #[inline]
+    fn owner(&self, coords: &[i64]) -> usize {
+        let mut id = 0usize;
+        for (t, ax) in self.axes.iter().enumerate() {
+            let oc = match coords.get(t).copied() {
+                Some(c) if c != REPLICATED_COORD => ax.owners[(c - ax.lo) as usize] as usize,
+                _ => ax.zero as usize,
+            };
+            id = id * ax.g + oc;
+        }
+        id
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -427,6 +638,21 @@ impl PlacementCache {
         let _span = trace::span("commsim.cache.build");
         trace::count("commsim.cache.builds", 1);
         let mut edges = Vec::new();
+        let mut coord_lo: Vec<i64> = Vec::new();
+        let mut coord_hi: Vec<i64> = Vec::new();
+        fn note_range(lo: &mut Vec<i64>, hi: &mut Vec<i64>, buf: &[i64]) {
+            if lo.len() < buf.len() {
+                lo.resize(buf.len(), i64::MAX);
+                hi.resize(buf.len(), i64::MIN);
+            }
+            for (t, &c) in buf.iter().enumerate() {
+                if c == REPLICATED_COORD {
+                    continue;
+                }
+                lo[t] = lo[t].min(c);
+                hi[t] = hi[t].max(c);
+            }
+        }
         for (eid, edge) in adg.edges() {
             let src_port = adg.port(edge.src);
             let src_align = alignment.port(edge.src);
@@ -459,11 +685,22 @@ impl PlacementCache {
                 if total_elements == 0 {
                     return;
                 }
-                let mut coords = Vec::new();
-                let mut scales = Vec::new();
                 let budget = opts.element_budget(total_elements as usize);
                 let src_eval = PosEval::new(src_align, point);
                 let dst_eval = PosEval::new(dst_align, point);
+                // Identical evaluators: every sample would be dropped as
+                // position-identical below — book the sampling counters and
+                // store the (empty) iteration without enumerating.
+                if !dst_replicated && src_eval == dst_eval {
+                    SampleLattice::new(&extents, budget).count();
+                    iterations.push(CachedIteration {
+                        coords: Vec::new(),
+                        scales: Vec::new(),
+                    });
+                    return;
+                }
+                let mut coords = Vec::new();
+                let mut scales = Vec::new();
                 let mut src_buf = Vec::new();
                 let mut dst_buf = Vec::new();
                 for_each_sampled_index(&extents, budget, |index, scale| {
@@ -479,9 +716,12 @@ impl PlacementCache {
                             // survive into the cache.)
                             return;
                         }
+                        note_range(&mut coord_lo, &mut coord_hi, &src_buf);
+                        note_range(&mut coord_lo, &mut coord_hi, &dst_buf);
                         coords.extend_from_slice(&src_buf);
                         coords.extend_from_slice(&dst_buf);
                     } else {
+                        note_range(&mut coord_lo, &mut coord_hi, &src_buf);
                         coords.extend_from_slice(&src_buf);
                     }
                     scales.push(scale);
@@ -497,7 +737,11 @@ impl PlacementCache {
                 iterations,
             });
         }
-        PlacementCache { edges }
+        PlacementCache {
+            edges,
+            coord_lo,
+            coord_hi,
+        }
     }
 
     /// Price one candidate distribution: identical traffic to running
@@ -512,6 +756,7 @@ impl PlacementCache {
     /// not depend on).
     pub fn total_elements<D: TemplateDistribution + ?Sized>(&self, machine: &D) -> f64 {
         trace::count("commsim.cache.prices", 1);
+        let tables = OwnerTables::build(machine, &self.coord_lo, &self.coord_hi);
         let mut total = 0.0;
         for edge in &self.edges {
             let mut edge_elems = 0.0;
@@ -523,8 +768,16 @@ impl PlacementCache {
                         edge_elems += scale;
                         continue;
                     }
-                    let src_owner = machine.owner_flat(&chunk[..edge.src_rank]);
-                    let dst_owner = machine.owner_flat(&chunk[edge.src_rank..]);
+                    let (src_owner, dst_owner) = match &tables {
+                        Some(t) => (
+                            t.owner(&chunk[..edge.src_rank]),
+                            t.owner(&chunk[edge.src_rank..]),
+                        ),
+                        None => (
+                            machine.owner_flat(&chunk[..edge.src_rank]),
+                            machine.owner_flat(&chunk[edge.src_rank..]),
+                        ),
+                    };
                     if src_owner != dst_owner {
                         edge_elems += scale;
                     }
@@ -537,28 +790,36 @@ impl PlacementCache {
 
     fn run<D: TemplateDistribution + ?Sized>(&self, machine: &D) -> SimReport {
         trace::count("commsim.cache.prices", 1);
+        let tables = OwnerTables::build(machine, &self.coord_lo, &self.coord_hi);
         let mut report = SimReport {
             processors: machine.num_processors(),
             ..SimReport::default()
         };
+        let mut pairs = PairSet::new(machine.num_processors());
         for edge in &self.edges {
             let mut traffic = EdgeTraffic::default();
             let sample_width = edge.sample_width();
             for iteration in &edge.iterations {
                 let mut moves = 0.0;
                 let mut broadcast = 0.0;
-                let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+                pairs.begin();
                 for (s, chunk) in iteration.coords.chunks_exact(sample_width).enumerate() {
                     let scale = iteration.scales[s];
-                    let src_owner = machine.owner_flat(&chunk[..edge.src_rank]);
+                    let src_owner = match &tables {
+                        Some(t) => t.owner(&chunk[..edge.src_rank]),
+                        None => machine.owner_flat(&chunk[..edge.src_rank]),
+                    };
                     if edge.dst_replicated {
                         broadcast += scale;
-                        pairs.insert((src_owner, usize::MAX));
+                        pairs.insert(src_owner, usize::MAX);
                     } else {
-                        let dst_owner = machine.owner_flat(&chunk[edge.src_rank..]);
+                        let dst_owner = match &tables {
+                            Some(t) => t.owner(&chunk[edge.src_rank..]),
+                            None => machine.owner_flat(&chunk[edge.src_rank..]),
+                        };
                         if src_owner != dst_owner {
                             moves += scale;
-                            pairs.insert((src_owner, dst_owner));
+                            pairs.insert(src_owner, dst_owner);
                         }
                     }
                 }
@@ -585,17 +846,6 @@ impl CachedEdge {
     }
 }
 
-/// Decompose a linear processor id into per-axis grid coordinates (axis 0
-/// most significant — the composition order of `owner`).
-fn decompose(mut id: usize, dims: &[usize]) -> Vec<usize> {
-    let mut coords = vec![0usize; dims.len()];
-    for (t, &g) in dims.iter().enumerate().rev() {
-        coords[t] = id % g.max(1);
-        id /= g.max(1);
-    }
-    coords
-}
-
 /// Exact (sampled) traffic of redistributing one object between two
 /// (alignment, distribution) pairs over the *same* physical processors — the
 /// inter-phase step of a dynamic distribution.
@@ -611,6 +861,19 @@ fn decompose(mut id: usize, dims: &[usize]) -> Vec<usize> {
 /// `extents` are the object's per-axis element counts, `point` the iteration
 /// point at which mobile offsets are evaluated (boundary objects are loop
 /// invariant, so this is usually the empty point).
+/// The traffic of redistributing an object between two placements a caller
+/// has already proven **identical** (equal alignments and equal
+/// distributions): zero, without enumerating the elements. Books exactly
+/// the sampling counters (`commsim.elements_priced`,
+/// `commsim.sampling_events`) the full [`redistribution_traffic`] traversal
+/// would have booked — with identical placements every element is held in
+/// place, so this is the traversal's result, not an approximation of it.
+pub fn identical_placement_traffic(extents: &[i64], opts: SimOptions) -> EdgeTraffic {
+    let total: usize = extents.iter().product::<i64>().max(1) as usize;
+    SampleLattice::new(extents, opts.element_budget(total)).count();
+    EdgeTraffic::default()
+}
+
 pub fn redistribution_traffic<S, D>(
     extents: &[i64],
     src: &PortAlignment,
@@ -639,19 +902,21 @@ where
 
     let mut moves = 0.0;
     let mut broadcast = 0.0;
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut pairs = PairSet::new(src_dist.num_processors());
+    pairs.begin();
 
     let src_eval = PosEval::new(src, point);
     let dst_eval = PosEval::new(dst, point);
     let mut src_buf = Vec::new();
     let mut dst_buf = Vec::new();
+    let mut dst_in_src = vec![0usize; src_dims.len()];
 
     let total: usize = extents.iter().product::<i64>().max(1) as usize;
     for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
         src_eval.write(index, &mut src_buf);
         if spread {
             broadcast += scale;
-            pairs.insert((src_dist.owner_flat(&src_buf), usize::MAX));
+            pairs.insert(src_dist.owner_flat(&src_buf), usize::MAX);
             return;
         }
         dst_eval.write(index, &mut dst_buf);
@@ -659,16 +924,34 @@ where
         // Does any source copy already live on dst_owner? Decompose the
         // destination owner in the source grid's radix and compare axis by
         // axis; replicated source axes hold copies at every coordinate.
-        let dst_in_src = decompose(dst_owner, &src_dims);
-        let held = src_dims.iter().enumerate().all(|(t, _)| {
-            match src_buf.get(t).copied() {
-                Some(c) if c != REPLICATED_COORD => src_dist.owner_coord(t, c) == dst_in_src[t],
-                _ => true, // replicated along t: a copy at every coordinate
-            }
-        });
+        // The same pass folds the per-axis source owner coordinates into
+        // the source's linear owner id (mixed-radix, axis 0 most
+        // significant — the composition `owner` is specified by), so a
+        // moved element needs no second `owner_flat` sweep.
+        let mut id = dst_owner;
+        for (t, &g) in src_dims.iter().enumerate().rev() {
+            dst_in_src[t] = id % g.max(1);
+            id /= g.max(1);
+        }
+        let mut held = true;
+        let mut src_owner = 0usize;
+        for (t, &g) in src_dims.iter().enumerate() {
+            let oc = match src_buf.get(t).copied() {
+                Some(c) if c != REPLICATED_COORD => {
+                    let oc = src_dist.owner_coord(t, c);
+                    held &= oc == dst_in_src[t];
+                    oc
+                }
+                // Replicated along t: a copy at every coordinate, and the
+                // linear id pins to the coordinate-0 owner (as `owner_flat`
+                // does for `None` axes).
+                _ => src_dist.owner_coord(t, 0),
+            };
+            src_owner = src_owner * g + oc;
+        }
         if !held {
             moves += scale;
-            pairs.insert((src_dist.owner_flat(&src_buf), dst_owner));
+            pairs.insert(src_owner, dst_owner);
         }
     });
 
@@ -685,17 +968,28 @@ where
 /// placements — which, with phase-aware placement, need not be the sink and
 /// source placements of the adjacent phases — so the pairing is first-class
 /// here rather than four loose arguments.
-#[derive(Clone, Copy)]
-pub struct RestingPlacement<'a> {
+/// The distribution parameter defaults to the trait object, but callers on
+/// the pricing hot path (the layout DP's boundary pricer) instantiate it
+/// with the concrete distribution type so the per-element owner evaluations
+/// monomorphise and inline.
+pub struct RestingPlacement<'a, D: TemplateDistribution + ?Sized = dyn TemplateDistribution> {
     /// The object's alignment onto the template.
     pub alignment: &'a PortAlignment,
     /// The distribution of the template onto the machine.
-    pub distribution: &'a dyn TemplateDistribution,
+    pub distribution: &'a D,
 }
 
-impl<'a> RestingPlacement<'a> {
+impl<D: TemplateDistribution + ?Sized> Clone for RestingPlacement<'_, D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<D: TemplateDistribution + ?Sized> Copy for RestingPlacement<'_, D> {}
+
+impl<'a, D: TemplateDistribution + ?Sized> RestingPlacement<'a, D> {
     /// Pair an alignment with a distribution.
-    pub fn new(alignment: &'a PortAlignment, distribution: &'a dyn TemplateDistribution) -> Self {
+    pub fn new(alignment: &'a PortAlignment, distribution: &'a D) -> Self {
         RestingPlacement {
             alignment,
             distribution,
@@ -705,9 +999,9 @@ impl<'a> RestingPlacement<'a> {
     /// Exact (sampled) traffic of moving an object with the given extents
     /// from this resting placement to `dst` — a thin, self-describing front
     /// end to [`redistribution_traffic`] at the loop-invariant point.
-    pub fn traffic_to(
+    pub fn traffic_to<E: TemplateDistribution + ?Sized>(
         &self,
-        dst: &RestingPlacement<'_>,
+        dst: &RestingPlacement<'_, E>,
         extents: &[i64],
         opts: SimOptions,
     ) -> EdgeTraffic {

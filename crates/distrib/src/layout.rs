@@ -40,6 +40,11 @@ pub struct AxisDistribution {
     pub nprocs: usize,
     /// The layout.
     pub layout: Layout,
+    /// Cached effective block size (a pure function of the fields above —
+    /// [`AxisDistribution::owner`] is the innermost call of every element
+    /// traversal, and recomputing the `Block` ceiling division there costs
+    /// more than the owner arithmetic itself).
+    block: i64,
 }
 
 impl AxisDistribution {
@@ -51,36 +56,37 @@ impl AxisDistribution {
         if let Layout::BlockCyclic(b) = layout {
             assert!(b >= 1, "block size must be positive");
         }
+        let block = match layout {
+            Layout::Block => {
+                let g = nprocs as i64;
+                (extent + g - 1) / g
+            }
+            Layout::Cyclic => 1,
+            Layout::BlockCyclic(b) => b as i64,
+        };
         AxisDistribution {
             extent,
             nprocs,
             layout,
+            block,
         }
     }
 
     /// The effective block size `b` of the layout.
     pub fn block_size(&self) -> i64 {
-        match self.layout {
-            Layout::Block => {
-                let g = self.nprocs as i64;
-                (self.extent + g - 1) / g
-            }
-            Layout::Cyclic => 1,
-            Layout::BlockCyclic(b) => b as i64,
-        }
+        self.block
     }
 
     /// The owner period `b · g`: owners repeat with this spacing.
     pub fn period(&self) -> i64 {
-        self.block_size() * self.nprocs as i64
+        self.block * self.nprocs as i64
     }
 
     /// Processor coordinate owning cell `c` (negative cells wrap, matching
     /// the commsim machine model).
+    #[inline]
     pub fn owner(&self, c: i64) -> usize {
-        let b = self.block_size();
-        let g = self.nprocs as i64;
-        (c.div_euclid(b).rem_euclid(g)) as usize
+        (c.div_euclid(self.block).rem_euclid(self.nprocs as i64)) as usize
     }
 
     /// Owner and local storage index of cell `c >= 0`: the owner-computes

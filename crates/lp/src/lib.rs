@@ -7,16 +7,26 @@
 //! that substrate, rebuilt from scratch.
 //!
 //! The production path ([`Problem::solve`]) is an equality-chain presolve
-//! followed by a bounded-variable *revised* simplex ([`revised`]): the basis
-//! inverse is kept in product form (an eta file over a ±1 start basis),
-//! box bounds are handled by the ratio test instead of explicit rows, the
-//! entering column is chosen by a configurable [`PricingRule`] (Devex by
-//! default, Dantzig as fallback — see [`Problem::set_pricing`]), and
-//! Bland's rule takes over as an anti-cycling fallback after a run of
-//! degenerate pivots. Solves can resume from a previous solve's basis
-//! ([`solve_with_start`]); the branch-and-bound wrapper ([`solve_milp`])
-//! uses this so child nodes warm-start from their parent's vertex instead
-//! of re-running the two-phase method. The original dense two-phase tableau simplex
+//! followed by a bounded-variable *revised* simplex ([`revised`]). The
+//! constraint matrix is held in compressed sparse column form, and the
+//! basis inverse is a Markowitz sparse LU factorisation with threshold
+//! partial pivoting, kept current across pivots by Forrest–Tomlin updates
+//! and periodically refactorised; FTRAN and BTRAN walk only the nonzero
+//! pattern (hypersparse solves), falling back to dense sweeps when a
+//! right-hand side fills in. The historical product-form kernel (an eta
+//! file over a ±1 start basis) is retained behind [`Kernel::EtaFile`]
+//! (see [`Problem::set_kernel`]) for A/B locks and experiments — the two
+//! kernels may take different pivot routes through degenerate ties (their
+//! roundoff differs) but land on the same optima, so swapping them never
+//! changes a plan. Box bounds are handled by the ratio test instead of
+//! explicit rows, the entering column is chosen by a configurable
+//! [`PricingRule`] (Devex by default, Dantzig as fallback — see
+//! [`Problem::set_pricing`]), and Bland's rule takes over as an
+//! anti-cycling fallback after a run of degenerate pivots. Solves can
+//! resume from a previous solve's basis ([`solve_with_start`]); the
+//! branch-and-bound wrapper ([`solve_milp`]) uses this so child nodes
+//! warm-start from their parent's vertex instead of re-running the
+//! two-phase method. The original dense two-phase tableau simplex
 //! ([`simplex`]) is retained as a differential-testing oracle behind
 //! [`Problem::solve_tableau`], and as a last-resort fallback when the
 //! revised solver reports numerical failure. Both are designed for the
@@ -42,14 +52,18 @@
 //! ```
 
 pub mod branch_bound;
+mod factor;
 pub mod model;
 pub mod presolve;
 pub mod revised;
 pub mod simplex;
+mod sparse;
 
 pub use branch_bound::{solve_milp, solve_milp_with};
 pub use model::{Problem, Relation, Solution, SolveError, VarId};
-pub use revised::{solve_with_start, BasisSnapshot, PricingRule};
+#[doc(hidden)]
+pub use revised::KernelBench;
+pub use revised::{solve_with_start, BasisSnapshot, Kernel, PricingRule};
 
 /// Numerical tolerance used throughout the solver.
 pub const EPS: f64 = 1e-9;

@@ -1,20 +1,23 @@
-//! Bounded-variable revised simplex with product-form (eta) basis updates.
+//! Bounded-variable revised simplex with a sparse LU basis kernel.
 //!
 //! This is the production solver behind [`Problem::solve`]. It differs from
 //! the dense tableau implementation in [`crate::simplex`] (kept as a
 //! differential-testing oracle behind [`Problem::solve_tableau`]) in three
 //! structural ways:
 //!
-//! * **No tableau.** The basis inverse is never materialised; it is
-//!   represented as an initial ±1 diagonal (the artificial start basis)
-//!   composed with a file of *eta* transformations, one per pivot
-//!   (product-form update). `FTRAN` / `BTRAN` sweeps through the eta file
-//!   replace the `O(m·n)` Gauss-Jordan row updates of the tableau with
-//!   `O(m·k)` work (`k` = etas since the last refactorisation), and the
-//!   file is rebuilt from the sparse constraint columns once
-//!   `REFACTOR_INTERVAL` *pivot* etas have accumulated on top of the last
-//!   reinversion, so rounding error cannot accumulate across an unbounded
-//!   pivot sequence the way it does in a tableau.
+//! * **No tableau.** The basis inverse is never materialised. The default
+//!   [`Kernel::SparseLu`] keeps a sparse LU factorisation of the basis
+//!   (Markowitz-style ordering with threshold partial pivoting — see the
+//!   private `factor` module) over the once-built CSC constraint matrix, applies
+//!   a Forrest–Tomlin update per pivot, and solves hypersparse
+//!   FTRAN/BTRAN against `(index, value)` right-hand sides so work scales
+//!   with the support of the vector rather than with `m`. The historical
+//!   product-form eta file is retained verbatim as [`Kernel::EtaFile`] for
+//!   A/B plan-identity locks and experiments. Either way the kernel is
+//!   rebuilt from the sparse columns once `REFACTOR_INTERVAL` pivots have
+//!   accumulated on top of the last reinversion, so rounding error cannot
+//!   accumulate across an unbounded pivot sequence the way it does in a
+//!   tableau.
 //! * **Bounded variables stay implicit.** A finite upper bound is handled
 //!   by the ratio test (a nonbasic variable can sit at *either* bound and a
 //!   pivot can be a pure *bound flip*), so box constraints on offsets no
@@ -28,14 +31,16 @@
 //!   maintained estimate of the column's steepest-edge norm, which cuts
 //!   pivot counts sharply on the degenerate alignment LPs) or classic
 //!   Dantzig pricing (most negative reduced cost, kept as the simple
-//!   fallback). Either rule switches to Bland's rule — smallest eligible
-//!   column entering, smallest basis column leaving — after a run of
-//!   degenerate pivots, and switches back after the first pivot that moves
-//!   the objective. Bland makes termination *finite*; because finite is not
-//!   fast on the extremely degenerate alignment LPs, an objective-stall
-//!   cutoff (like the tableau's, but reporting `Stalled` so phase 1 can
-//!   never turn a stall into a spurious Infeasible) bounds the pivot count
-//!   in practice.
+//!   fallback). The Devex weight update is sparse: candidate columns are
+//!   discovered through a CSR row index restricted to the pivot row
+//!   vector's support. Either rule switches to Bland's rule — smallest
+//!   eligible column entering, smallest basis column leaving — after a run
+//!   of degenerate pivots, and switches back after the first pivot that
+//!   moves the objective. Bland makes termination *finite*; because finite
+//!   is not fast on the extremely degenerate alignment LPs, an
+//!   objective-stall cutoff (like the tableau's, but reporting `Stalled`
+//!   so phase 1 can never turn a stall into a spurious Infeasible) bounds
+//!   the pivot count in practice.
 //!
 //! Phase 1 starts from a crash basis (slack / structural columns where the
 //! start residuals allow, signed artificials for the rest) and minimises
@@ -44,9 +49,13 @@
 //! the final basis of a previous solve over the *same* rows and columns
 //! ([`solve_with_start`]): branch-and-bound children differ from their
 //! parent only in one variable's bounds, so resuming from the parent's
-//! factorised basis usually skips phase 1 entirely.
+//! factorised basis — the snapshot carries the parent's LU factorisation,
+//! which the child installs without refactorising — usually skips phase 1
+//! entirely.
 
+use crate::factor::LuFactor;
 use crate::model::{Problem, Relation, Solution, SolveError};
+use crate::sparse::{CscMatrix, CsrIndex, IndexedVec};
 use crate::EPS;
 
 /// Reduced-cost tolerance for pricing.
@@ -55,12 +64,13 @@ const PRICE_TOL: f64 = 1e-9;
 const PIVOT_TOL: f64 = 1e-8;
 /// Degenerate-pivot streak after which Bland's rule takes over.
 const BLAND_AFTER: usize = 40;
-/// Refactorise after this many *pivot* etas accumulate on top of the last
-/// reinversion. (The reinversion itself contributes one eta per basis
-/// column, so the trigger must count etas *since* the rebuild — comparing
-/// the raw file length against a constant would refactorise on every pivot
-/// once `m` exceeds the interval, which is exactly the `O(m)`-per-pivot
-/// slowdown PR 8 removed.)
+/// Refactorise after this many *pivot* updates accumulate on top of the
+/// last reinversion. (For the eta kernel the reinversion itself contributes
+/// one eta per basis column, so the trigger counts etas *since* the rebuild
+/// — comparing the raw file length against a constant would refactorise on
+/// every pivot once `m` exceeds the interval, which is exactly the
+/// `O(m)`-per-pivot slowdown PR 8 removed. The LU kernel counts
+/// Forrest–Tomlin updates directly.)
 const REFACTOR_INTERVAL: usize = 64;
 /// A Devex weight above this triggers a reference-framework reset (all
 /// weights back to 1): the iterated estimates have drifted too far from
@@ -98,12 +108,49 @@ pub enum PricingRule {
     Dantzig,
 }
 
+/// Which basis-inverse representation the revised simplex maintains.
+/// Configured per problem via [`Problem::set_kernel`]; the default is
+/// [`Kernel::SparseLu`].
+///
+/// Both kernels implement the same FTRAN/BTRAN contract and are driven by
+/// the identical pivoting loop, so they visit the same vertices up to
+/// floating-point rounding; the A/B lock in the `phases` test-suite holds
+/// them to bitwise-identical *plans*. They differ in cost per pivot: the
+/// eta file pays a dense `O(m · etas)` sweep, the LU kernel works on the
+/// right-hand side's support.
+///
+/// ```
+/// use lp::{Kernel, Problem, Relation};
+/// let mut p = Problem::new();
+/// let x = p.add_nonneg_var("x", 2.0);
+/// p.add_constraint(vec![(x, 1.0)], Relation::Ge, 4.0);
+/// let sparse = p.solve().unwrap(); // sparse LU is the default kernel
+/// p.set_kernel(Kernel::EtaFile); // historical kernel kept for A/B locks
+/// let eta = p.solve().unwrap();
+/// assert!((sparse.objective - eta.objective).abs() < 1e-9);
+/// assert_eq!(p.kernel(), Kernel::EtaFile);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Sparse LU factorisation with Forrest–Tomlin updates and hypersparse
+    /// FTRAN/BTRAN. The default.
+    #[default]
+    SparseLu,
+    /// The historical product-form eta file over a ±1 start diagonal,
+    /// rebuilt from scratch at every reinversion. Kept for plan-identity
+    /// A/B comparisons and the e24 experiment.
+    EtaFile,
+}
+
 /// The final basis of a solve, reusable as the starting point of another
 /// solve over the same constraint rows and variables
 /// ([`solve_with_start`]). Opaque: rows are encoded structurally (a
 /// structural/slack column index, or "this row's artificial") so the
 /// snapshot is valid for any problem with identical shape — in particular
 /// a branch-and-bound child whose only difference is a tightened bound.
+/// When the solve ran on the LU kernel the snapshot also carries the final
+/// factorisation, which a warm-started child installs directly instead of
+/// refactorising the very basis its parent just factorised.
 #[derive(Debug, Clone)]
 pub struct BasisSnapshot {
     /// Rows of the snapshot's problem.
@@ -117,6 +164,8 @@ pub struct BasisSnapshot {
     x: Vec<f64>,
     /// ±1 seed diagonal (artificial signs) of the factorisation.
     sign: Vec<f64>,
+    /// The LU factorisation of the final basis (LU kernel only).
+    lu: Option<LuFactor>,
 }
 
 /// One product-form update: `B_new = B_old · E` where `E` is the identity
@@ -130,47 +179,21 @@ struct Eta {
     pivot: f64,
 }
 
-/// The solver working state over the standard-form columns
-/// (structural | slack | artificial).
-struct Revised {
-    /// Number of rows.
-    m: usize,
-    /// Sparse columns of the row-equilibrated constraint matrix.
-    cols: Vec<Vec<(usize, f64)>>,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    /// Current value of every column (basic or nonbasic).
-    x: Vec<f64>,
-    /// Right-hand side after row equilibration.
-    b: Vec<f64>,
-    /// Column basic in each row.
-    basis: Vec<usize>,
-    in_basis: Vec<bool>,
-    /// Sign of the artificial start basis (`B₀ = diag(sign)`).
-    sign: Vec<f64>,
+/// The historical kernel: an eta file over the ±1 start diagonal. Kept
+/// bit-for-bit compatible with the pre-LU solver so [`Kernel::EtaFile`]
+/// runs reproduce the committed plans exactly.
+struct EtaFile {
     /// Eta file since the last refactorisation.
     etas: Vec<Eta>,
     /// Eta-file length at which the next reinversion fires (the last
     /// rebuild's length plus [`REFACTOR_INTERVAL`]).
     next_refactor: usize,
-    /// First artificial column index.
-    art0: usize,
 }
 
-enum RunResult {
-    Optimal,
-    /// The objective made no progress for the stall budget. The vertex is
-    /// feasible but possibly suboptimal; phase 1 must not read this as an
-    /// infeasibility certificate.
-    Stalled,
-    Unbounded,
-    IterationLimit,
-}
-
-impl Revised {
-    /// `B⁻¹ v` in place.
-    fn ftran(&self, v: &mut [f64]) {
-        for (vi, s) in v.iter_mut().zip(&self.sign) {
+impl EtaFile {
+    /// `B⁻¹ v` in place (dense).
+    fn ftran_dense(&self, sign: &[f64], v: &mut [f64]) {
+        for (vi, s) in v.iter_mut().zip(sign) {
             *vi *= s;
         }
         for eta in &self.etas {
@@ -185,8 +208,8 @@ impl Revised {
         }
     }
 
-    /// `B⁻ᵀ c` in place.
-    fn btran(&self, c: &mut [f64]) {
+    /// `B⁻ᵀ c` in place (dense).
+    fn btran_dense(&self, sign: &[f64], c: &mut [f64]) {
         for eta in self.etas.iter().rev() {
             let mut dot = 0.0;
             for &(i, di) in &eta.d {
@@ -194,19 +217,9 @@ impl Revised {
             }
             c[eta.row] = (c[eta.row] - dot) / eta.pivot;
         }
-        for (ci, s) in c.iter_mut().zip(&self.sign) {
+        for (ci, s) in c.iter_mut().zip(sign) {
             *ci *= s;
         }
-    }
-
-    /// Dense `B⁻¹ a_j` for column `j`.
-    fn ftran_col(&self, j: usize) -> Vec<f64> {
-        let mut v = vec![0.0; self.m];
-        for &(i, a) in &self.cols[j] {
-            v[i] = a;
-        }
-        self.ftran(&mut v);
-        v
     }
 
     /// Append the eta for a pivot on `row` with direction vector `d`
@@ -227,40 +240,25 @@ impl Revised {
         });
     }
 
-    /// Recompute the basic values `x_B = B⁻¹ (b − N x_N)` from scratch.
-    fn recompute_basics(&mut self) {
-        let mut r = self.b.clone();
-        for j in 0..self.cols.len() {
-            if self.in_basis[j] || self.x[j] == 0.0 {
-                continue;
-            }
-            for &(i, a) in &self.cols[j] {
-                r[i] -= a * self.x[j];
-            }
-        }
-        self.ftran(&mut r);
-        for (i, &bi) in self.basis.iter().enumerate() {
-            self.x[bi] = r[i];
-        }
-    }
-
     /// Rebuild the eta file from the current basis columns (reinversion).
     /// The basis-to-row assignment may be permuted for stability. Returns
-    /// `false` if the basis has become numerically singular (every basis
-    /// reached by exact pivots is nonsingular, so this only flags
-    /// accumulated rounding damage; the caller gives up and lets the model
-    /// layer fall back to the tableau oracle).
-    fn refactorize(&mut self) -> bool {
-        trace::count("lp.refactorisations", 1);
-        let old_basis = self.basis.clone();
+    /// `false` (old file restored, basis untouched) if the basis has become
+    /// numerically singular.
+    fn refactorize(&mut self, csc: &CscMatrix, sign: &[f64], basis: &mut [usize]) -> bool {
+        let m = csc.m();
         let old_etas = std::mem::take(&mut self.etas);
-        let mut row_taken = vec![false; self.m];
-        let mut new_basis = vec![usize::MAX; self.m];
+        let mut row_taken = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
         // Unit (slack/artificial) columns first: they keep the file sparse.
-        let mut order: Vec<usize> = old_basis.clone();
-        order.sort_by_key(|&j| (self.cols[j].len(), j));
+        let mut order: Vec<usize> = basis.to_vec();
+        order.sort_by_key(|&j| (csc.col_nnz(j), j));
         for j in order {
-            let d = self.ftran_col(j);
+            let mut d = vec![0.0; m];
+            let (rows, vals) = csc.col(j);
+            for (&i, &a) in rows.iter().zip(vals) {
+                d[i] = a;
+            }
+            self.ftran_dense(sign, &mut d);
             let mut best: Option<usize> = None;
             for (i, taken) in row_taken.iter().enumerate() {
                 if !taken && d[i].abs() > PIVOT_TOL {
@@ -272,15 +270,221 @@ impl Revised {
             }
             let Some(r) = best else {
                 self.etas = old_etas;
-                self.basis = old_basis;
                 return false;
             };
             self.push_eta(r, &d);
             row_taken[r] = true;
             new_basis[r] = j;
         }
-        self.basis = new_basis;
+        basis.copy_from_slice(&new_basis);
         self.next_refactor = self.etas.len() + REFACTOR_INTERVAL;
+        true
+    }
+}
+
+/// The live basis-inverse representation behind [`Kernel`].
+// One of these exists per solver and every FTRAN/BTRAN goes through the
+// match; the size asymmetry (the LU variant carries its workspaces inline)
+// is not worth a Box's pointer chase on that path.
+#[allow(clippy::large_enum_variant)]
+enum FactorKernel {
+    Lu(LuFactor),
+    Eta(EtaFile),
+}
+
+/// The solver working state over the standard-form columns
+/// (structural | slack | artificial).
+struct Revised {
+    /// Number of rows.
+    m: usize,
+    /// The row-equilibrated constraint matrix, built once per solve.
+    csc: CscMatrix,
+    /// Row-pattern index over the structural + slack columns (Devex
+    /// candidate discovery).
+    csr: CsrIndex,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Current value of every column (basic or nonbasic).
+    x: Vec<f64>,
+    /// Right-hand side after row equilibration.
+    b: Vec<f64>,
+    /// Column basic in each row.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Sign of the artificial start basis (`B₀ = diag(sign)`; the LU
+    /// kernel reads the signs through the artificial columns instead).
+    sign: Vec<f64>,
+    factor: FactorKernel,
+    /// First artificial column index.
+    art0: usize,
+}
+
+enum RunResult {
+    Optimal,
+    /// The objective made no progress for the stall budget. The vertex is
+    /// feasible but possibly suboptimal; phase 1 must not read this as an
+    /// infeasibility certificate.
+    Stalled,
+    Unbounded,
+    IterationLimit,
+}
+
+impl Revised {
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        m: usize,
+        cols: Vec<Vec<(usize, f64)>>,
+        b: Vec<f64>,
+        lower: Vec<f64>,
+        upper: Vec<f64>,
+        x: Vec<f64>,
+        basis: Vec<usize>,
+        in_basis: Vec<bool>,
+        sign: Vec<f64>,
+        art0: usize,
+        kernel: Kernel,
+    ) -> Revised {
+        let csc = CscMatrix::from_cols(m, &cols);
+        let csr = CsrIndex::build(&csc, art0);
+        let factor = match kernel {
+            Kernel::SparseLu => FactorKernel::Lu(LuFactor::new(m)),
+            Kernel::EtaFile => FactorKernel::Eta(EtaFile {
+                etas: Vec::new(),
+                next_refactor: 0,
+            }),
+        };
+        Revised {
+            m,
+            csc,
+            csr,
+            lower,
+            upper,
+            x,
+            b,
+            basis,
+            in_basis,
+            sign,
+            factor,
+            art0,
+        }
+    }
+
+    /// `out = B⁻¹ a_j` (slot-indexed; support sorted ascending). On the LU
+    /// kernel this also caches the Forrest–Tomlin spike, so the FTRAN of
+    /// the entering column must immediately precede [`Self::apply_pivot`].
+    fn ftran_col(&mut self, j: usize, out: &mut IndexedVec) {
+        let _span = trace::span("lp.ftran");
+        match &mut self.factor {
+            FactorKernel::Lu(f) => f.ftran_col(&self.csc, j, out),
+            FactorKernel::Eta(f) => {
+                out.reset_dense();
+                let v = out.values_mut();
+                let (rows, vals) = self.csc.col(j);
+                for (&i, &a) in rows.iter().zip(vals) {
+                    v[i] = a;
+                }
+                f.ftran_dense(&self.sign, v);
+                trace::count("lp.ftran.dense", 1);
+            }
+        }
+    }
+
+    /// Dense pricing BTRAN: `y = B⁻ᵀ cb` where `cb[i]` is the cost of the
+    /// column basic in slot `i`.
+    fn btran_costs(&mut self, cb: &[f64], y: &mut [f64]) {
+        let _span = trace::span("lp.btran");
+        match &mut self.factor {
+            FactorKernel::Lu(f) => f.btran_costs(cb, y),
+            FactorKernel::Eta(f) => {
+                y.copy_from_slice(cb);
+                f.btran_dense(&self.sign, y);
+            }
+        }
+    }
+
+    /// Sparse `rho = B⁻ᵀ e_r` (the pivot row of the inverse), used by the
+    /// Devex weight update.
+    fn btran_unit(&mut self, r: usize, rho: &mut IndexedVec) {
+        let _span = trace::span("lp.btran");
+        match &mut self.factor {
+            FactorKernel::Lu(f) => f.btran_unit(r, rho),
+            FactorKernel::Eta(f) => {
+                rho.reset_dense();
+                let v = rho.values_mut();
+                v[r] = 1.0;
+                f.btran_dense(&self.sign, v);
+            }
+        }
+    }
+
+    /// Has the kernel accumulated enough pivot updates to warrant a
+    /// reinversion?
+    fn needs_refactor(&self) -> bool {
+        match &self.factor {
+            FactorKernel::Lu(f) => f.updates() >= REFACTOR_INTERVAL,
+            FactorKernel::Eta(f) => f.etas.len() >= f.next_refactor,
+        }
+    }
+
+    /// Absorb the pivot on slot `r` into the kernel: a Forrest–Tomlin
+    /// update (LU) or an appended eta (eta file). The caller has already
+    /// updated `basis`/`x`; `d` is the entering column's FTRAN. A `false`
+    /// return means the update was rejected (too small a new diagonal) and
+    /// the caller must refactorise.
+    fn apply_pivot(&mut self, r: usize, d: &IndexedVec) -> bool {
+        match &mut self.factor {
+            FactorKernel::Lu(f) => f.update(r),
+            FactorKernel::Eta(f) => {
+                f.push_eta(r, d.values());
+                true
+            }
+        }
+    }
+
+    /// Recompute the basic values `x_B = B⁻¹ (b − N x_N)` from scratch.
+    fn recompute_basics(&mut self) {
+        let mut r = self.b.clone();
+        for j in 0..self.csc.ncols() {
+            if self.in_basis[j] || self.x[j] == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.csc.col(j);
+            for (&i, &a) in rows.iter().zip(vals) {
+                r[i] -= a * self.x[j];
+            }
+        }
+        match &mut self.factor {
+            FactorKernel::Eta(f) => {
+                f.ftran_dense(&self.sign, &mut r);
+                for (i, &bi) in self.basis.iter().enumerate() {
+                    self.x[bi] = r[i];
+                }
+            }
+            FactorKernel::Lu(f) => {
+                let mut out = vec![0.0; self.m];
+                f.solve_dense(&mut r, &mut out);
+                for (i, &bi) in self.basis.iter().enumerate() {
+                    self.x[bi] = out[i];
+                }
+            }
+        }
+    }
+
+    /// Rebuild the kernel from the current basis columns (reinversion).
+    /// Returns `false` if the basis has become numerically singular (every
+    /// basis reached by exact pivots is nonsingular, so this only flags
+    /// accumulated rounding damage; the caller gives up and lets the model
+    /// layer fall back to the tableau oracle).
+    fn refactorize(&mut self) -> bool {
+        trace::count("lp.refactorisations", 1);
+        let _span = trace::span("lp.factor");
+        let ok = match &mut self.factor {
+            FactorKernel::Lu(f) => f.factor(&self.csc, &self.basis),
+            FactorKernel::Eta(f) => f.refactorize(&self.csc, &self.sign, &mut self.basis),
+        };
+        if !ok {
+            return false;
+        }
         self.recompute_basics();
         true
     }
@@ -304,25 +508,38 @@ impl Revised {
         stall_patience: usize,
         rule: PricingRule,
     ) -> RunResult {
+        let ncols = self.csc.ncols();
         let mut degenerate_streak = 0usize;
         let cost_scale = cost.iter().fold(0.0f64, |a, &c| a.max(c.abs()));
         let stall_tol = 1e-10 * (1.0 + cost_scale);
-        let stall_limit = 500.max((self.m + self.cols.len()) / 4) * stall_patience.max(1);
+        let stall_limit = 500.max((self.m + ncols) / 4) * stall_patience.max(1);
         let mut last_obj = f64::INFINITY;
         let mut stalled = 0usize;
+        // Nonzero objective terms only: adding an exact 0.0 never changes
+        // the running sum, so the restricted scan is bit-identical to the
+        // historical full sweep.
+        let cost_nz: Vec<(usize, f64)> = cost
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0.0)
+            .map(|(j, &c)| (j, c))
+            .collect();
         // Devex reference framework: every nonbasic column starts with unit
         // weight; pivots grow the weights of columns the pivot row touches.
-        let mut weights = vec![1.0f64; self.cols.len()];
+        let mut weights = vec![1.0f64; ncols];
+        // Per-run workspaces, reused across pivots (the historical kernel
+        // allocated fresh dense vectors on every iteration).
+        let mut cb = vec![0.0f64; self.m];
+        let mut y = vec![0.0f64; self.m];
+        let mut d = IndexedVec::new(self.m);
+        let mut rho = IndexedVec::new(self.m);
+        let mut cand: Vec<usize> = Vec::new();
+        let mut cand_mark = vec![false; self.art0];
         for _ in 0..max_iters {
-            if self.etas.len() >= self.next_refactor && !self.refactorize() {
+            if self.needs_refactor() && !self.refactorize() {
                 return RunResult::IterationLimit;
             }
-            let obj: f64 = self
-                .x
-                .iter()
-                .zip(cost)
-                .map(|(&xj, &cj)| if cj != 0.0 { cj * xj } else { 0.0 })
-                .sum();
+            let obj: f64 = cost_nz.iter().map(|&(j, cj)| cj * self.x[j]).sum();
             if obj < last_obj - stall_tol {
                 last_obj = obj;
                 stalled = 0;
@@ -335,18 +552,17 @@ impl Revised {
             let use_bland = degenerate_streak > BLAND_AFTER;
 
             // Pricing: y = B⁻ᵀ c_B, then reduced costs of nonbasic columns.
-            let mut y = vec![0.0; self.m];
-            for (i, &j) in self.basis.iter().enumerate() {
-                y[i] = cost[j];
+            for (ci, &j) in cb.iter_mut().zip(&self.basis) {
+                *ci = cost[j];
             }
-            self.btran(&mut y);
+            self.btran_costs(&cb, &mut y);
 
             // `to_upper` is the chosen direction: increase (false) or
             // decrease (true) the entering variable.
             let mut entering: Option<(usize, bool)> = None;
             let mut best_mag = PRICE_TOL;
             let mut best_score = 0.0f64;
-            for (j, col) in self.cols.iter().enumerate() {
+            for j in 0..ncols {
                 if self.in_basis[j] || self.upper[j] - self.lower[j] <= EPS {
                     continue;
                 }
@@ -355,7 +571,8 @@ impl Revised {
                     continue;
                 }
                 let mut cbar = cost[j];
-                for &(i, a) in col {
+                let (rows, vals) = self.csc.col(j);
+                for (&i, &a) in rows.iter().zip(vals) {
                     cbar -= y[i] * a;
                 }
                 let at_lower = self.x[j] <= self.lower[j] + EPS;
@@ -400,12 +617,15 @@ impl Revised {
             let s: f64 = if decrease { -1.0 } else { 1.0 };
 
             // Ratio test over x_B' = x_B − θ·s·d, plus the entering
-            // variable's own bound-to-bound distance (bound flip).
-            let d = self.ftran_col(q);
+            // variable's own bound-to-bound distance (bound flip). The
+            // support is sorted, so the scan visits rows in the same
+            // ascending order as the historical dense sweep.
+            self.ftran_col(q, &mut d);
             let own_range = self.upper[q] - self.lower[q]; // may be +inf
             let mut theta = own_range;
             let mut leaving: Option<(usize, f64)> = None; // (row, bound hit)
-            for (i, &di) in d.iter().enumerate() {
+            for &i in d.support() {
+                let di = d.get(i);
                 if di.abs() <= PIVOT_TOL {
                     continue;
                 }
@@ -434,7 +654,7 @@ impl Revised {
                             if use_bland {
                                 self.basis[i] < self.basis[r]
                             } else {
-                                di.abs() > d[r].abs()
+                                di.abs() > d.get(r).abs()
                             }
                         }
                     }
@@ -461,7 +681,8 @@ impl Revised {
                     } else {
                         self.upper[q]
                     };
-                    for (i, &di) in d.iter().enumerate() {
+                    for &i in d.support() {
+                        let di = d.get(i);
                         if di != 0.0 {
                             let bi = self.basis[i];
                             self.x[bi] -= own_range * s * di;
@@ -478,34 +699,56 @@ impl Revised {
                     let leave = self.basis[r];
                     if rule == PricingRule::Devex {
                         // Devex weight update over the *old* basis inverse
-                        // (before the eta for this pivot is appended):
+                        // (before this pivot reaches the kernel):
                         // ρ = eᵣᵀB⁻¹ gives the pivot row, and every
                         // nonbasic column j with αⱼ = ρ·aⱼ ≠ 0 inherits
                         // w_j = max(w_j, (αⱼ/α_q)²·w_q) — the
                         // reference-framework recurrence that makes the
-                        // weights track steepest-edge norms.
-                        let mut rho = vec![0.0; self.m];
-                        rho[r] = 1.0;
-                        self.btran(&mut rho);
-                        let alpha_q = d[r];
+                        // weights track steepest-edge norms. Only columns
+                        // intersecting ρ's support can have αⱼ ≠ 0, so the
+                        // candidates come from the CSR rows of the support;
+                        // every α is still gathered in column-entry order,
+                        // which keeps the arithmetic bit-identical to the
+                        // historical all-columns sweep.
+                        self.btran_unit(r, &mut rho);
+                        let alpha_q = d.get(r);
                         let wq = weights[q].max(1.0);
                         let ratio_w = wq / (alpha_q * alpha_q);
-                        let mut wmax = 0.0f64;
-                        for (j, col) in self.cols.iter().enumerate() {
-                            if self.in_basis[j] || j == q || j >= self.art0 {
+                        for &i in rho.support() {
+                            if rho.get(i) == 0.0 {
+                                continue;
+                            }
+                            for &j in self.csr.row(i) {
+                                if !cand_mark[j] {
+                                    cand_mark[j] = true;
+                                    cand.push(j);
+                                }
+                            }
+                        }
+                        for &j in &cand {
+                            cand_mark[j] = false;
+                            if self.in_basis[j] || j == q {
                                 continue;
                             }
                             let mut alpha = 0.0;
-                            for &(i, a) in col {
-                                alpha += rho[i] * a;
+                            let (rows, vals) = self.csc.col(j);
+                            for (&i, &a) in rows.iter().zip(vals) {
+                                alpha += rho.get(i) * a;
                             }
                             if alpha != 0.0 {
-                                let cand = alpha * alpha * ratio_w;
-                                if cand > weights[j] {
-                                    weights[j] = cand;
+                                let grown = alpha * alpha * ratio_w;
+                                if grown > weights[j] {
+                                    weights[j] = grown;
                                 }
                             }
-                            wmax = wmax.max(weights[j]);
+                        }
+                        cand.clear();
+                        let mut wmax = 0.0f64;
+                        for (j, &w) in weights.iter().enumerate().take(self.art0) {
+                            if self.in_basis[j] || j == q {
+                                continue;
+                            }
+                            wmax = wmax.max(w);
                         }
                         weights[leave] = ratio_w.max(1.0);
                         weights[q] = 1.0;
@@ -513,7 +756,8 @@ impl Revised {
                             weights.fill(1.0);
                         }
                     }
-                    for (i, &di) in d.iter().enumerate() {
+                    for &i in d.support() {
+                        let di = d.get(i);
                         if di != 0.0 {
                             let bi = self.basis[i];
                             self.x[bi] -= theta * s * di;
@@ -524,11 +768,13 @@ impl Revised {
                     self.in_basis[leave] = false;
                     self.in_basis[q] = true;
                     self.basis[r] = q;
-                    self.push_eta(r, &d);
+                    if !self.apply_pivot(r, &d) && !self.refactorize() {
+                        return RunResult::IterationLimit;
+                    }
                 }
             }
 
-            // Snap tiny bound violations introduced by the dense update.
+            // Snap tiny bound violations introduced by the pivot update.
             for &bi in &self.basis {
                 if self.x[bi] < self.lower[bi] && self.x[bi] > self.lower[bi] - 1e-9 {
                     self.x[bi] = self.lower[bi];
@@ -544,6 +790,7 @@ impl Revised {
     /// Pivot zero-valued basic artificials out of the basis where a
     /// non-artificial column can replace them (post phase 1).
     fn drive_out_artificials(&mut self) {
+        let mut d = IndexedVec::new(self.m);
         for r in 0..self.m {
             if self.basis[r] < self.art0 || self.x[self.basis[r]].abs() > 1e-7 {
                 continue;
@@ -555,14 +802,24 @@ impl Revised {
                 if self.in_basis[j] {
                     continue;
                 }
-                let d = self.ftran_col(j);
-                if d[r].abs() > PIVOT_TOL {
+                self.ftran_col(j, &mut d);
+                if d.get(r).abs() > PIVOT_TOL {
                     let art = self.basis[r];
+                    let art_x = self.x[art];
                     self.in_basis[art] = false;
                     self.x[art] = 0.0;
                     self.in_basis[j] = true;
                     self.basis[r] = j;
-                    self.push_eta(r, &d);
+                    if !self.apply_pivot(r, &d) && !self.refactorize() {
+                        // Numerically unusable replacement: restore the
+                        // artificial (the kernel still matches the old
+                        // basis) and stop driving out.
+                        self.basis[r] = art;
+                        self.in_basis[art] = true;
+                        self.in_basis[j] = false;
+                        self.x[art] = art_x;
+                        return;
+                    }
                     break;
                 }
             }
@@ -571,6 +828,10 @@ impl Revised {
 
     /// The reusable snapshot of the current basis (see [`BasisSnapshot`]).
     fn snapshot(&self) -> BasisSnapshot {
+        let lu = match &self.factor {
+            FactorKernel::Lu(f) if f.updates() != usize::MAX => Some(f.clone()),
+            _ => None,
+        };
         BasisSnapshot {
             m: self.m,
             art0: self.art0,
@@ -581,7 +842,80 @@ impl Revised {
                 .collect(),
             x: self.x[..self.art0].to_vec(),
             sign: self.sign.clone(),
+            lu,
         }
+    }
+}
+
+/// Bench-harness hook: a solver parked at a problem's **optimal basis**, so
+/// the kernel primitives (reinversion, FTRAN, BTRAN) can be timed in
+/// isolation on a representative basis instead of through a whole solve.
+/// Hidden from the documented API — the only consumer is the `lp_kernel`
+/// regression bench.
+#[doc(hidden)]
+pub struct KernelBench {
+    rev: Revised,
+    work: IndexedVec,
+    rho: IndexedVec,
+    /// Structural/slack columns with at least one nonzero (FTRAN targets).
+    cols: Vec<usize>,
+}
+
+impl KernelBench {
+    /// Solve `problem` and park a fresh solver of the chosen kernel at the
+    /// final basis. `None` when the problem has no optimum, no rows, or no
+    /// structural columns to sweep.
+    pub fn prepare(problem: &Problem, kernel: Kernel) -> Option<KernelBench> {
+        let (_, snap) = solve_with_start(problem, None).ok()?;
+        if snap.m == 0 {
+            return None;
+        }
+        let mut rev = warm_start(standard_form(problem), &snap, kernel)?;
+        if !rev.refactorize() {
+            return None;
+        }
+        let cols: Vec<usize> = (0..rev.art0).filter(|&j| rev.csc.col_nnz(j) > 0).collect();
+        if cols.is_empty() {
+            return None;
+        }
+        let m = rev.m;
+        Some(KernelBench {
+            rev,
+            work: IndexedVec::new(m),
+            rho: IndexedVec::new(m),
+            cols,
+        })
+    }
+
+    /// Rows of the parked basis.
+    pub fn rows(&self) -> usize {
+        self.rev.m
+    }
+
+    /// Rebuild the kernel from the parked basis (one reinversion).
+    pub fn refactor(&mut self) -> bool {
+        self.rev.refactorize()
+    }
+
+    /// `rounds` FTRAN/BTRAN pairs over the parked basis: each round solves
+    /// `B⁻¹ a_j` for the next structural column and `B⁻ᵀ e_r` for the next
+    /// row — the two kernel primitives every simplex iteration performs.
+    /// Returns a value checksum so the work cannot be optimised away.
+    pub fn sweeps(&mut self, rounds: usize) -> f64 {
+        let mut acc = 0.0;
+        for k in 0..rounds {
+            let j = self.cols[k % self.cols.len()];
+            self.rev.ftran_col(j, &mut self.work);
+            for &i in self.work.support() {
+                acc += self.work.get(i);
+            }
+            let r = k % self.rev.m;
+            self.rev.btran_unit(r, &mut self.rho);
+            for &i in self.rho.support() {
+                acc += self.rho.get(i);
+            }
+        }
+        acc
     }
 }
 
@@ -688,7 +1022,7 @@ fn standard_form(problem: &Problem) -> Standard {
 }
 
 /// Build the solver state from a crash basis (the cold path).
-fn cold_start(sf: Standard) -> Revised {
+fn cold_start(sf: Standard, kernel: Kernel) -> Revised {
     let Standard {
         m,
         n,
@@ -832,20 +1166,9 @@ fn cold_start(sf: Standard) -> Revised {
         in_basis[j] = true;
     }
 
-    Revised {
-        m,
-        cols,
-        lower,
-        upper,
-        x,
-        b,
-        basis,
-        in_basis,
-        sign,
-        etas: Vec::new(),
-        next_refactor: 0,
-        art0,
-    }
+    Revised::assemble(
+        m, cols, b, lower, upper, x, basis, in_basis, sign, art0, kernel,
+    )
 }
 
 /// Build the solver state from the final basis of a previous solve over a
@@ -859,7 +1182,11 @@ fn cold_start(sf: Standard) -> Revised {
 /// branch-and-bound child tightens one bound, so at most a couple of rows
 /// need evicting and phase 1 is a handful of pivots — against the dozens a
 /// cold crash start would pay.
-fn warm_start(sf: Standard, snap: &BasisSnapshot) -> Option<Revised> {
+///
+/// On the LU kernel the snapshot's factorisation is installed directly —
+/// the child's constraint matrix is identical, so the parent's factor is
+/// exact and the first reinversion is skipped entirely.
+fn warm_start(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<Revised> {
     let Standard {
         m,
         n: _,
@@ -915,28 +1242,31 @@ fn warm_start(sf: Standard, snap: &BasisSnapshot) -> Option<Revised> {
         in_basis[j] = true;
     }
 
-    let mut solver = Revised {
-        m,
-        cols,
-        lower,
-        upper,
-        x,
-        b,
-        basis,
-        in_basis,
-        sign,
-        etas: Vec::new(),
-        next_refactor: 0,
-        art0,
-    };
+    let mut solver = Revised::assemble(
+        m, cols, b, lower, upper, x, basis, in_basis, sign, art0, kernel,
+    );
 
-    // Factorise the parent basis and derive basic values; then evict any
-    // basic variable the tightened bounds push infeasible. Each eviction
-    // changes the basis, so re-factorise and re-check — with one branching
-    // bound this settles in one round, but a few rounds are allowed for
-    // sign flips of artificials on rows whose residual changed side.
-    for _ in 0..4 {
-        if !solver.refactorize() {
+    // LU handover: the child's constraint matrix (including artificial
+    // signs) is identical to the parent's at snapshot time, so the parent's
+    // factorisation of this very basis is exact for the child too.
+    let mut installed = false;
+    if kernel == Kernel::SparseLu {
+        if let (FactorKernel::Lu(f), Some(lu)) = (&mut solver.factor, &snap.lu) {
+            *f = lu.clone();
+            installed = true;
+        }
+    }
+
+    // Factorise the parent basis (or reuse the handed-over factor) and
+    // derive basic values; then evict any basic variable the tightened
+    // bounds push infeasible. Each eviction changes the basis, so
+    // re-factorise and re-check — with one branching bound this settles in
+    // one round, but a few rounds are allowed for sign flips of artificials
+    // on rows whose residual changed side.
+    for round in 0..4 {
+        if round == 0 && installed {
+            solver.recompute_basics();
+        } else if !solver.refactorize() {
             return None;
         }
         let mut dirty = false;
@@ -962,7 +1292,7 @@ fn warm_start(sf: Standard, snap: &BasisSnapshot) -> Option<Revised> {
                 // A basic artificial went negative: flip its sign so the
                 // next factorisation sees a positive value.
                 solver.sign[r] = -solver.sign[r];
-                solver.cols[j] = vec![(r, solver.sign[r])];
+                solver.csc.set_singleton_value(j, solver.sign[r]);
             }
         }
         if !dirty {
@@ -1015,35 +1345,37 @@ pub fn solve_with_start(
             rows: Vec::new(),
             x: values.clone(),
             sign: Vec::new(),
+            lu: None,
         };
         return Ok((Solution { values, objective }, snapshot));
     }
 
     let rule = problem.pricing();
-    let (mut solver, warm_started) = match warm.and_then(|s| warm_start(standard_form(problem), s))
-    {
-        Some(solver) => {
-            trace::count("lp.warm_starts", 1);
-            (solver, true)
-        }
-        None => {
-            if warm.is_some() {
-                trace::count("lp.warm_fallbacks", 1);
+    let kernel = problem.kernel();
+    let (mut solver, warm_started) =
+        match warm.and_then(|s| warm_start(standard_form(problem), s, kernel)) {
+            Some(solver) => {
+                trace::count("lp.warm_starts", 1);
+                (solver, true)
             }
-            let mut solver = cold_start(standard_form(problem));
-            // The crash basis mixes slack, structural and artificial
-            // columns, so it is not the ±1 diagonal any more; factorise it
-            // once up front (the diagonal stays as the factorisation seed)
-            // and derive all basic values consistently.
-            if !solver.refactorize() {
-                return Err(SolveError::IterationLimit);
+            None => {
+                if warm.is_some() {
+                    trace::count("lp.warm_fallbacks", 1);
+                }
+                let mut solver = cold_start(standard_form(problem), kernel);
+                // The crash basis mixes slack, structural and artificial
+                // columns, so it is not the ±1 diagonal any more; factorise it
+                // once up front (the diagonal stays as the factorisation seed)
+                // and derive all basic values consistently.
+                if !solver.refactorize() {
+                    return Err(SolveError::IterationLimit);
+                }
+                (solver, false)
             }
-            (solver, false)
-        }
-    };
+        };
 
     let art0 = solver.art0;
-    let ncols = solver.cols.len();
+    let ncols = solver.csc.ncols();
     let max_iters = 400 * (ncols + m + 10);
 
     // --- Phase 1: minimise the artificial sum. Skipped when the start
@@ -1051,7 +1383,7 @@ pub fn solve_with_start(
     // needed no artificials; for a warm start, that no artificial carries
     // residual (the usual case when only a bound was tightened). ---
     let b_scale = solver.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
-    let art_sum = |s: &Revised| -> f64 { (art0..s.cols.len()).map(|j| s.x[j].abs()).sum() };
+    let art_sum = |s: &Revised| -> f64 { (art0..ncols).map(|j| s.x[j].abs()).sum() };
     let needs_phase1 = if warm_started {
         art_sum(&solver) > 1e-7 * (1.0 + b_scale)
     } else {
@@ -1114,7 +1446,6 @@ pub fn solve_with_start(
     let snapshot = solver.snapshot();
     Ok((Solution { values, objective }, snapshot))
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1485,5 +1816,140 @@ mod tests {
         assert_eq!(trace::counter("lp.warm_fallbacks"), 1);
         trace::reset();
         assert!(q.is_feasible(&s.values, 1e-6));
+    }
+
+    /// A batch of random LPs mixing inequality shapes, bounds and empty
+    /// columns, solved with both kernels.
+    fn random_problem(seed: u64, kernel: Kernel) -> Problem {
+        let n = 25;
+        let m = 18;
+        let mut p = Problem::new();
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let vars: Vec<_> = (0..n)
+            .map(|i| {
+                let c = (next() % 9) as f64 - 2.0;
+                if i % 5 == 4 {
+                    p.add_var(format!("x{i}"), 0.0, 3.0, c.abs())
+                } else {
+                    p.add_nonneg_var(format!("x{i}"), c.abs() + 0.1)
+                }
+            })
+            .collect();
+        for r in 0..m {
+            // Sparse rows: 2-4 terms each, occasionally duplicated.
+            let k = 2 + (next() % 3) as usize;
+            let mut terms = Vec::new();
+            for _ in 0..k {
+                let v = vars[(next() % n as u64) as usize];
+                terms.push((v, (next() % 7) as f64 - 3.0));
+            }
+            let rel = match r % 3 {
+                0 => Relation::Ge,
+                1 => Relation::Le,
+                _ => Relation::Eq,
+            };
+            let lhs_at_one: f64 = terms.iter().map(|&(_, a)| a).sum();
+            let rhs = match rel {
+                Relation::Ge => -lhs_at_one.abs() - 1.0,
+                Relation::Le => lhs_at_one.abs() + 1.0,
+                Relation::Eq => 0.0,
+            };
+            p.add_constraint(terms, rel, rhs);
+        }
+        p.set_kernel(kernel);
+        p
+    }
+
+    #[test]
+    fn both_kernels_agree_on_random_problems() {
+        for seed in [3, 17, 91, 254, 7777, 120451] {
+            let pa = random_problem(seed, Kernel::SparseLu);
+            let pb = random_problem(seed, Kernel::EtaFile);
+            match (solve(&pa), solve(&pb)) {
+                (Ok(sa), Ok(sb)) => {
+                    assert!(
+                        pa.is_feasible(&sa.values, 1e-5),
+                        "seed {seed}: lu infeasible"
+                    );
+                    assert!(
+                        pb.is_feasible(&sb.values, 1e-5),
+                        "seed {seed}: eta infeasible"
+                    );
+                    assert!(
+                        (sa.objective - sb.objective).abs() < 1e-5 * (1.0 + sb.objective.abs()),
+                        "seed {seed}: objectives differ ({} vs {})",
+                        sa.objective,
+                        sb.objective
+                    );
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "seed {seed}"),
+                (a, b) => panic!("seed {seed}: kernels disagree on solvability ({a:?} vs {b:?})"),
+            }
+        }
+    }
+
+    #[test]
+    fn lu_kernel_emits_ft_updates_and_sparse_ftrans() {
+        trace::reset();
+        let n = 150;
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_nonneg_var(format!("x{i}"), 1.0 + (i % 7) as f64))
+            .collect();
+        for i in 0..n - 1 {
+            p.add_constraint(vec![(vars[i], 1.0), (vars[i + 1], 1.0)], Relation::Ge, 2.0);
+        }
+        let s = solve(&p).unwrap();
+        assert!(p.is_feasible(&s.values, 1e-5));
+        assert!(
+            trace::counter("lp.ft_updates") > 0,
+            "no FT updates recorded"
+        );
+        assert!(
+            trace::counter("lp.factor.nnz") > 0,
+            "no factor nnz recorded"
+        );
+        assert!(
+            trace::counter("lp.ftran.sparse") > 0,
+            "chain FTRANs should stay hypersparse"
+        );
+        trace::reset();
+    }
+
+    #[test]
+    fn warm_start_hands_over_the_lu_factorisation() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 10.0, -5.0);
+        let y = p.add_var("y", 0.0, 10.0, -4.0);
+        p.add_constraint(vec![(x, 6.0), (y, 4.0)], Relation::Le, 24.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 6.0);
+        let (_, snap) = solve_with_start(&p, None).unwrap();
+
+        let mut child = p.clone();
+        child.set_bounds(x, 0.0, 3.0);
+
+        trace::reset();
+        let (cold, _) = solve_with_start(&child, None).unwrap();
+        let cold_refactors = trace::counter("lp.refactorisations");
+        trace::reset();
+        let (warm, warm_snap) = solve_with_start(&child, Some(&snap)).unwrap();
+        let warm_refactors = trace::counter("lp.refactorisations");
+        trace::reset();
+
+        assert_close(warm.objective, cold.objective);
+        // The handed-over factorisation replaces the up-front reinversion.
+        assert!(
+            warm_refactors < cold_refactors,
+            "warm start should reuse the parent's LU \
+             ({warm_refactors} vs {cold_refactors} reinversions)"
+        );
+        // The chain continues: the child's snapshot carries a factor too.
+        assert!(warm_snap.lu.is_some(), "child snapshot lost the LU state");
     }
 }

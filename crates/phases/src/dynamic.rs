@@ -267,30 +267,56 @@ pub fn solve_layout_dp(
             move_cost.prefill(b, &cells);
         }
         let mut next: Vec<DpState> = Vec::new();
+        // Arrays this phase touches that still matter afterwards: the
+        // phase's own (sorted) contribution to every successor state,
+        // identical across candidates except for the signature.
+        let touched: Vec<ArrayId> = refs[b]
+            .iter()
+            .copied()
+            .filter(|a| future_refs[b].contains(a))
+            .collect();
+        let mut priced: Vec<(ArrayId, SigId)> = Vec::new();
+        let mut carry: Vec<(ArrayId, SigId)> = Vec::new();
         for (prev_idx, s) in state_layers[b - 1].iter().enumerate() {
+            // Partition the state's resting entries once (not once per
+            // candidate): the entries this phase prices, in resting order —
+            // the exact query sequence the pricer always saw — and the
+            // entries that carry through unchanged (still sorted).
+            priced.clear();
+            carry.clear();
+            for &(a, src) in &s.resting {
+                if refs[b].contains(&a) {
+                    priced.push((a, src));
+                } else if future_refs[b].contains(&a) {
+                    carry.push((a, src));
+                }
+            }
             for (k, &sig) in layers[b].sigs.iter().enumerate() {
                 let mut cost = s.cost + layers[b].costs[k];
-                for &(a, src) in &s.resting {
-                    if refs[b].contains(&a) {
-                        cost += move_cost.price(b, a, src, sig);
-                        if src != sig {
-                            cost += switch_margin;
-                        }
+                for &(a, src) in &priced {
+                    cost += move_cost.price(b, a, src, sig);
+                    if src != sig {
+                        cost += switch_margin;
                     }
                 }
                 // New resting state: arrays this phase touches now rest in
                 // its signature; everything else carries over; arrays with
-                // no future use drop out (so equivalent paths merge).
-                let resting: Resting = s
-                    .resting
-                    .iter()
-                    .copied()
-                    .filter(|(a, _)| !refs[b].contains(a))
-                    .chain(refs[b].iter().map(|&a| (a, sig)))
-                    .filter(|(a, _)| future_refs[b].contains(a))
-                    .collect();
-                let mut resting = resting;
-                resting.sort_unstable();
+                // no future use drop out (so equivalent paths merge). The
+                // two halves are sorted and disjoint, so a linear merge
+                // produces the sorted map directly.
+                let mut resting: Resting = Vec::with_capacity(carry.len() + touched.len());
+                let (mut i, mut j) = (0, 0);
+                while i < carry.len() && j < touched.len() {
+                    if carry[i].0 < touched[j] {
+                        resting.push(carry[i]);
+                        i += 1;
+                    } else {
+                        resting.push((touched[j], sig));
+                        j += 1;
+                    }
+                }
+                resting.extend_from_slice(&carry[i..]);
+                resting.extend(touched[j..].iter().map(|&a| (a, sig)));
                 next.push(DpState {
                     resting,
                     cost,
@@ -333,19 +359,23 @@ pub fn solve_layout_dp(
 /// cheaper can be part of an optimal continuation — the survivor keeps its
 /// own `(k, back)` for backtracking.
 fn dedup_states(states: &mut Vec<DpState>) {
+    use std::hash::{BuildHasher, RandomState};
     let before = states.len();
-    let mut best: HashMap<Resting, usize> = HashMap::new();
+    // Bucket by resting-map hash so no state's resting vec is cloned into a
+    // map key; collisions compare the actual maps.
+    let hasher = RandomState::new();
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::with_capacity(states.len());
     let mut keep: Vec<DpState> = Vec::with_capacity(states.len());
     for s in states.drain(..) {
-        match best.entry(s.resting.clone()) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                let i = *e.get();
+        let ids = buckets.entry(hasher.hash_one(&s.resting)).or_default();
+        match ids.iter().copied().find(|&i| keep[i].resting == s.resting) {
+            Some(i) => {
                 if s.cost < keep[i].cost {
                     keep[i] = s;
                 }
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(keep.len());
+            None => {
+                ids.push(keep.len());
                 keep.push(s);
             }
         }

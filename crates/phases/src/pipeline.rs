@@ -41,11 +41,11 @@ use adg::{Adg, NodeKind, PortId};
 use align_ir::{ArrayId, Program};
 use alignment_core::pipeline::PipelineConfig;
 use alignment_core::position::PortAlignment;
-use commsim::{simulate, RestingPlacement, SimOptions, SimReport};
+use commsim::{identical_placement_traffic, simulate, RestingPlacement, SimOptions, SimReport};
 use distrib::{
-    align_then_distribute, solve_distribution_pooled, DistributionCost, DistributionCostModel,
-    DistributionReport, FullPipelineConfig, FullPipelineResult, Layout, ProgramDistribution,
-    RankedDistribution, SolveConfig,
+    align_then_distribute, distribute_alignment, solve_distribution_pooled, DistributionCost,
+    DistributionCostModel, DistributionReport, FullPipelineConfig, FullPipelineResult, Layout,
+    ProgramDistribution, RankedDistribution, SolveConfig,
 };
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
@@ -497,12 +497,21 @@ impl<'a> MovePricer<'a> {
             (Some((src_align, src_cover, _)), Some((dst_align, dst_cover))) => {
                 let src_dist = instantiate(&self.pool[src], &src_cover);
                 let dst_dist = instantiate(&self.pool[dst], &dst_cover);
-                price_resting(
-                    &self.program.decl(array).extents,
-                    &RestingPlacement::new(&src_align, &src_dist),
-                    &RestingPlacement::new(&dst_align, &dst_dist),
-                    self.sim,
-                )
+                if src_align == dst_align && src_dist == dst_dist {
+                    // Identical placements: a "stay put" transition (common
+                    // in the DP's query set). The traversal's result is
+                    // known — nothing moves — so book its counters and skip
+                    // the enumeration.
+                    identical_placement_traffic(&self.program.decl(array).extents, self.sim);
+                    RedistCost::default()
+                } else {
+                    price_resting(
+                        &self.program.decl(array).extents,
+                        &RestingPlacement::new(&src_align, &src_dist),
+                        &RestingPlacement::new(&dst_align, &dst_dist),
+                        self.sim,
+                    )
+                }
             }
             _ => RedistCost::default(),
         };
@@ -555,12 +564,17 @@ impl<'a> MovePricer<'a> {
                 Some((src_align, src_cover, dst_align, dst_cover)) => {
                     let src_dist = instantiate(&sigs[src], src_cover);
                     let dst_dist = instantiate(&sigs[dst], dst_cover);
-                    price_resting(
-                        &program.decl(a).extents,
-                        &RestingPlacement::new(src_align, &src_dist),
-                        &RestingPlacement::new(dst_align, &dst_dist),
-                        sim,
-                    )
+                    if src_align == dst_align && src_dist == dst_dist {
+                        identical_placement_traffic(&program.decl(a).extents, sim);
+                        RedistCost::default()
+                    } else {
+                        price_resting(
+                            &program.decl(a).extents,
+                            &RestingPlacement::new(src_align, &src_dist),
+                            &RestingPlacement::new(dst_align, &dst_dist),
+                            sim,
+                        )
+                    }
                 }
                 None => RedistCost::default(),
             }
@@ -886,18 +900,25 @@ pub fn align_then_distribute_dynamic(
     let counters_at_entry = trace::CounterSnapshot::now();
     let spans_at_entry = trace::span_count();
 
-    // The dynamic analysis and the static baseline share nothing but the
-    // program, so they overlap on the pool when parallelism is available
-    // (the baseline's counter delta is absorbed, keeping totals identical
-    // to the serial order the fallback still runs in).
+    // Stage 0+1: one analysis per atom — shared with the static baseline
+    // below, which for a single-atom program IS the whole-program alignment
+    // (the atom's standalone program equals the program), so the baseline
+    // reuses it instead of aligning a second time.
+    let atoms = analyze_atoms(program, &config.alignment);
+    let static_seed =
+        (atoms.len() == 1).then(|| (atoms[0].adg.clone(), atoms[0].alignment.clone()));
+
+    // The rest of the dynamic analysis and the static baseline share
+    // nothing but the atom set, so they overlap on the pool when
+    // parallelism is available (the baseline's counter delta is absorbed,
+    // keeping totals identical to the serial order the fallback still runs
+    // in).
     let (
         (phases, live, sig_pool, layers, phase_caches, dynamic, peak_dp_layer_width),
         (static_result, static_planned_cost),
     ) = pool::join(
         || {
-            // Stage 0+1: one analysis per atom; boundaries from the
-            // signatures.
-            let atoms = analyze_atoms(program, &config.alignment);
+            // Boundaries from the per-atom signatures.
             let boundaries = match &config.boundaries {
                 Some(b) => b.clone(),
                 None => detect_boundaries(
@@ -1019,16 +1040,26 @@ pub fn align_then_distribute_dynamic(
         },
         || {
             // The static baseline over the whole program, simulated under
-            // the same options the plan is priced with.
+            // the same options the plan is priced with. A single-atom
+            // program's baseline alignment is the atom's own (already
+            // computed above) — only the distribution search runs here.
             let _span = trace::span("phases.static_baseline");
-            let static_result = align_then_distribute(
-                program,
-                nprocs,
-                &FullPipelineConfig {
-                    alignment: config.alignment,
-                    distribution: config.distribution.clone(),
-                },
-            );
+            let full_config = FullPipelineConfig {
+                alignment: config.alignment,
+                distribution: config.distribution.clone(),
+            };
+            let static_result = match static_seed {
+                Some((adg, alignment)) => {
+                    let distribution =
+                        distribute_alignment(&adg, &alignment.alignment, nprocs, &full_config);
+                    FullPipelineResult {
+                        adg,
+                        alignment,
+                        distribution,
+                    }
+                }
+                None => align_then_distribute(program, nprocs, &full_config),
+            };
             let static_planned_cost = simulate(
                 &static_result.adg,
                 &static_result.alignment.alignment,

@@ -78,12 +78,16 @@ impl std::fmt::Display for RedistCost {
 /// sink placement: the caller chooses where the array actually rests (e.g.
 /// the cheaper of the two adjacent candidates, for an array the source
 /// phase never touches).
-pub fn price_resting(
+pub fn price_resting<S, D>(
     extents: &[i64],
-    src: &RestingPlacement<'_>,
-    dst: &RestingPlacement<'_>,
+    src: &RestingPlacement<'_, S>,
+    dst: &RestingPlacement<'_, D>,
     opts: SimOptions,
-) -> RedistCost {
+) -> RedistCost
+where
+    S: TemplateDistribution + ?Sized,
+    D: TemplateDistribution + ?Sized,
+{
     price_redistribution(
         extents,
         src.alignment,

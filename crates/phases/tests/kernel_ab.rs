@@ -1,0 +1,113 @@
+//! Basis-kernel A/B lock: the simplex basis-inverse kernel (sparse LU with
+//! Forrest–Tomlin updates vs the historical product-form eta file) changes
+//! how the basis inverse is applied. The kernels' roundoff differs, so
+//! degenerate ties may break differently and the pivot *route* may diverge
+//! (`lp.*` work counters move) — but both routes must land on the same
+//! optima and rounded offsets, and therefore never change what the
+//! pipeline *decides*.
+//! Every phase workload is solved end-to-end under both kernels and the
+//! plans are compared bit-for-bit: chosen candidate indices, per-phase
+//! distributions, every redistribution step, the planned cost, and the
+//! static baseline. On top of the plan, every non-`lp.*` counter family
+//! (`phases.*`, `align.*`, `distrib.*`, `commsim.*`, ...) must be
+//! bitwise-identical between the two runs — the contract that confines the
+//! counter gate's divergences to `lp.*` work counters.
+
+use align_ir::programs;
+use alignment_core::Kernel;
+use phases::{align_then_distribute_dynamic, DynamicConfig};
+
+const NPROCS: usize = 8;
+
+fn solve(
+    program: &align_ir::ast::Program,
+    kernel: Kernel,
+) -> (phases::DynamicPipelineResult, trace::CounterSnapshot) {
+    let mut config = DynamicConfig::default();
+    config.alignment.offset.kernel = kernel;
+    let before = trace::CounterSnapshot::now();
+    let result = align_then_distribute_dynamic(program, NPROCS, &config);
+    let delta = trace::CounterSnapshot::now().delta_since(&before);
+    (result, delta)
+}
+
+#[test]
+fn sparse_lu_and_eta_file_produce_identical_plans() {
+    for (name, program) in programs::phase_workloads() {
+        let (lu, lu_counters) = solve(&program, Kernel::SparseLu);
+        let (eta, eta_counters) = solve(&program, Kernel::EtaFile);
+
+        // The dynamic plan: same candidate choices, same instantiated
+        // per-phase distributions, same planned cost to the last bit.
+        assert_eq!(
+            lu.dynamic.chosen, eta.dynamic.chosen,
+            "{name}: chosen candidates differ"
+        );
+        assert_eq!(
+            lu.dynamic.per_phase, eta.dynamic.per_phase,
+            "{name}: per-phase distributions differ"
+        );
+        assert_eq!(
+            lu.dynamic.planned_cost.to_bits(),
+            eta.dynamic.planned_cost.to_bits(),
+            "{name}: planned cost differs ({} vs {})",
+            lu.dynamic.planned_cost,
+            eta.dynamic.planned_cost
+        );
+
+        // Every redistribution step: same arrays, same source phases, same
+        // exact element cost.
+        assert_eq!(
+            lu.dynamic.steps.len(),
+            eta.dynamic.steps.len(),
+            "{name}: boundary count differs"
+        );
+        for (b, (sa, sb)) in lu.dynamic.steps.iter().zip(&eta.dynamic.steps).enumerate() {
+            assert_eq!(sa.len(), sb.len(), "{name}: step count at boundary {b}");
+            for (x, y) in sa.iter().zip(sb) {
+                assert_eq!(x.array, y.array, "{name}: stepped array at boundary {b}");
+                assert_eq!(
+                    x.src_phase, y.src_phase,
+                    "{name}: source phase of {} at boundary {b}",
+                    x.name
+                );
+                assert_eq!(
+                    x.cost.elements().to_bits(),
+                    y.cost.elements().to_bits(),
+                    "{name}: step cost of {} at boundary {b}",
+                    x.name
+                );
+            }
+        }
+
+        // The static baseline: same winning distribution, same simulated
+        // cost.
+        assert_eq!(
+            lu.static_result.best().distribution,
+            eta.static_result.best().distribution,
+            "{name}: static distribution differs"
+        );
+        assert_eq!(
+            lu.static_planned_cost.to_bits(),
+            eta.static_planned_cost.to_bits(),
+            "{name}: static planned cost differs"
+        );
+
+        // Every counter outside `lp.*` — the kernel's own work counters —
+        // must be bitwise-unchanged: same plan, same pipeline activity down
+        // to the last alignment call and sampled element. (`lp.*` itself is
+        // exempt: the kernels' pivot routes may differ on degenerate ties.)
+        let families = |snap: &trace::CounterSnapshot| {
+            snap.counters
+                .iter()
+                .filter(|(k, _)| !k.starts_with("lp."))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            families(&lu_counters),
+            families(&eta_counters),
+            "{name}: a non-lp.* counter changed with the kernel"
+        );
+    }
+}

@@ -267,8 +267,10 @@ fn nested_flip_boundary_found_by_loop_distribution_and_dynamic_wins() {
 /// The single-analysis contract: the phase pipeline aligns each atom
 /// exactly once, plus one whole-program alignment for the static baseline —
 /// never a second per-atom or per-phase pass, not even when boundary
-/// coalescing merges phases. Uses the thread-local alignment-call counter
-/// (same pattern as `lp`'s fallback counters).
+/// coalescing merges phases. Single-atom programs are stricter still: the
+/// atom IS the whole program, so the static baseline reuses its alignment
+/// and the pipeline aligns exactly once in total. Uses the thread-local
+/// alignment-call counter (same pattern as `lp`'s fallback counters).
 #[test]
 fn each_atom_is_aligned_exactly_once() {
     use alignment_core::pipeline::{align_call_count, reset_align_call_count};
@@ -289,6 +291,22 @@ fn each_atom_is_aligned_exactly_once() {
             program.name
         );
         assert_eq!(result.num_atoms() as u64, atoms);
+    }
+    // Single-atom workloads: no separate static-baseline alignment.
+    for program in [
+        programs::conditional_pipeline(16, 4, 0.7),
+        programs::lookup_table(64, 16, 4),
+    ] {
+        assert_eq!(program.distributable_atoms().len(), 1);
+        reset_align_call_count();
+        let result = align_then_distribute_dynamic(&program, 4, &DynamicConfig::default());
+        assert_eq!(
+            align_call_count(),
+            1,
+            "{}: the atom's alignment is the static baseline's",
+            program.name
+        );
+        assert_eq!(result.num_atoms(), 1);
     }
 }
 

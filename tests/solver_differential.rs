@@ -222,6 +222,134 @@ fn solvers_agree_on_degenerate_equality_chains() {
     }
 }
 
+/// A wide, sparse LP in the exact shapes that stress the sparse kernel: many
+/// columns over few rows, rows with at most two structural nonzeros
+/// (difference constraints — what the mobile-offset formulation emits),
+/// duplicated terms the standard-form builder must combine, empty
+/// (constraint-free) columns, and near-duplicate rows that push the basis
+/// toward singularity and force refactorisations.
+fn sparse_problem(seed: u64) -> Problem {
+    let mut rng = Rng::new(seed);
+    let n = rng.range_usize(8, 25);
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| match rng.range_usize(0, 3) {
+            0 => p.add_nonneg_var(format!("n{i}"), rng.range_f64(0.0, 3.0)),
+            1 => {
+                let lo = rng.range_f64(-4.0, 0.0);
+                p.add_var(
+                    format!("b{i}"),
+                    lo,
+                    lo + rng.range_f64(0.5, 6.0),
+                    rng.range_f64(-3.0, 3.0),
+                )
+            }
+            _ => p.add_free_var(format!("f{i}"), rng.range_f64(-1.0, 1.0)),
+        })
+        .collect();
+
+    type Row = (Vec<(lp::VarId, f64)>, Relation, f64);
+    // Few rows over many columns: most columns never enter a constraint,
+    // so the CSC matrix carries genuinely empty columns.
+    let m = rng.range_usize(3, 13);
+    let mut rows: Vec<Row> = Vec::new();
+    for _ in 0..m {
+        let a = vars[rng.range_usize(0, n)];
+        let b = vars[rng.range_usize(0, n)];
+        let mut terms = vec![(a, 1.0)];
+        if a == b {
+            // A duplicated term on the same variable: the standard-form
+            // builder's sort + dedup pass must combine the coefficients.
+            terms.push((a, rng.range_i64(-1, 2) as f64));
+        } else {
+            terms.push((b, -1.0));
+            if rng.bool_with(0.25) {
+                terms.push((b, rng.range_i64(-2, 2) as f64));
+            }
+        }
+        if terms.iter().map(|&(_, a)| a).sum::<f64>() == 0.0 && terms.len() == 2 && a == b {
+            continue; // fully cancelled row
+        }
+        let relation = match rng.range_usize(0, 3) {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        rows.push((terms, relation, rng.range_i64(-4, 4) as f64));
+    }
+    // A near-duplicate of an existing row: an epsilon-perturbed copy makes
+    // the basis nearly singular, exercising the LU threshold pivoting and
+    // the refactorisation fallback. The perturbation (1e-5) sits well above
+    // the solvers' pivot tolerances — a smaller one makes feasibility hinge
+    // on a pivot no fixed-tolerance solver can trust, and the oracles
+    // legitimately disagree.
+    if !rows.is_empty() && rng.bool_with(0.5) {
+        let i = rng.range_usize(0, rows.len());
+        let (mut terms, relation, rhs) = rows[i].clone();
+        if let Some(t) = terms.first_mut() {
+            t.1 += 1e-5;
+        }
+        rows.push((terms, relation, rhs));
+    }
+    for (terms, relation, rhs) in rows {
+        p.add_constraint(terms, relation, rhs);
+    }
+    // Anchor a few variables so difference chains over free variables stay
+    // bounded often enough that the optimal-objective comparison bites.
+    for &v in &vars {
+        if rng.bool_with(0.3) {
+            p.add_constraint(vec![(v, 1.0)], Relation::Le, 8.0);
+            p.add_constraint(vec![(v, 1.0)], Relation::Ge, -8.0);
+        }
+    }
+    p
+}
+
+#[test]
+fn revised_and_tableau_agree_on_sparse_stressing_lps() {
+    let mut failures = Vec::new();
+    let mut numerical_failures = 0usize;
+    let cases = 120;
+    for seed in 0..cases {
+        let p = sparse_problem(seed * 6361 + 29);
+        if outcome(p.solve_without_presolve()) == Outcome::Failed
+            || outcome(p.solve_tableau()) == Outcome::Failed
+            || outcome(p.solve()) == Outcome::Failed
+        {
+            numerical_failures += 1;
+            continue;
+        }
+        if let Err(e) = check_agreement(seed, &p) {
+            failures.push(e);
+        }
+        // Both basis-inverse kernels must produce the same outcome — the
+        // kernel changes how the basis inverse is applied, never the
+        // pivoting decisions.
+        let mut eta = p.clone();
+        eta.set_kernel(lp::Kernel::EtaFile);
+        match (outcome(p.solve()), outcome(eta.solve())) {
+            (Outcome::Failed, _) | (_, Outcome::Failed) => {}
+            (Outcome::Optimal(x), Outcome::Optimal(y)) => {
+                if (x - y).abs() > 1e-6 * (1.0 + x.abs().max(y.abs())) {
+                    failures.push(format!("seed {seed}: kernels disagree: {x} vs {y}"));
+                }
+            }
+            (x, y) if x == y => {}
+            (x, y) => failures.push(format!("seed {seed}: kernel status {x:?} vs {y:?}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} disagreement(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert!(
+        numerical_failures <= cases as usize / 20,
+        "too many numerical failures: {numerical_failures}/{cases}"
+    );
+}
+
 #[test]
 fn solvers_agree_on_infeasible_systems() {
     for seed in 0..25u64 {
