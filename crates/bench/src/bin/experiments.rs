@@ -82,6 +82,11 @@ fn main() {
             "Basis kernels — sparse LU vs product-form eta file across machine sizes",
             e24,
         ),
+        (
+            "e25",
+            "The flattened planner — re-profiled spans, dominance vs beam, dual-simplex children",
+            e25,
+        ),
     ];
 
     for (id, title, run) in experiments {
@@ -1337,4 +1342,170 @@ fn e24() {
     println!("factors once, applies Forrest–Tomlin updates, and keeps FTRAN on the");
     println!("hypersparse path for the overwhelming share of solves — the offset");
     println!("LPs' 2–4-nonzero rows are exactly the shape hypersparsity rewards.");
+}
+
+// --- E25: the flattened planner — profile, pruning, dual simplex --------------
+
+fn e25() {
+    use phases::{layout_dp_problem, DpPruning};
+
+    // Table group 1: the E22 profile rerun after the PR 10 planner work
+    // (dominance-pruned DP, batched Devex BTRAN, PlacementCache-backed
+    // standalone simulation, compiled owner LUTs). Same fold as e22, so
+    // the two experiments read as before/after.
+    let heavy = [
+        (
+            "multi_array_pipeline",
+            programs::multi_array_pipeline(32, 8),
+        ),
+        ("reduction_tree", programs::reduction_tree(24, 24)),
+    ];
+    let cfg = DynamicConfig::default();
+    for (name, program) in &heavy {
+        let _ = align_then_distribute_dynamic(program, 8, &cfg);
+        trace::reset();
+        trace::configure(trace::TraceConfig::enabled());
+        let _ = align_then_distribute_dynamic(program, 8, &cfg);
+        trace::configure(trace::TraceConfig::default());
+        let t = trace::take();
+        println!("### {name} at P=8 — top 10 exclusive-time spans (post-PR 10)\n");
+        println!("{}", trace::profile::report(&t, 10));
+    }
+
+    // Table 2: the dominance pruner vs the legacy beam vs the exhaustive
+    // ground truth, on the real candidate layers the pipeline hands the
+    // DP, across machine sizes. Width columns are max states in any layer;
+    // the cost columns are the plan-identity contract run live (the
+    // property test pins it bitwise over the whole suite plus random
+    // programs — `crates/bench/tests/layout_dp_property.rs`).
+    println!("### layout DP — dominance pruning vs the legacy 4096-state beam\n");
+    let mut t = Table::new(&[
+        "workload",
+        "P",
+        "exhaustive max width",
+        "dominance max width",
+        "dominated states",
+        "beam max width",
+        "dominance cost == exhaustive",
+        "beam cost == exhaustive",
+    ]);
+    for (name, program) in [
+        (
+            "multi_array_pipeline",
+            programs::multi_array_pipeline(32, 8),
+        ),
+        ("reduction_tree", programs::reduction_tree(24, 24)),
+        ("multigrid_vcycle", programs::multigrid_vcycle(32, 4, 4)),
+    ] {
+        for nprocs in [8usize, 32, 128] {
+            let problem = layout_dp_problem(&program, nprocs, &cfg);
+            let solve = |pruning: DpPruning| {
+                let before = trace::CounterSnapshot::now();
+                let plan = problem
+                    .solve(cfg.switch_margin, pruning)
+                    .expect("layout DP solves");
+                let delta = trace::CounterSnapshot::now().delta_since(&before);
+                let dominated = delta
+                    .counters
+                    .get("phases.dp.dominated")
+                    .copied()
+                    .unwrap_or(0);
+                (plan, dominated)
+            };
+            let (exhaustive, _) = solve(DpPruning::Exhaustive);
+            let (dominance, dominated) = solve(DpPruning::Dominance { trigger: 1 });
+            let (beam, _) = solve(DpPruning::Beam { cap: 4096 });
+            let width = |plan: &phases::LayoutDpPlan| {
+                plan.states_per_layer.iter().copied().max().unwrap_or(0)
+            };
+            t.row(vec![
+                name.to_string(),
+                nprocs.to_string(),
+                width(&exhaustive).to_string(),
+                width(&dominance).to_string(),
+                dominated.to_string(),
+                width(&beam).to_string(),
+                if dominance.cost.to_bits() == exhaustive.cost.to_bits() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                if beam.cost.to_bits() == exhaustive.cost.to_bits() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]);
+        }
+    }
+    println!("{t}");
+
+    // Table 3: warm branch-and-bound children under the dual simplex vs
+    // the cold primal two-phase path, on the parametric MILP family from
+    // e23 swept to widths whose trees run complete (hundreds to thousands
+    // of nodes) so incumbent equality is a theorem, not a truncation
+    // artifact. A warm child's parent basis is one bound flip away from
+    // optimal — still dual-feasible — so the repair runs as dual pivots
+    // and phase 1 never fires; every cold child re-pays the crash-basis
+    // two-phase bill.
+    println!("### branch-and-bound children — dual-simplex repair vs primal cold start\n");
+    let mut t = Table::new(&[
+        "MILP vars",
+        "nodes",
+        "cold phase-1 pivots",
+        "warm phase-1 pivots",
+        "warm dual pivots",
+        "cold ms",
+        "warm ms",
+        "incumbent equal",
+    ]);
+    for n in [8usize, 12, 16, 22, 28] {
+        let p = deep_milp(n);
+        let run = |warm: bool| {
+            let before = trace::CounterSnapshot::now();
+            let t0 = Instant::now();
+            let s = lp::solve_milp_with(&p, 100_000, warm).expect("MILP solves");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let delta = trace::CounterSnapshot::now().delta_since(&before);
+            let get = |k: &str| delta.counters.get(k).copied().unwrap_or(0);
+            (
+                get("lp.milp_nodes"),
+                get("lp.phase1_pivots"),
+                get("lp.dual.pivots"),
+                ms,
+                s.objective,
+            )
+        };
+        let (nodes, cold_p1, _, cold_ms, cold_obj) = run(false);
+        let (_, warm_p1, warm_dual, warm_ms, warm_obj) = run(true);
+        t.row(vec![
+            n.to_string(),
+            nodes.to_string(),
+            cold_p1.to_string(),
+            warm_p1.to_string(),
+            warm_dual.to_string(),
+            format!("{cold_ms:.2}"),
+            format!("{warm_ms:.2}"),
+            if cold_obj.to_bits() == warm_obj.to_bits() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    println!("{t}");
+    println!("Read against e22: the planner's own spans have left the top of the");
+    println!("profile — what remains is simplex tail work (`lp.pivot_tail`, the raw");
+    println!("`lp.ftran`/`lp.btran` kernel solves) plus alignment assembly, which is");
+    println!("what the ROADMAP's raw-speed item now points at. The DP table shows the");
+    println!("two prunings' character: the 4096-state beam never fires on these");
+    println!("layers (its width column *is* the exhaustive one — the cap was pure");
+    println!("insurance), while dominance shrinks the widest layers by 5–18x and is");
+    println!("*exact* while doing it (its cost column must read yes by theorem; the");
+    println!("beam's yes would be luck on a program wide enough to hit the cap). The");
+    println!("branch-and-bound table shows the dual simplex carrying the warm path:");
+    println!("child repairs run as dual pivots from the parent basis while warm");
+    println!("phase 1 stays near zero — cold phase 1 grows with the tree into the");
+    println!("tens of thousands of pivots — and the incumbent matches the cold");
+    println!("primal path bitwise at every width.");
 }

@@ -1,0 +1,107 @@
+//! Plan-identity properties of the layout DP's performance machinery.
+//!
+//! The dominance pruner and the pool-parallel transition loop are pure
+//! optimisations: the ISSUE-10 contract is that neither may change the
+//! chosen plan, its cost, or a single solver counter. These tests pin that
+//! contract over the canonical `phase_workloads()` suite *and* a seeded
+//! sweep of generated programs — the same generator the smoke suite uses,
+//! so shapes the canonical workloads miss (skewed conflicts, neutral
+//! atoms) are covered too.
+
+use bench::countergate::{run_workload, suite_config, SuiteCounters, SUITE_NPROCS};
+use bench::{random_loop_program, RandomProgramConfig};
+use phases::{layout_dp_problem, DpPruning, DynamicConfig};
+
+const NPROCS: usize = 8;
+
+fn property_programs() -> Vec<(String, align_ir::Program)> {
+    let mut programs: Vec<(String, align_ir::Program)> = align_ir::programs::phase_workloads()
+        .into_iter()
+        .map(|(name, p)| (name.to_owned(), p))
+        .collect();
+    for seed in 0..4 {
+        let config = RandomProgramConfig {
+            array_size: 48,
+            trips: 6,
+            statements: 3,
+            max_shift: 4,
+            allow_skew: seed % 2 == 0,
+            seed,
+            ..RandomProgramConfig::default()
+        };
+        programs.push((format!("random(seed={seed})"), random_loop_program(config)));
+    }
+    programs
+}
+
+/// Dominance pruning must be invisible in the answer: on every workload the
+/// pruned DP (trigger 1, so the pruner runs on every layer) returns the
+/// bitwise-identical cost and chosen path as the exhaustive ground truth.
+#[test]
+fn dominance_pruning_never_changes_the_plan() {
+    let config = DynamicConfig::default();
+    for (name, program) in property_programs() {
+        let problem = layout_dp_problem(&program, NPROCS, &config);
+        let exhaustive = problem
+            .solve(config.switch_margin, DpPruning::Exhaustive)
+            .unwrap_or_else(|e| panic!("{name}: exhaustive DP failed: {e}"));
+        let pruned = problem
+            .solve(config.switch_margin, DpPruning::Dominance { trigger: 1 })
+            .unwrap_or_else(|e| panic!("{name}: pruned DP failed: {e}"));
+        assert_eq!(
+            pruned.chosen, exhaustive.chosen,
+            "{name}: pruning changed the chosen path"
+        );
+        assert_eq!(
+            pruned.cost.to_bits(),
+            exhaustive.cost.to_bits(),
+            "{name}: pruning changed the cost ({} vs {})",
+            pruned.cost,
+            exhaustive.cost
+        );
+        assert!(
+            pruned
+                .states_per_layer
+                .iter()
+                .zip(&exhaustive.states_per_layer)
+                .all(|(p, e)| p <= e),
+            "{name}: pruning grew a layer ({:?} vs {:?})",
+            pruned.states_per_layer,
+            exhaustive.states_per_layer
+        );
+    }
+}
+
+/// The pool-parallel transition loop hands per-worker counter deltas back
+/// to the leader in deterministic order, so the full counter-gate trail —
+/// the exact bytes the `counter_gate` binary snapshots and diffs — is
+/// identical at any worker count.
+#[test]
+fn worker_count_does_not_change_counter_gate_output() {
+    let config = suite_config();
+    let workloads: Vec<(&str, align_ir::Program)> = align_ir::programs::phase_workloads()
+        .into_iter()
+        .filter(|(name, _)| *name == "reduction_tree" || *name == "conditional_pipeline")
+        .collect();
+    assert_eq!(workloads.len(), 2, "canonical workloads renamed");
+
+    let run = |workers: usize| -> String {
+        pool::set_workers(workers);
+        let suite = SuiteCounters {
+            nprocs: SUITE_NPROCS,
+            workloads: workloads
+                .iter()
+                .map(|(name, program)| run_workload(name, program, &config))
+                .collect(),
+        };
+        pool::set_workers(0);
+        suite.to_json().to_string_pretty()
+    };
+
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "POOL_WORKERS=1 vs 4 diverged in counter_gate output"
+    );
+}

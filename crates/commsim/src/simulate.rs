@@ -416,8 +416,6 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
     let dst_replicated = dst.offsets.iter().any(OffsetAlign::is_replicated)
         && !src.offsets.iter().any(OffsetAlign::is_replicated);
 
-    let mut moves = 0.0;
-    let mut broadcast = 0.0;
     pairs.begin();
 
     let src_eval = PosEval::new(src, point);
@@ -432,10 +430,52 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
         return EdgeTraffic::default();
     }
 
+    // Compiled fast path — the same owner tables the redistribution loop
+    // uses ([`RedistOwnerLut`]). Both sides share the machine, and
+    // `owner_flat` pins replicated/missing axes to coordinate 0 exactly as
+    // the compiler does, so "moved" reduces to table-fold inequality. Falls
+    // through to the per-element evaluation when an owner map does not
+    // decompose per lattice axis; both paths visit the identical sample and
+    // book identical counters.
+    if let Some(traffic) = element_traffic_compiled(
+        extents,
+        &src_eval,
+        &dst_eval,
+        machine,
+        dst_replicated,
+        opts.element_budget(total),
+        pairs,
+    ) {
+        return traffic;
+    }
+    element_traffic_evaluated(
+        extents,
+        &src_eval,
+        &dst_eval,
+        machine,
+        dst_replicated,
+        opts.element_budget(total),
+        pairs,
+    )
+}
+
+/// The per-element owner evaluation of [`element_traffic`] — the historical
+/// loop, kept as the fallback for owner maps the table compiler rejects.
+fn element_traffic_evaluated<D: TemplateDistribution + ?Sized>(
+    extents: &[i64],
+    src_eval: &PosEval,
+    dst_eval: &PosEval,
+    machine: &D,
+    dst_replicated: bool,
+    budget: usize,
+    pairs: &mut PairSet,
+) -> EdgeTraffic {
+    let mut moves = 0.0;
+    let mut broadcast = 0.0;
     let mut src_buf = Vec::new();
     let mut dst_buf = Vec::new();
 
-    for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
+    for_each_sampled_index(extents, budget, |index, scale| {
         src_eval.write(index, &mut src_buf);
         if dst_replicated {
             broadcast += scale;
@@ -463,6 +503,63 @@ fn element_traffic<D: TemplateDistribution + ?Sized>(
         messages: pairs.len() as f64,
         broadcast_elements: broadcast,
     }
+}
+
+/// The table-driven element loop of [`element_traffic`]; `None` when an
+/// owner map does not decompose per sampling-lattice axis (the caller then
+/// runs the per-element evaluation on an untouched `pairs`).
+fn element_traffic_compiled<D: TemplateDistribution + ?Sized>(
+    extents: &[i64],
+    src_eval: &PosEval,
+    dst_eval: &PosEval,
+    machine: &D,
+    dst_replicated: bool,
+    budget: usize,
+    pairs: &mut PairSet,
+) -> Option<EdgeTraffic> {
+    let dims = machine.grid_dims();
+    if dims.contains(&0) {
+        return None;
+    }
+    let lattice = SampleLattice::new(extents, budget);
+    let counts: Vec<usize> = extents
+        .iter()
+        .zip(&lattice.strides)
+        .map(|(&e, &s)| ((e + s - 1) / s) as usize)
+        .collect();
+    let scale = lattice.scale;
+
+    let mut moves = 0.0;
+    let mut broadcast = 0.0;
+    let w = fold_weights(&dims, |_| true);
+    let src_lut = RedistOwnerLut::compile(src_eval, machine, &w, &counts, &lattice.strides)?;
+    if dst_replicated {
+        lattice.count();
+        for_each_lattice_pos(&counts, |pos| {
+            broadcast += scale;
+            pairs.insert(src_lut.eval(pos), usize::MAX);
+        });
+        return Some(EdgeTraffic {
+            element_moves: moves,
+            messages: pairs.len() as f64,
+            broadcast_elements: broadcast,
+        });
+    }
+    let dst_lut = RedistOwnerLut::compile(dst_eval, machine, &w, &counts, &lattice.strides)?;
+    lattice.count();
+    for_each_lattice_pos(&counts, |pos| {
+        let src_owner = src_lut.eval(pos);
+        let dst_owner = dst_lut.eval(pos);
+        if src_owner != dst_owner {
+            moves += scale;
+            pairs.insert(src_owner, dst_owner);
+        }
+    });
+    Some(EdgeTraffic {
+        element_moves: moves,
+        messages: pairs.len() as f64,
+        broadcast_elements: broadcast,
+    })
 }
 
 use crate::machine::REPLICATED_COORD;
@@ -874,6 +971,122 @@ pub fn identical_placement_traffic(extents: &[i64], opts: SimOptions) -> EdgeTra
     EdgeTraffic::default()
 }
 
+/// One side's owner computation of [`redistribution_traffic`], compiled
+/// against the element-sampling lattice: the flat owner id of the element
+/// at lattice position `pos` is `base + Σ tables[k][pos[bₖ]]`.
+///
+/// The compilation exploits that both maps in the composition
+/// `owner_flat ∘ PosEval` are per-axis: a grid axis's template coordinate
+/// is affine in at most one body-axis index (replicated and missing axes
+/// pin to cell 0), and `owner` is the mixed-radix fold of the per-axis
+/// owner coordinates ([`TemplateDistribution::owner_coord`]'s composition
+/// contract). Each grid axis therefore contributes either a constant or a
+/// per-sampled-position table of weighted `owner_coord` values, and the
+/// two euclidean divisions per grid axis per element collapse to one load
+/// and add per body axis. The looked-up ids are exactly the evaluated
+/// `owner_flat` values — traffic, message pairs, and sampling counters are
+/// bit-identical to the uncompiled loop.
+struct RedistOwnerLut {
+    /// Weighted fold of the pinned axes (replicated, missing, or driven by
+    /// no body axis).
+    base: usize,
+    /// `(body axis, weighted contribution per sampled position)` for each
+    /// axis some body axis drives.
+    tables: Vec<(usize, Vec<usize>)>,
+}
+
+impl RedistOwnerLut {
+    /// Compile `dist`'s owner map under `eval`, weighting grid axis `t` by
+    /// `weights[t]`; weight 0 drops the axis (the masked folds of the
+    /// replicated-source held test use this). `counts` and `strides`
+    /// describe the sampling lattice. `None` when some counted grid axis is
+    /// driven by two body axes (a skewed alignment like `i + j`): its owner
+    /// coordinate is then not a function of a single lattice axis.
+    fn compile<D: TemplateDistribution + ?Sized>(
+        eval: &PosEval,
+        dist: &D,
+        weights: &[usize],
+        counts: &[usize],
+        strides: &[i64],
+    ) -> Option<RedistOwnerLut> {
+        let mut base = 0usize;
+        let mut tables: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (t, &w) in weights.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let c0 = eval.base.get(t).copied().unwrap_or(REPLICATED_COORD);
+            if c0 == REPLICATED_COORD {
+                base += dist.owner_coord(t, 0) * w;
+                continue;
+            }
+            let mut driver: Option<(usize, i64)> = None;
+            for (b, &(tb, stride)) in eval.terms.iter().enumerate() {
+                if tb == t && stride != 0 && driver.replace((b, stride)).is_some() {
+                    return None;
+                }
+            }
+            match driver {
+                None => base += dist.owner_coord(t, c0) * w,
+                Some((b, stride)) => tables.push((
+                    b,
+                    (0..counts[b].max(1) as i64)
+                        .map(|j| dist.owner_coord(t, c0 + stride * (1 + j * strides[b])) * w)
+                        .collect(),
+                )),
+            }
+        }
+        Some(RedistOwnerLut { base, tables })
+    }
+
+    #[inline]
+    fn eval(&self, pos: &[usize]) -> usize {
+        let mut id = self.base;
+        for (b, table) in &self.tables {
+            id += table[pos[*b]];
+        }
+        id
+    }
+}
+
+/// Mixed-radix fold weights (axis 0 most significant) over the axes `keep`
+/// selects; dropped axes get weight 0. With every axis kept this reproduces
+/// `owner_flat`'s positional weights.
+fn fold_weights(dims: &[usize], keep: impl Fn(usize) -> bool) -> Vec<usize> {
+    let mut weights = vec![0usize; dims.len()];
+    let mut acc = 1usize;
+    for t in (0..dims.len()).rev() {
+        if keep(t) {
+            weights[t] = acc;
+            acc *= dims[t].max(1);
+        }
+    }
+    weights
+}
+
+/// Visit every position of the sampling lattice (`counts` per axis, last
+/// axis fastest) in exactly [`for_each_sampled_index`]'s element order —
+/// including its quirk of visiting the origin once even when an axis has a
+/// zero count.
+fn for_each_lattice_pos(counts: &[usize], mut visit: impl FnMut(&[usize])) {
+    let mut pos = vec![0usize; counts.len()];
+    loop {
+        visit(&pos);
+        let mut carry = true;
+        for a in (0..counts.len()).rev() {
+            pos[a] += 1;
+            if pos[a] < counts[a] {
+                carry = false;
+                break;
+            }
+            pos[a] = 0;
+        }
+        if carry || counts.is_empty() {
+            break;
+        }
+    }
+}
+
 pub fn redistribution_traffic<S, D>(
     extents: &[i64],
     src: &PortAlignment,
@@ -892,7 +1105,6 @@ where
         dst_dist.num_processors(),
         "redistribution keeps the machine; only the mapping changes"
     );
-    let src_dims = src_dist.grid_dims();
     // A spread happens on any axis the destination replicates but the source
     // does not — judged per axis, so a source replicated along some *other*
     // axis still pays for the newly replicated one.
@@ -900,19 +1112,149 @@ where
         o.is_replicated() && !src.offsets.get(t).is_some_and(OffsetAlign::is_replicated)
     });
 
+    let src_eval = PosEval::new(src, point);
+    let dst_eval = PosEval::new(dst, point);
+    let total: usize = extents.iter().product::<i64>().max(1) as usize;
+    let budget = opts.element_budget(total);
+
+    // Compiled fast path — see [`RedistOwnerLut`]. Falls through to the
+    // per-element evaluation when an owner map does not decompose per
+    // lattice axis, or when a replicated source must be compared across
+    // differently-shaped grids. Both paths visit the identical element
+    // sample and book identical counters; the `compiled_and_evaluated_*`
+    // tests lock their agreement bit for bit.
+    if let Some(traffic) = redistribution_compiled(
+        extents, &src_eval, src_dist, &dst_eval, dst_dist, spread, budget,
+    ) {
+        return traffic;
+    }
+    redistribution_evaluated(
+        extents, &src_eval, src_dist, &dst_eval, dst_dist, spread, budget,
+    )
+}
+
+/// The table-driven element loop of [`redistribution_traffic`]; `None` when
+/// the owner maps cannot be compiled against the sampling lattice.
+fn redistribution_compiled<S, D>(
+    extents: &[i64],
+    src_eval: &PosEval,
+    src_dist: &S,
+    dst_eval: &PosEval,
+    dst_dist: &D,
+    spread: bool,
+    budget: usize,
+) -> Option<EdgeTraffic>
+where
+    S: TemplateDistribution + ?Sized,
+    D: TemplateDistribution + ?Sized,
+{
+    let src_dims = src_dist.grid_dims();
+    let dst_dims = dst_dist.grid_dims();
+    if src_dims.iter().chain(&dst_dims).any(|&g| g == 0) {
+        return None;
+    }
+    let lattice = SampleLattice::new(extents, budget);
+    let counts: Vec<usize> = extents
+        .iter()
+        .zip(&lattice.strides)
+        .map(|(&e, &s)| ((e + s - 1) / s) as usize)
+        .collect();
+    let scale = lattice.scale;
+
     let mut moves = 0.0;
     let mut broadcast = 0.0;
     let mut pairs = PairSet::new(src_dist.num_processors());
     pairs.begin();
 
-    let src_eval = PosEval::new(src, point);
-    let dst_eval = PosEval::new(dst, point);
+    let src_w = fold_weights(&src_dims, |_| true);
+    let src_lut = RedistOwnerLut::compile(src_eval, src_dist, &src_w, &counts, &lattice.strides)?;
+    if spread {
+        lattice.count();
+        for_each_lattice_pos(&counts, |pos| {
+            broadcast += scale;
+            pairs.insert(src_lut.eval(pos), usize::MAX);
+        });
+        return Some(EdgeTraffic {
+            element_moves: moves,
+            messages: pairs.len() as f64,
+            broadcast_elements: broadcast,
+        });
+    }
+    let dst_w = fold_weights(&dst_dims, |_| true);
+    let dst_lut = RedistOwnerLut::compile(dst_eval, dst_dist, &dst_w, &counts, &lattice.strides)?;
+    // Axes the held test skips: replicated (or missing) source axes hold a
+    // copy at every grid coordinate.
+    let pinned: Vec<bool> = (0..src_dims.len())
+        .map(|t| src_eval.base.get(t).copied().unwrap_or(REPLICATED_COORD) == REPLICATED_COORD)
+        .collect();
+    if pinned.iter().any(|&p| p) {
+        // Masked comparison: with equal grid shapes the destination owner's
+        // decomposition in the source radix recovers exactly the
+        // destination's per-axis owner coordinates, so "held" reduces to
+        // equal mixed-radix folds over the unpinned axes.
+        if src_dims != dst_dims {
+            return None;
+        }
+        let held_w = fold_weights(&src_dims, |t| !pinned[t]);
+        let src_held =
+            RedistOwnerLut::compile(src_eval, src_dist, &held_w, &counts, &lattice.strides)?;
+        let dst_held =
+            RedistOwnerLut::compile(dst_eval, dst_dist, &held_w, &counts, &lattice.strides)?;
+        lattice.count();
+        for_each_lattice_pos(&counts, |pos| {
+            if src_held.eval(pos) != dst_held.eval(pos) {
+                moves += scale;
+                pairs.insert(src_lut.eval(pos), dst_lut.eval(pos));
+            }
+        });
+    } else {
+        // No replicated source axes: every per-axis coordinate is
+        // constrained, and the mixed-radix fold is a bijection below the
+        // (shared) processor count — "held" is flat-id equality.
+        lattice.count();
+        for_each_lattice_pos(&counts, |pos| {
+            let src_owner = src_lut.eval(pos);
+            let dst_owner = dst_lut.eval(pos);
+            if src_owner != dst_owner {
+                moves += scale;
+                pairs.insert(src_owner, dst_owner);
+            }
+        });
+    }
+    Some(EdgeTraffic {
+        element_moves: moves,
+        messages: pairs.len() as f64,
+        broadcast_elements: broadcast,
+    })
+}
+
+/// The original per-element owner evaluation of [`redistribution_traffic`] —
+/// the fallback when the owner maps do not compile, and the reference the
+/// compiled path is tested against.
+fn redistribution_evaluated<S, D>(
+    extents: &[i64],
+    src_eval: &PosEval,
+    src_dist: &S,
+    dst_eval: &PosEval,
+    dst_dist: &D,
+    spread: bool,
+    budget: usize,
+) -> EdgeTraffic
+where
+    S: TemplateDistribution + ?Sized,
+    D: TemplateDistribution + ?Sized,
+{
+    let src_dims = src_dist.grid_dims();
+    let mut moves = 0.0;
+    let mut broadcast = 0.0;
+    let mut pairs = PairSet::new(src_dist.num_processors());
+    pairs.begin();
+
     let mut src_buf = Vec::new();
     let mut dst_buf = Vec::new();
     let mut dst_in_src = vec![0usize; src_dims.len()];
 
-    let total: usize = extents.iter().product::<i64>().max(1) as usize;
-    for_each_sampled_index(extents, opts.element_budget(total), |index, scale| {
+    for_each_sampled_index(extents, budget, |index, scale| {
         src_eval.write(index, &mut src_buf);
         if spread {
             broadcast += scale;
@@ -1281,5 +1623,221 @@ mod tests {
         let sampled = simulate(&adg, &a, &m, SimOptions::sampled(64, 512));
         let ratio = sampled.total.element_moves / exact.total.element_moves;
         assert!(ratio > 0.8 && ratio < 1.2, "sampled/exact = {ratio}");
+    }
+
+    #[test]
+    fn compiled_and_evaluated_redistribution_agree_bitwise() {
+        // The table-driven redistribution loop must be indistinguishable
+        // from the per-element owner evaluation: identical traffic (bitwise
+        // f64s), identical message sets, identical sampling counters —
+        // across offsets, strides, transposes, replication, unequal grid
+        // shapes, and both exact and strided sampling lattices.
+        use align_ir::Affine;
+        use alignment_core::position::OffsetAlign;
+
+        let mut aligns: Vec<(&str, PortAlignment)> = Vec::new();
+        aligns.push(("identity", PortAlignment::identity(2, 2)));
+        let mut transpose = PortAlignment::identity(2, 2);
+        transpose.axis_map = vec![1, 0];
+        aligns.push(("transpose", transpose));
+        let mut offset = PortAlignment::identity(2, 2);
+        offset.offsets[0] = OffsetAlign::Fixed(Affine::constant(3));
+        offset.offsets[1] = OffsetAlign::Fixed(Affine::constant(-5));
+        aligns.push(("offset", offset));
+        let mut strided = PortAlignment::identity(2, 2);
+        strided.strides[1] = Affine::constant(2);
+        aligns.push(("strided", strided));
+        let mut replicated = PortAlignment::identity(1, 2);
+        replicated.offsets[1] = OffsetAlign::Replicated;
+        aligns.push(("replicated", replicated));
+        aligns.push(("collapsed", PortAlignment::identity(1, 2)));
+
+        let machines: Vec<(&str, Machine)> = vec![
+            ("block", Machine::block_distribution(vec![2, 4], &[13, 9])),
+            ("cyclic", Machine::cyclic(vec![2, 4])),
+            ("blockcyclic", Machine::new(vec![2, 4], vec![3, 2])),
+            ("flipped", Machine::new(vec![4, 2], vec![2, 5])),
+        ];
+        let options = [SimOptions::exact(), SimOptions::sampled(24, 512)];
+
+        let mut compiled_hits = 0usize;
+        for (sa, src_align) in &aligns {
+            for (da, dst_align) in &aligns {
+                // The element lattice is the source object's; a replicated
+                // source has rank 1 here, so pair it with rank-1 partners.
+                if src_align.rank() != dst_align.rank() {
+                    continue;
+                }
+                let extents: Vec<i64> = vec![13, 9][..src_align.rank()].to_vec();
+                for (sm, src_dist) in &machines {
+                    for (dm, dst_dist) in &machines {
+                        for (oi, &opts) in options.iter().enumerate() {
+                            let label = format!("{sa}->{da} on {sm}->{dm} opts{oi}");
+                            let spread = dst_align.offsets.iter().enumerate().any(|(t, o)| {
+                                o.is_replicated()
+                                    && !src_align
+                                        .offsets
+                                        .get(t)
+                                        .is_some_and(OffsetAlign::is_replicated)
+                            });
+                            let src_eval = PosEval::new(src_align, &[]);
+                            let dst_eval = PosEval::new(dst_align, &[]);
+                            let total: usize = extents.iter().product::<i64>().max(1) as usize;
+                            let budget = opts.element_budget(total);
+
+                            let before = trace::counter("commsim.elements_priced");
+                            let reference = redistribution_evaluated(
+                                &extents, &src_eval, src_dist, &dst_eval, dst_dist, spread, budget,
+                            );
+                            let ref_priced = trace::counter("commsim.elements_priced") - before;
+
+                            let before = trace::counter("commsim.elements_priced");
+                            let Some(compiled) = redistribution_compiled(
+                                &extents, &src_eval, src_dist, &dst_eval, dst_dist, spread, budget,
+                            ) else {
+                                continue;
+                            };
+                            compiled_hits += 1;
+                            let compiled_priced =
+                                trace::counter("commsim.elements_priced") - before;
+
+                            assert!(
+                                compiled.element_moves == reference.element_moves
+                                    && compiled.messages == reference.messages
+                                    && compiled.broadcast_elements == reference.broadcast_elements,
+                                "{label}: compiled {compiled:?} != evaluated {reference:?}"
+                            );
+                            assert_eq!(compiled_priced, ref_priced, "{label}: counters");
+                        }
+                    }
+                }
+            }
+        }
+        // The compiled path must take every separable scenario — a silent
+        // fallback would invalidate the speedup. Rank-2 pairs all compile
+        // (4² aligns x 4² machines x 2 options = 512). Of the rank-1 pairs,
+        // collapsed sources and spreads compile everywhere (16 machine
+        // pairs each), while a replicated source compiles only across
+        // equal-shaped grids (3² same-shape + 1 flipped² = 10 pairs):
+        // (16 + 16 + 10 + 10) x 2 options = 104.
+        assert_eq!(compiled_hits, 512 + 104, "fast-path coverage");
+
+        // A skewed alignment (two body axes on one template axis) is the
+        // documented fallback: the owner coordinate is not a function of a
+        // single lattice axis.
+        let mut skewed = PortAlignment::identity(2, 2);
+        skewed.axis_map = vec![0, 0];
+        let eval = PosEval::new(&skewed, &[]);
+        let m = &machines[0].1;
+        assert!(redistribution_compiled(
+            &[13, 9],
+            &eval,
+            m,
+            &PosEval::new(&aligns[0].1, &[]),
+            m,
+            false,
+            13 * 9,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn compiled_and_evaluated_element_traffic_agree_bitwise() {
+        // The in-phase element loop shares the owner-table compiler with the
+        // redistribution loop; its compiled path must likewise be
+        // indistinguishable from the per-element evaluation — and, because
+        // both sides share the machine and `owner_flat` pins replicated
+        // axes to coordinate 0 exactly as the compiler does, every
+        // separable scenario (replication included) must compile.
+        use align_ir::Affine;
+        use alignment_core::position::OffsetAlign;
+
+        let mut aligns: Vec<(&str, PortAlignment)> = Vec::new();
+        aligns.push(("identity", PortAlignment::identity(2, 2)));
+        let mut transpose = PortAlignment::identity(2, 2);
+        transpose.axis_map = vec![1, 0];
+        aligns.push(("transpose", transpose));
+        let mut offset = PortAlignment::identity(2, 2);
+        offset.offsets[0] = OffsetAlign::Fixed(Affine::constant(3));
+        offset.offsets[1] = OffsetAlign::Fixed(Affine::constant(-5));
+        aligns.push(("offset", offset));
+        let mut strided = PortAlignment::identity(2, 2);
+        strided.strides[1] = Affine::constant(2);
+        aligns.push(("strided", strided));
+        let mut replicated = PortAlignment::identity(1, 2);
+        replicated.offsets[1] = OffsetAlign::Replicated;
+        aligns.push(("replicated", replicated));
+        aligns.push(("collapsed", PortAlignment::identity(1, 2)));
+
+        let machines: Vec<(&str, Machine)> = vec![
+            ("block", Machine::block_distribution(vec![2, 4], &[13, 9])),
+            ("cyclic", Machine::cyclic(vec![2, 4])),
+            ("blockcyclic", Machine::new(vec![2, 4], vec![3, 2])),
+            ("flipped", Machine::new(vec![4, 2], vec![2, 5])),
+        ];
+        let options = [SimOptions::exact(), SimOptions::sampled(24, 512)];
+
+        let mut compiled_hits = 0usize;
+        for (sa, src_align) in &aligns {
+            for (da, dst_align) in &aligns {
+                if src_align.rank() != dst_align.rank() {
+                    continue;
+                }
+                let extents: Vec<i64> = vec![13, 9][..src_align.rank()].to_vec();
+                for (mn, machine) in &machines {
+                    for (oi, &opts) in options.iter().enumerate() {
+                        let label = format!("{sa}->{da} on {mn} opts{oi}");
+                        let dst_replicated =
+                            dst_align.offsets.iter().any(OffsetAlign::is_replicated)
+                                && !src_align.offsets.iter().any(OffsetAlign::is_replicated);
+                        let src_eval = PosEval::new(src_align, &[]);
+                        let dst_eval = PosEval::new(dst_align, &[]);
+                        let total: usize = extents.iter().product::<i64>().max(1) as usize;
+                        let budget = opts.element_budget(total);
+
+                        let mut ref_pairs = PairSet::new(machine.num_processors());
+                        ref_pairs.begin();
+                        let before = trace::counter("commsim.elements_priced");
+                        let reference = element_traffic_evaluated(
+                            &extents,
+                            &src_eval,
+                            &dst_eval,
+                            machine,
+                            dst_replicated,
+                            budget,
+                            &mut ref_pairs,
+                        );
+                        let ref_priced = trace::counter("commsim.elements_priced") - before;
+
+                        let mut pairs = PairSet::new(machine.num_processors());
+                        pairs.begin();
+                        let before = trace::counter("commsim.elements_priced");
+                        let compiled = element_traffic_compiled(
+                            &extents,
+                            &src_eval,
+                            &dst_eval,
+                            machine,
+                            dst_replicated,
+                            budget,
+                            &mut pairs,
+                        )
+                        .unwrap_or_else(|| panic!("{label}: separable scenario fell back"));
+                        compiled_hits += 1;
+                        let compiled_priced = trace::counter("commsim.elements_priced") - before;
+
+                        assert!(
+                            compiled.element_moves == reference.element_moves
+                                && compiled.messages == reference.messages
+                                && compiled.broadcast_elements == reference.broadcast_elements,
+                            "{label}: compiled {compiled:?} != evaluated {reference:?}"
+                        );
+                        assert_eq!(compiled_priced, ref_priced, "{label}: counters");
+                    }
+                }
+            }
+        }
+        // 4² rank-2 align pairs + 2² rank-1 pairs, each on 4 machines and 2
+        // sampling options.
+        assert_eq!(compiled_hits, (16 + 4) * 4 * 2, "fast-path coverage");
     }
 }

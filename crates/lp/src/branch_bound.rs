@@ -295,4 +295,22 @@ mod tests {
              ({warm_phase1}/{warm_nodes} vs {cold_phase1}/{cold_nodes})"
         );
     }
+
+    #[test]
+    fn warm_children_repair_via_the_dual_simplex() {
+        // A warm child starts dual-feasible from the parent basis, so the
+        // repair should run as dual pivots — not as a phase-1 rerun.
+        let p = deep_milp();
+        trace::reset();
+        let _ = solve_milp_with(&p, 10_000, true).unwrap();
+        let dual_pivots = trace::counter("lp.dual.pivots");
+        let warm_hits = trace::counter("lp.warm_starts");
+        trace::reset();
+        assert!(warm_hits > 0, "no node actually warm-started");
+        assert!(
+            dual_pivots > 0,
+            "warm children never took a dual pivot — every child fell back \
+             to the primal eviction path"
+        );
+    }
 }

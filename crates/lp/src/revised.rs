@@ -76,6 +76,12 @@ const REFACTOR_INTERVAL: usize = 64;
 /// weights back to 1): the iterated estimates have drifted too far from
 /// any real steepest-edge norm to rank columns meaningfully.
 const DEVEX_RESET: f64 = 1e8;
+/// Pivots between dense reduced-cost refreshes under incremental Devex
+/// pricing. The in-place updates accumulate roundoff that can steer the
+/// entering choice onto longer pivot paths; re-deriving the reduced costs
+/// from a fresh BTRAN every few pivots bounds the drift while keeping the
+/// batched-BTRAN saving on the pivots in between.
+const CBAR_REFRESH: usize = 25;
 
 /// How the simplex selects the entering column. Configured per problem via
 /// [`Problem::set_pricing`]; the default is [`PricingRule::Devex`].
@@ -344,6 +350,7 @@ impl Revised {
         art0: usize,
         kernel: Kernel,
     ) -> Revised {
+        let _span = trace::span("lp.assemble");
         let csc = CscMatrix::from_cols(m, &cols);
         let csr = CsrIndex::build(&csc, art0);
         let factor = match kernel {
@@ -527,6 +534,12 @@ impl Revised {
         // Devex reference framework: every nonbasic column starts with unit
         // weight; pivots grow the weights of columns the pivot row touches.
         let mut weights = vec![1.0f64; ncols];
+        // Monotone upper bound on every nonbasic Devex weight: every write
+        // to `weights` is folded into `wcap`, so the O(n) reset sweep only
+        // runs when the bound itself crosses `DEVEX_RESET` — the sweep's
+        // outcome is unchanged, it just stops running when it provably
+        // cannot trigger.
+        let mut wcap = 1.0f64;
         // Per-run workspaces, reused across pivots (the historical kernel
         // allocated fresh dense vectors on every iteration).
         let mut cb = vec![0.0f64; self.m];
@@ -535,9 +548,38 @@ impl Revised {
         let mut rho = IndexedVec::new(self.m);
         let mut cand: Vec<usize> = Vec::new();
         let mut cand_mark = vec![false; self.art0];
+        // Reduced costs of the structural/slack columns. Under Devex they
+        // are maintained *incrementally* across pivots — the dual step is
+        // read off the same pivot-row BTRAN the weight update already
+        // performs — so the dense pricing BTRAN only runs on the first
+        // iteration, after a reinversion, under Bland's rule, and to
+        // confirm optimality. Dantzig keeps the historical dense sweep.
+        let incremental = rule == PricingRule::Devex;
+        let mut cbar = vec![0.0f64; self.art0];
+        let mut cbar_fresh = false;
+        let mut cbar_age = 0usize;
+        // The end-of-iteration bound snap is idempotent, and a basic value
+        // only moves when its row is in the pivot column's support — so
+        // after one full pass the snap can be restricted to the touched
+        // rows. `snap_all` forces the full pass on the first pivot (the
+        // start values were never snapped) and after any reinversion.
+        let mut snap_all = true;
+        // Bounds are fixed for the whole run, so a column pinned to a
+        // single value (presolve-tightened) can never price in: hoist the
+        // range test out of the per-pivot scan. Ascending order preserved —
+        // the scan's tie-breaking depends on it.
+        let scannable: Vec<usize> = (0..self.art0)
+            .filter(|&j| self.upper[j] - self.lower[j] > EPS)
+            .collect();
         for _ in 0..max_iters {
-            if self.needs_refactor() && !self.refactorize() {
-                return RunResult::IterationLimit;
+            if self.needs_refactor() {
+                if !self.refactorize() {
+                    return RunResult::IterationLimit;
+                }
+                // A reinversion changes the rounding of B⁻ᵀ; re-derive the
+                // maintained reduced costs from the fresh factor.
+                cbar_fresh = false;
+                snap_all = true;
             }
             let obj: f64 = cost_nz.iter().map(|&(j, cj)| cj * self.x[j]).sum();
             if obj < last_obj - stall_tol {
@@ -552,29 +594,48 @@ impl Revised {
             let use_bland = degenerate_streak > BLAND_AFTER;
 
             // Pricing: y = B⁻ᵀ c_B, then reduced costs of nonbasic columns.
-            for (ci, &j) in cb.iter_mut().zip(&self.basis) {
-                *ci = cost[j];
+            // The dense BTRAN is skipped when the incrementally maintained
+            // reduced costs are still fresh (Devex); Bland's rule always
+            // re-derives them densely — its anti-cycling guarantee rests on
+            // exact reduced-cost signs.
+            let densely_priced =
+                !incremental || use_bland || !cbar_fresh || cbar_age >= CBAR_REFRESH;
+            if densely_priced {
+                let _span = trace::span("lp.price");
+                cbar_age = 0;
+                for (ci, &j) in cb.iter_mut().zip(&self.basis) {
+                    *ci = cost[j];
+                }
+                self.btran_costs(&cb, &mut y);
+                for (j, cj) in cbar.iter_mut().enumerate() {
+                    let mut c = cost[j];
+                    let (rows, vals) = self.csc.col(j);
+                    for (&i, &a) in rows.iter().zip(vals) {
+                        c -= y[i] * a;
+                    }
+                    *cj = c;
+                }
+                cbar_fresh = true;
+            } else {
+                // One dense pricing BTRAN folded into the weight-update
+                // BTRAN of the previous pivot.
+                trace::count("lp.devex.batched_btran", 1);
+                cbar_age += 1;
             }
-            self.btran_costs(&cb, &mut y);
 
             // `to_upper` is the chosen direction: increase (false) or
             // decrease (true) the entering variable.
             let mut entering: Option<(usize, bool)> = None;
             let mut best_mag = PRICE_TOL;
             let mut best_score = 0.0f64;
-            for j in 0..ncols {
-                if self.in_basis[j] || self.upper[j] - self.lower[j] <= EPS {
+            let scan_span = trace::span("lp.scan");
+            // Artificial columns (j >= art0) are never priced: an
+            // artificial that left the basis never re-enters.
+            for &j in &scannable {
+                if self.in_basis[j] {
                     continue;
                 }
-                // An artificial that left the basis never re-enters.
-                if j >= self.art0 {
-                    continue;
-                }
-                let mut cbar = cost[j];
-                let (rows, vals) = self.csc.col(j);
-                for (&i, &a) in rows.iter().zip(vals) {
-                    cbar -= y[i] * a;
-                }
+                let cbar = cbar[j];
                 let at_lower = self.x[j] <= self.lower[j] + EPS;
                 let at_upper = self.x[j] >= self.upper[j] - EPS;
                 // Free nonbasic variables (at neither bound) may move in
@@ -610,10 +671,19 @@ impl Revised {
                     }
                 }
             }
+            drop(scan_span);
             let Some((q, decrease)) = entering else {
+                if !densely_priced {
+                    // The maintained reduced costs accumulate roundoff
+                    // across pivots; optimality is only declared against a
+                    // freshly recomputed set.
+                    cbar_fresh = false;
+                    continue;
+                }
                 return RunResult::Optimal;
             };
             trace::count("lp.pivots", 1);
+            let tail_span = trace::span("lp.pivot_tail");
             let s: f64 = if decrease { -1.0 } else { 1.0 };
 
             // Ratio test over x_B' = x_B − θ·s·d, plus the entering
@@ -697,6 +767,8 @@ impl Revised {
                         degenerate_streak = 0;
                     }
                     let leave = self.basis[r];
+                    let _devex_span =
+                        (rule == PricingRule::Devex).then(|| trace::span("lp.devex.update"));
                     if rule == PricingRule::Devex {
                         // Devex weight update over the *old* basis inverse
                         // (before this pivot reaches the kernel):
@@ -712,6 +784,11 @@ impl Revised {
                         // historical all-columns sweep.
                         self.btran_unit(r, &mut rho);
                         let alpha_q = d.get(r);
+                        // The same pivot-row BTRAN also yields the dual
+                        // step, so the reduced costs of every touched
+                        // column are updated in place — this is what lets
+                        // the next iteration skip the dense pricing BTRAN.
+                        let dual_step = cbar[q] / alpha_q;
                         let wq = weights[q].max(1.0);
                         let ratio_w = wq / (alpha_q * alpha_q);
                         for &i in rho.support() {
@@ -739,23 +816,45 @@ impl Revised {
                                 let grown = alpha * alpha * ratio_w;
                                 if grown > weights[j] {
                                     weights[j] = grown;
+                                    wcap = wcap.max(grown);
                                 }
+                                cbar[j] -= dual_step * alpha;
                             }
                         }
                         cand.clear();
-                        let mut wmax = 0.0f64;
-                        for (j, &w) in weights.iter().enumerate().take(self.art0) {
-                            if self.in_basis[j] || j == q {
-                                continue;
-                            }
-                            wmax = wmax.max(w);
+                        // The entering column's reduced cost is exactly
+                        // zero once basic; the leaving variable inherits
+                        // the negated dual step (its pivot-row alpha is 1).
+                        cbar[q] = 0.0;
+                        if leave < self.art0 {
+                            cbar[leave] = -dual_step;
                         }
-                        weights[leave] = ratio_w.max(1.0);
-                        weights[q] = 1.0;
-                        if wmax.max(weights[leave]) > DEVEX_RESET {
-                            weights.fill(1.0);
+                        if wcap > DEVEX_RESET {
+                            let mut wmax = 0.0f64;
+                            for (j, &w) in weights.iter().enumerate().take(self.art0) {
+                                if self.in_basis[j] || j == q {
+                                    continue;
+                                }
+                                wmax = wmax.max(w);
+                            }
+                            weights[leave] = ratio_w.max(1.0);
+                            weights[q] = 1.0;
+                            if wmax.max(weights[leave]) > DEVEX_RESET {
+                                weights.fill(1.0);
+                                wcap = 1.0;
+                            } else {
+                                // The sweep just produced the true maximum
+                                // over the nonbasic set; adopt it as the new
+                                // (tight) bound.
+                                wcap = wmax.max(weights[leave]);
+                            }
+                        } else {
+                            weights[leave] = ratio_w.max(1.0);
+                            wcap = wcap.max(weights[leave]);
+                            weights[q] = 1.0;
                         }
                     }
+                    drop(_devex_span);
                     for &i in d.support() {
                         let di = d.get(i);
                         if di != 0.0 {
@@ -768,28 +867,245 @@ impl Revised {
                     self.in_basis[leave] = false;
                     self.in_basis[q] = true;
                     self.basis[r] = q;
-                    if !self.apply_pivot(r, &d) && !self.refactorize() {
-                        return RunResult::IterationLimit;
+                    if !self.apply_pivot(r, &d) {
+                        if !self.refactorize() {
+                            return RunResult::IterationLimit;
+                        }
+                        cbar_fresh = false;
+                        snap_all = true;
                     }
                 }
             }
 
             // Snap tiny bound violations introduced by the pivot update.
-            for &bi in &self.basis {
-                if self.x[bi] < self.lower[bi] && self.x[bi] > self.lower[bi] - 1e-9 {
-                    self.x[bi] = self.lower[bi];
+            // Only rows in the pivot column's support changed value this
+            // iteration (the entering column now sits on one of them);
+            // every other basic value is bitwise-unchanged since its last
+            // snap, so re-snapping it is a no-op the restricted pass skips.
+            if snap_all {
+                for &bi in &self.basis {
+                    if self.x[bi] < self.lower[bi] && self.x[bi] > self.lower[bi] - 1e-9 {
+                        self.x[bi] = self.lower[bi];
+                    }
+                    if self.x[bi] > self.upper[bi] && self.x[bi] < self.upper[bi] + 1e-9 {
+                        self.x[bi] = self.upper[bi];
+                    }
                 }
-                if self.x[bi] > self.upper[bi] && self.x[bi] < self.upper[bi] + 1e-9 {
-                    self.x[bi] = self.upper[bi];
+                snap_all = false;
+            } else {
+                for &i in d.support() {
+                    let bi = self.basis[i];
+                    if self.x[bi] < self.lower[bi] && self.x[bi] > self.lower[bi] - 1e-9 {
+                        self.x[bi] = self.lower[bi];
+                    }
+                    if self.x[bi] > self.upper[bi] && self.x[bi] < self.upper[bi] + 1e-9 {
+                        self.x[bi] = self.upper[bi];
+                    }
                 }
             }
+            drop(tail_span);
         }
         RunResult::IterationLimit
+    }
+
+    /// Dual-simplex repair: from a **dual-feasible** basis whose basic
+    /// values violate their (tightened) bounds, drive the most-infeasible
+    /// basic variable to its violated bound each iteration, choosing the
+    /// entering column by the dual ratio test so the reduced-cost signs —
+    /// and with them dual feasibility — are preserved. A branch-and-bound
+    /// child differs from its parent only by a flipped/tightened bound, so
+    /// the parent's optimal basis is dual-feasible for the child and this
+    /// repair replaces phase 1 entirely.
+    ///
+    /// Returns `true` when the basis is primal-feasible on exit (the
+    /// subsequent primal run then confirms optimality, usually in zero
+    /// pivots). Returns `false` — leaving the solver in an unspecified
+    /// state the caller must discard — when the start basis is not dual
+    /// feasible (e.g. the objective changed between solves), no eligible
+    /// entering column exists (the child is likely infeasible, but the
+    /// primal path is left to certify that), numerics degrade, or the
+    /// iteration budget runs out.
+    fn dual_run(&mut self, cost: &[f64], max_iters: usize) -> bool {
+        let feas_tol = 1e-7;
+        let dual_tol = 1e-7 * (1.0 + cost.iter().fold(0.0f64, |a, &c| a.max(c.abs())));
+        let mut cb = vec![0.0f64; self.m];
+        let mut y = vec![0.0f64; self.m];
+        let mut d = IndexedVec::new(self.m);
+        let mut rho = IndexedVec::new(self.m);
+        let mut cand: Vec<usize> = Vec::new();
+        let mut cand_mark = vec![false; self.art0];
+        // Row alphas of every touched nonbasic column, kept for the
+        // incremental reduced-cost update after the pivot is chosen.
+        let mut alphas: Vec<(usize, f64)> = Vec::new();
+
+        // Reduced costs of the structural/slack columns, derived densely
+        // once and maintained incrementally across pivots (the dual step
+        // falls out of the same pivot-row BTRAN the ratio test needs).
+        let mut cbar = vec![0.0f64; self.art0];
+        for (ci, &j) in cb.iter_mut().zip(&self.basis) {
+            *ci = cost[j];
+        }
+        self.btran_costs(&cb, &mut y);
+        for (j, cj) in cbar.iter_mut().enumerate() {
+            let mut c = cost[j];
+            let (rows, vals) = self.csc.col(j);
+            for (&i, &a) in rows.iter().zip(vals) {
+                c -= y[i] * a;
+            }
+            *cj = c;
+        }
+        // The start basis must be dual-feasible; anything else means the
+        // parent/child relationship this repair relies on does not hold.
+        for (j, &cj) in cbar.iter().enumerate().take(self.art0) {
+            if self.in_basis[j] || self.upper[j] - self.lower[j] <= EPS {
+                continue;
+            }
+            let at_lower = self.x[j] <= self.lower[j] + EPS;
+            let at_upper = self.x[j] >= self.upper[j] - EPS;
+            let ok = if at_lower {
+                cj >= -dual_tol
+            } else if at_upper {
+                cj <= dual_tol
+            } else {
+                cj.abs() <= dual_tol
+            };
+            if !ok {
+                return false;
+            }
+        }
+
+        for _ in 0..max_iters {
+            if self.needs_refactor() && !self.refactorize() {
+                return false;
+            }
+            // Leaving row: the basic variable with the largest bound
+            // violation, driven to the bound it violates.
+            let mut leaving: Option<(usize, f64, bool)> = None; // (row, viol, above)
+            for r in 0..self.m {
+                let j = self.basis[r];
+                let below = self.lower[j] - self.x[j];
+                let above = self.x[j] - self.upper[j];
+                let (viol, is_above) = if above > below {
+                    (above, true)
+                } else {
+                    (below, false)
+                };
+                if viol > feas_tol && leaving.is_none_or(|(_, v, _)| viol > v) {
+                    leaving = Some((r, viol, is_above));
+                }
+            }
+            let Some((r, _, above)) = leaving else {
+                return true; // primal feasible, dual feasibility maintained
+            };
+            let p = self.basis[r];
+
+            // Dual ratio test over the pivot row. `sigma` orients the row
+            // so an eligible entering move pushes x_p back toward the
+            // violated bound; among eligible columns the smallest
+            // |reduced cost| / |alpha| preserves every cbar sign, with the
+            // largest |alpha| breaking ties for numerical stability.
+            self.btran_unit(r, &mut rho);
+            let sigma = if above { 1.0 } else { -1.0 };
+            for &i in rho.support() {
+                if rho.get(i) == 0.0 {
+                    continue;
+                }
+                for &j in self.csr.row(i) {
+                    if !cand_mark[j] {
+                        cand_mark[j] = true;
+                        cand.push(j);
+                    }
+                }
+            }
+            alphas.clear();
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, alpha, ratio)
+            for &j in &cand {
+                cand_mark[j] = false;
+                if self.in_basis[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                let (rows, vals) = self.csc.col(j);
+                for (&i, &a) in rows.iter().zip(vals) {
+                    alpha += rho.get(i) * a;
+                }
+                if alpha == 0.0 {
+                    continue;
+                }
+                alphas.push((j, alpha));
+                if alpha.abs() <= PIVOT_TOL || self.upper[j] - self.lower[j] <= EPS {
+                    continue;
+                }
+                let at_lower = self.x[j] <= self.lower[j] + EPS;
+                let at_upper = self.x[j] >= self.upper[j] - EPS;
+                let sa = sigma * alpha;
+                let eligible = if at_lower {
+                    sa > 0.0
+                } else if at_upper {
+                    sa < 0.0
+                } else {
+                    true // free nonbasic: cbar ≈ 0, enters at ratio ≈ 0
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = (cbar[j] / sa).max(0.0);
+                let better = match entering {
+                    None => true,
+                    Some((_, ea, er)) => {
+                        ratio < er - EPS || (ratio <= er + EPS && alpha.abs() > ea.abs())
+                    }
+                };
+                if better {
+                    entering = Some((j, alpha, ratio));
+                }
+            }
+            cand.clear();
+            let Some((q, _, _)) = entering else {
+                return false;
+            };
+
+            // Pivot: the FTRAN of the entering column feeds both the basic
+            // value update and the factor update (FT spike contract).
+            self.ftran_col(q, &mut d);
+            let alpha_q = d.get(r);
+            if alpha_q.abs() <= PIVOT_TOL {
+                return false; // row/column views disagree — numerics gone
+            }
+            trace::count("lp.dual.pivots", 1);
+            let bound = if above { self.upper[p] } else { self.lower[p] };
+            let step = (self.x[p] - bound) / alpha_q;
+            let dual_step = cbar[q] / alpha_q;
+            for &(j, alpha) in &alphas {
+                cbar[j] -= dual_step * alpha;
+            }
+            cbar[q] = 0.0;
+            if p < self.art0 {
+                cbar[p] = -dual_step;
+            }
+            for &i in d.support() {
+                let di = d.get(i);
+                if di != 0.0 {
+                    let bi = self.basis[i];
+                    self.x[bi] -= step * di;
+                }
+            }
+            self.x[q] += step;
+            self.x[p] = bound;
+            self.in_basis[p] = false;
+            self.in_basis[q] = true;
+            self.basis[r] = q;
+            if !self.apply_pivot(r, &d) && !self.refactorize() {
+                return false;
+            }
+        }
+        false
     }
 
     /// Pivot zero-valued basic artificials out of the basis where a
     /// non-artificial column can replace them (post phase 1).
     fn drive_out_artificials(&mut self) {
+        let _span = trace::span("lp.drive_out");
         let mut d = IndexedVec::new(self.m);
         for r in 0..self.m {
             if self.basis[r] < self.art0 || self.x[self.basis[r]].abs() > 1e-7 {
@@ -1023,6 +1339,7 @@ fn standard_form(problem: &Problem) -> Standard {
 
 /// Build the solver state from a crash basis (the cold path).
 fn cold_start(sf: Standard, kernel: Kernel) -> Revised {
+    let _span = trace::span("lp.crash");
     let Standard {
         m,
         n,
@@ -1171,22 +1488,14 @@ fn cold_start(sf: Standard, kernel: Kernel) -> Revised {
     )
 }
 
-/// Build the solver state from the final basis of a previous solve over a
-/// problem with identical shape (the warm path). Returns `None` when the
-/// snapshot does not fit or its basis cannot be made primal-feasible
-/// cheaply — the caller falls back to [`cold_start`].
-///
-/// Basic variables whose parent value violates a (tightened) child bound
-/// are *evicted*: clamped to the violated bound and replaced in the basis
-/// by their row's artificial, which phase 1 then drives back out. A
-/// branch-and-bound child tightens one bound, so at most a couple of rows
-/// need evicting and phase 1 is a handful of pivots — against the dozens a
-/// cold crash start would pay.
-///
-/// On the LU kernel the snapshot's factorisation is installed directly —
-/// the child's constraint matrix is identical, so the parent's factor is
-/// exact and the first reinversion is skipped entirely.
-fn warm_start(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<Revised> {
+/// Assemble a child solver on the parent's final basis: snapshot fit
+/// check, bound clamping of the nonbasic start point, artificial columns
+/// signed as in the parent factorisation, and — on the LU kernel — direct
+/// installation of the parent's factor (the child's constraint matrix is
+/// identical, so the parent's factorisation of this very basis is exact).
+/// Returns the solver plus whether the factor was handed over. Shared by
+/// the evicting [`warm_start`] and the dual-repair [`dual_warm_start`].
+fn install_snapshot(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<(Revised, bool)> {
     let Standard {
         m,
         n: _,
@@ -1246,9 +1555,6 @@ fn warm_start(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<Revi
         m, cols, b, lower, upper, x, basis, in_basis, sign, art0, kernel,
     );
 
-    // LU handover: the child's constraint matrix (including artificial
-    // signs) is identical to the parent's at snapshot time, so the parent's
-    // factorisation of this very basis is exact for the child too.
     let mut installed = false;
     if kernel == Kernel::SparseLu {
         if let (FactorKernel::Lu(f), Some(lu)) = (&mut solver.factor, &snap.lu) {
@@ -1256,6 +1562,41 @@ fn warm_start(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<Revi
             installed = true;
         }
     }
+    Some((solver, installed))
+}
+
+/// Install the parent basis for a child *without* evicting bound-violating
+/// basic variables: the dual simplex ([`Revised::dual_run`]) repairs them
+/// in place, pivoting against the dual ratio test instead of re-running
+/// phase 1. Returns `None` when the snapshot does not fit or the parent
+/// basis cannot be factorised — the caller falls back to [`warm_start`].
+fn dual_warm_start(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<Revised> {
+    let (mut solver, installed) = install_snapshot(sf, snap, kernel)?;
+    if installed {
+        solver.recompute_basics();
+    } else if !solver.refactorize() {
+        return None;
+    }
+    Some(solver)
+}
+
+/// Build the solver state from the final basis of a previous solve over a
+/// problem with identical shape (the warm path). Returns `None` when the
+/// snapshot does not fit or its basis cannot be made primal-feasible
+/// cheaply — the caller falls back to [`cold_start`].
+///
+/// Basic variables whose parent value violates a (tightened) child bound
+/// are *evicted*: clamped to the violated bound and replaced in the basis
+/// by their row's artificial, which phase 1 then drives back out. A
+/// branch-and-bound child tightens one bound, so at most a couple of rows
+/// need evicting and phase 1 is a handful of pivots — against the dozens a
+/// cold crash start would pay.
+///
+/// On the LU kernel the snapshot's factorisation is installed directly —
+/// the child's constraint matrix is identical, so the parent's factor is
+/// exact and the first reinversion is skipped entirely.
+fn warm_start(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<Revised> {
+    let (mut solver, installed) = install_snapshot(sf, snap, kernel)?;
 
     // Factorise the parent basis (or reuse the handed-over factor) and
     // derive basic values; then evict any basic variable the tightened
@@ -1270,7 +1611,7 @@ fn warm_start(sf: Standard, snap: &BasisSnapshot, kernel: Kernel) -> Option<Revi
             return None;
         }
         let mut dirty = false;
-        for r in 0..m {
+        for r in 0..solver.m {
             let j = solver.basis[r];
             let (lo, hi) = (solver.lower[j], solver.upper[j]);
             let v = solver.x[j];
@@ -1352,8 +1693,43 @@ pub fn solve_with_start(
 
     let rule = problem.pricing();
     let kernel = problem.kernel();
-    let (mut solver, warm_started) =
-        match warm.and_then(|s| warm_start(standard_form(problem), s, kernel)) {
+
+    // Dual warm path, tried first: install the parent basis *untouched*
+    // and let the dual simplex repair the bound-flipped basics in place.
+    // The child of a branch-and-bound node differs from its parent only by
+    // a tightened bound, so the parent's optimal basis is dual-feasible
+    // for it and the repair replaces phase 1 (and the eviction rounds)
+    // entirely. Any failure — changed objective, numerics, infeasible
+    // child — falls through to the evicting warm path, then cold.
+    let mut dual_repaired: Option<Revised> = None;
+    if let Some(snap) = warm {
+        if let Some(mut s) = dual_warm_start(standard_form(problem), snap, kernel) {
+            let ncols = s.csc.ncols();
+            // Artificials are fixed at zero up front: the repair must
+            // never grow one, and a basic artificial pushed off zero by
+            // the child's bound shift becomes an ordinary leaving
+            // candidate the dual ratio test pivots out.
+            for j in s.art0..ncols {
+                s.upper[j] = 0.0;
+                if !s.in_basis[j] {
+                    s.x[j] = 0.0;
+                }
+            }
+            let mut cost = vec![0.0; ncols];
+            for (j, c) in cost.iter_mut().enumerate().take(n) {
+                *c = problem.vars[j].obj;
+            }
+            let budget = 100 + 4 * (s.m + 10);
+            if s.dual_run(&cost, budget) {
+                trace::count("lp.warm_starts", 1);
+                dual_repaired = Some(s);
+            }
+        }
+    }
+    let dual_warm = dual_repaired.is_some();
+    let (mut solver, warm_started) = match dual_repaired {
+        Some(solver) => (solver, true),
+        None => match warm.and_then(|s| warm_start(standard_form(problem), s, kernel)) {
             Some(solver) => {
                 trace::count("lp.warm_starts", 1);
                 (solver, true)
@@ -1372,7 +1748,8 @@ pub fn solve_with_start(
                 }
                 (solver, false)
             }
-        };
+        },
+    };
 
     let art0 = solver.art0;
     let ncols = solver.csc.ncols();
@@ -1384,7 +1761,10 @@ pub fn solve_with_start(
     // residual (the usual case when only a bound was tightened). ---
     let b_scale = solver.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
     let art_sum = |s: &Revised| -> f64 { (art0..ncols).map(|j| s.x[j].abs()).sum() };
-    let needs_phase1 = if warm_started {
+    let needs_phase1 = if dual_warm {
+        // The dual repair only reports success at a primal-feasible basis.
+        false
+    } else if warm_started {
         art_sum(&solver) > 1e-7 * (1.0 + b_scale)
     } else {
         art0 < ncols
@@ -1794,6 +2174,49 @@ mod tests {
             warm_phase1 <= cold_phase1,
             "warm start must not pay more phase-1 pivots ({warm_phase1} vs {cold_phase1})"
         );
+    }
+
+    #[test]
+    fn devex_folds_pricing_btrans_into_the_weight_update() {
+        // A problem big enough to take several pivots: under Devex every
+        // iteration after the first prices from the incrementally
+        // maintained reduced costs, so the batched-BTRAN counter must run
+        // close to the pivot count; Dantzig keeps the dense sweep and must
+        // book none.
+        let build = |rule: PricingRule| {
+            let mut p = Problem::new();
+            let vars: Vec<_> = (0..12)
+                .map(|i| p.add_var(format!("x{i}"), 0.0, 10.0, -(1.0 + (i % 5) as f64)))
+                .collect();
+            for r in 0..8 {
+                let terms: Vec<_> = vars
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + r) % 3 != 0)
+                    .map(|(i, &v)| (v, 1.0 + ((i * 7 + r * 3) % 4) as f64))
+                    .collect();
+                p.add_constraint(terms, Relation::Le, 30.0 + 2.0 * r as f64);
+            }
+            p.set_pricing(rule);
+            p
+        };
+
+        trace::reset();
+        solve(&build(PricingRule::Devex)).unwrap();
+        let batched = trace::counter("lp.devex.batched_btran");
+        let pivots = trace::counter("lp.pivots");
+        trace::reset();
+        assert!(pivots > 2, "workload too small to exercise pricing");
+        assert!(
+            batched > 0,
+            "Devex never priced from the maintained reduced costs"
+        );
+
+        trace::reset();
+        solve(&build(PricingRule::Dantzig)).unwrap();
+        let batched = trace::counter("lp.devex.batched_btran");
+        trace::reset();
+        assert_eq!(batched, 0, "Dantzig must keep the dense pricing sweep");
     }
 
     #[test]

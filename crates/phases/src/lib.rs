@@ -47,12 +47,14 @@ pub mod redist;
 pub mod segment;
 
 pub use dynamic::{
-    solve_layout_dp, DynamicDistribution, LayoutDpPlan, PhaseCandidates, RedistStep, SigId,
+    solve_layout_dp, solve_layout_dp_with, DpPricer, DpPruning, DynamicDistribution, LayoutDpError,
+    LayoutDpPlan, PhaseCandidates, RedistStep, SigId,
 };
 pub use explain::{explain, explain_diff, PhaseDelta, PlanDiff, StepDelta};
 pub use pipeline::{
-    align_then_distribute_dynamic, simulate_dynamic, simulate_static, DynamicConfig,
-    DynamicPipelineResult, DynamicSimReport, PhaseResult, Sig, SolveSummary,
+    align_then_distribute_dynamic, layout_dp_problem, simulate_dynamic, simulate_static,
+    try_align_then_distribute_dynamic, DynamicConfig, DynamicPipelineResult, DynamicSimReport,
+    LayoutDpProblem, PhaseResult, Sig, SolveSummary,
 };
 pub use redist::{price_redistribution, price_resting, RedistCost};
 pub use segment::{

@@ -33,7 +33,8 @@
 //! global cut.
 
 use crate::dynamic::{
-    solve_layout_dp, DpPricer, DynamicDistribution, PhaseCandidates, RedistStep, SigId,
+    solve_layout_dp, solve_layout_dp_with, DpPricer, DpPruning, DynamicDistribution, LayoutDpError,
+    LayoutDpPlan, PhaseCandidates, RedistStep, SigId,
 };
 use crate::redist::{price_resting, RedistCost};
 use crate::segment::{analyze_atoms, detect_boundaries, AtomAnalysis, SegmentationConfig};
@@ -48,7 +49,7 @@ use distrib::{
     ProgramDistribution, RankedDistribution, SolveConfig,
 };
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the dynamic pipeline.
 #[derive(Debug, Clone)]
@@ -313,10 +314,26 @@ pub struct DynamicPipelineResult {
     /// options — the caches reproduce [`simulate`] exactly, so the report is
     /// unchanged, just cheaper.
     phase_caches: Vec<Arc<Vec<commsim::PlacementCache>>>,
-    /// Lazily-built placement cache of the static solution's ADG, again
-    /// under [`DynamicConfig::sim`]; backs [`simulate_static`] for repeated
-    /// same-options calls.
-    static_cache: OnceLock<Arc<commsim::PlacementCache>>,
+    /// Lazily-built placement caches for every *other* `SimOptions` the
+    /// standalone [`simulate_dynamic`] / [`simulate_static`] entry points
+    /// are asked for: per-options per-phase per-atom caches of the dynamic
+    /// plan and a per-options cache of the static solution's ADG. Shared
+    /// across clones (the caches depend only on immutable analysis state),
+    /// so repeated calls price by owner lookups instead of re-walking every
+    /// position.
+    sim_caches: Arc<Mutex<SimCacheStore>>,
+}
+
+/// Placement caches built on demand for simulation options other than the
+/// retained [`DynamicConfig::sim`] set, keyed by the exact [`SimOptions`]
+/// value (a small `Copy + Eq` struct — a linear scan beats hashing for the
+/// handful of option sets a result ever sees).
+#[derive(Debug, Default)]
+struct SimCacheStore {
+    /// Per-phase, per-atom caches of the dynamic plan's phases.
+    dynamic: Vec<(SimOptions, Vec<Arc<Vec<commsim::PlacementCache>>>)>,
+    /// Cache of the static solution's whole-program ADG.
+    static_adg: Vec<(SimOptions, Arc<commsim::PlacementCache>)>,
 }
 
 impl DynamicPipelineResult {
@@ -331,6 +348,54 @@ impl DynamicPipelineResult {
     /// Total number of distributable atoms across all phases.
     pub fn num_atoms(&self) -> usize {
         self.phases.iter().map(|p| p.atoms.len()).sum()
+    }
+
+    /// Per-phase, per-atom placement caches for `opts`: the caches retained
+    /// from the candidate-layer pass when the options match
+    /// [`DynamicConfig::sim`], otherwise built once per distinct options and
+    /// memoised in the shared store. Either way [`simulate_dynamic`] prices
+    /// by owner lookups instead of re-walking every position per call.
+    fn phase_caches_for(&self, opts: SimOptions) -> Vec<Arc<Vec<commsim::PlacementCache>>> {
+        if opts == self.config.sim && self.phase_caches.len() == self.phases.len() {
+            return self.phase_caches.clone();
+        }
+        let mut store = self.sim_caches.lock().unwrap();
+        if let Some((_, caches)) = store.dynamic.iter().find(|(o, _)| *o == opts) {
+            return caches.clone();
+        }
+        let caches: Vec<Arc<Vec<commsim::PlacementCache>>> = self
+            .phases
+            .iter()
+            .map(|phase| {
+                Arc::new(
+                    phase
+                        .atoms
+                        .iter()
+                        .map(|atom| {
+                            commsim::PlacementCache::new(&atom.adg, &atom.alignment.alignment, opts)
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        store.dynamic.push((opts, caches.clone()));
+        caches
+    }
+
+    /// Placement cache of the static solution's ADG under `opts`, built
+    /// once per distinct options and shared across clones.
+    fn static_cache_for(&self, opts: SimOptions) -> Arc<commsim::PlacementCache> {
+        let mut store = self.sim_caches.lock().unwrap();
+        if let Some((_, cache)) = store.static_adg.iter().find(|(o, _)| *o == opts) {
+            return cache.clone();
+        }
+        let cache = Arc::new(commsim::PlacementCache::new(
+            &self.static_result.adg,
+            &self.static_result.alignment.alignment,
+            opts,
+        ));
+        store.static_adg.push((opts, cache.clone()));
+        cache
     }
 }
 
@@ -395,23 +460,6 @@ fn resting_at_start(phase: &PhaseResult, array: ArrayId) -> Option<(PortAlignmen
                 phase.cover_extents().to_vec(),
             ))
         })
-}
-
-/// Simulate one phase under a candidate signature: every atom's ADG played
-/// through `commsim` with the signature instantiated on the phase's
-/// **covering template**. This is the one and only in-phase accounting —
-/// the DP's candidate costs and [`simulate_dynamic`] both call it, which is
-/// what makes the priced plan exactly the simulated plan.
-fn simulate_phase(phase: &PhaseResult, sig: &Sig, nprocs: usize, opts: SimOptions) -> SimReport {
-    let dist = instantiate(sig, phase.cover_extents());
-    let mut merged = SimReport {
-        processors: nprocs,
-        ..SimReport::default()
-    };
-    for atom in &phase.atoms {
-        merged.merge(simulate(&atom.adg, &atom.alignment.alignment, &dist, opts));
-    }
-    merged
 }
 
 /// Memoised exact pricing of per-array boundary moves: one owner-comparison
@@ -539,7 +587,7 @@ impl<'a> MovePricer<'a> {
             .copied()
             .filter(|&(a, src, dst)| !self.memo.contains_key(&(q, a, src, dst)))
             .collect();
-        if !pool::is_parallel(todo.len()) {
+        if todo.is_empty() {
             return;
         }
         let jobs: Vec<_> = todo
@@ -596,7 +644,31 @@ impl DpPricer for MovePricer<'_> {
     }
 
     fn wants_prefill(&self) -> bool {
-        self.use_memo && pool::is_parallel(2)
+        // Worker-count independent on purpose: the structured DP path (and
+        // the pruning decisions it feeds) must be identical whether
+        // `pool::map` runs the prefill inline or across workers.
+        self.use_memo
+    }
+
+    fn move_bound(&mut self, array: ArrayId) -> f64 {
+        // Every move's element traffic is bounded by the array's total
+        // element count: `redistribution_traffic` attributes each sampled
+        // element's scale to either the point-to-point or the broadcast
+        // bucket, and the scales sum to the extents product.
+        self.program
+            .decl(array)
+            .extents
+            .iter()
+            .product::<i64>()
+            .max(1) as f64
+    }
+
+    fn note_repeat_queries(&mut self, n: u64) {
+        // The structured DP path asks once per distinct cell and reports the
+        // duplicates it collapsed; booking them as hits keeps
+        // `phases.pricer.{hits,misses}` bitwise-identical to per-query
+        // pricing.
+        trace::count("phases.pricer.hits", n);
     }
 }
 
@@ -759,7 +831,7 @@ fn build_live(
 /// model cost, plus every phase's favourite (and any `forced` signatures —
 /// used after coalescing to keep the already-chosen signature in its
 /// layer). `costs` are **in-phase simulated elements** under `sim` — the
-/// same accounting as [`simulate_phase`], via the per-atom placement
+/// same accounting [`simulate_dynamic`] replays, via the per-atom placement
 /// caches — so the DP minimises end-to-end simulated traffic.
 fn build_layers(
     phases: &[PhaseResult],
@@ -869,6 +941,129 @@ fn build_steps(
         .collect()
 }
 
+/// Everything the layout DP consumes, computed by stages 2+3 of the
+/// pipeline from the per-atom analyses: the pooled per-phase candidate
+/// reports, the shared signature pool, per-phase reference sets, the
+/// simulated candidate layers, and the per-atom placement caches retained
+/// from the layer pass.
+struct DpInputs {
+    phases: Vec<PhaseResult>,
+    sig_pool: Vec<Sig>,
+    phase_refs: Vec<BTreeSet<ArrayId>>,
+    layers: Vec<PhaseCandidates>,
+    phase_caches: Vec<Arc<Vec<commsim::PlacementCache>>>,
+}
+
+/// Boundaries from the per-atom signatures, then one signature-space search
+/// per phase (shared enumeration over all the phase's atoms), the
+/// cross-phase pool with pool-priced reports, and the candidate layers
+/// (model-capped, favourites retained, in-phase costs simulated).
+fn build_dp_inputs(atoms: Vec<AtomAnalysis>, nprocs: usize, config: &DynamicConfig) -> DpInputs {
+    let boundaries = match &config.boundaries {
+        Some(b) => b.clone(),
+        None => detect_boundaries(
+            &atoms,
+            &SegmentationConfig {
+                alignment: config.alignment,
+                neutral_volume: config.neutral_volume,
+            },
+        ),
+    };
+    let atom_ranges = align_ir::ast::cut_ranges(atoms.len(), &boundaries);
+    let solve_cfg = config.solve_config(nprocs);
+    let (phases, sig_pool) = {
+        let _span = trace::span("phases.search");
+        let mut phases = build_phases(atoms, &atom_ranges, &solve_cfg);
+        let sig_pool = build_pool(&phases);
+        price_pool(&mut phases, &sig_pool, &solve_cfg);
+        (phases, sig_pool)
+    };
+    let phase_refs: Vec<BTreeSet<ArrayId>> = phases.iter().map(|p| p.referenced()).collect();
+    let cap = config.max_candidates_per_phase.max(1);
+    let (layers, phase_caches) = {
+        let _span = trace::span("phases.layers");
+        build_layers(&phases, &sig_pool, cap, &[], config.sim)
+    };
+    DpInputs {
+        phases,
+        sig_pool,
+        phase_refs,
+        layers,
+        phase_caches,
+    }
+}
+
+/// A self-contained layout-DP instance over **real pipeline state**: the
+/// candidate layers, reference sets and pooled phase analyses of a program,
+/// detached from the rest of the pipeline so the DP can be solved
+/// repeatedly under different pruning policies against the same inputs
+/// (the `layout_dp` microbench and the pruned-vs-exhaustive property tests
+/// drive this). Each [`LayoutDpProblem::solve`] builds a fresh `MovePricer`
+/// — same memo behaviour, same counters — so runs are independent.
+pub struct LayoutDpProblem {
+    program: Program,
+    config: DynamicConfig,
+    phases: Vec<PhaseResult>,
+    sig_pool: Vec<Sig>,
+    phase_refs: Vec<BTreeSet<ArrayId>>,
+    layers: Vec<PhaseCandidates>,
+}
+
+impl LayoutDpProblem {
+    /// The candidate layers the DP chooses from.
+    pub fn layers(&self) -> &[PhaseCandidates] {
+        &self.layers
+    }
+
+    /// Solve the DP over the captured layers with a fresh exact pricer.
+    pub fn solve(
+        &self,
+        switch_margin: f64,
+        pruning: DpPruning,
+    ) -> Result<LayoutDpPlan, LayoutDpError> {
+        let mut pricer = MovePricer::new(
+            &self.phases,
+            &self.sig_pool,
+            &self.program,
+            self.config.sim,
+            self.config.pricer_memo,
+        );
+        solve_layout_dp_with(
+            &self.layers,
+            &self.phase_refs,
+            switch_margin,
+            &mut pricer,
+            pruning,
+        )
+    }
+}
+
+/// Capture the layout-DP instance of `program` at `nprocs` — the exact
+/// layers and reference sets [`align_then_distribute_dynamic`] would hand
+/// [`solve_layout_dp`] — without solving it.
+pub fn layout_dp_problem(
+    program: &Program,
+    nprocs: usize,
+    config: &DynamicConfig,
+) -> LayoutDpProblem {
+    let atoms = analyze_atoms(program, &config.alignment);
+    let DpInputs {
+        phases,
+        sig_pool,
+        phase_refs,
+        layers,
+        phase_caches: _,
+    } = build_dp_inputs(atoms, nprocs, config);
+    LayoutDpProblem {
+        program: program.clone(),
+        config: config.clone(),
+        phases,
+        sig_pool,
+        phase_refs,
+        layers,
+    }
+}
+
 /// Run the complete three-stage analysis: fission into atoms, align each
 /// once, detect candidate boundaries, search the signature space once per
 /// phase, solve the per-array layout-state DP over the shared pool, and
@@ -895,6 +1090,19 @@ pub fn align_then_distribute_dynamic(
     nprocs: usize,
     config: &DynamicConfig,
 ) -> DynamicPipelineResult {
+    try_align_then_distribute_dynamic(program, nprocs, config)
+        .expect("layout DP rejected the phase structure")
+}
+
+/// [`align_then_distribute_dynamic`] that reports a degenerate phase
+/// structure (no phases, a phase with no candidates, a layer/reference
+/// mismatch) as a typed [`LayoutDpError`] instead of panicking — the entry
+/// point for server-bound callers that must answer every request.
+pub fn try_align_then_distribute_dynamic(
+    program: &Program,
+    nprocs: usize,
+    config: &DynamicConfig,
+) -> Result<DynamicPipelineResult, LayoutDpError> {
     let _span = trace::span("phases.pipeline");
     trace::count("phases.pipeline_runs", 1);
     let counters_at_entry = trace::CounterSnapshot::now();
@@ -913,50 +1121,23 @@ pub fn align_then_distribute_dynamic(
     // parallelism is available (the baseline's counter delta is absorbed,
     // keeping totals identical to the serial order the fallback still runs
     // in).
-    let (
-        (phases, live, sig_pool, layers, phase_caches, dynamic, peak_dp_layer_width),
-        (static_result, static_planned_cost),
-    ) = pool::join(
+    let (dynamic_side, (static_result, static_planned_cost)) = pool::join(
         || {
-            // Boundaries from the per-atom signatures.
-            let boundaries = match &config.boundaries {
-                Some(b) => b.clone(),
-                None => detect_boundaries(
-                    &atoms,
-                    &SegmentationConfig {
-                        alignment: config.alignment,
-                        neutral_volume: config.neutral_volume,
-                    },
-                ),
-            };
-            let atom_ranges = align_ir::ast::cut_ranges(atoms.len(), &boundaries);
-
-            // Stage 2: one signature-space search per phase (shared
-            // enumeration over all the phase's atoms), then the cross-phase
-            // pool and the pool-priced reports.
+            // Stages 2+3: boundaries, per-phase signature search, shared
+            // pool, candidate layers — then the per-array layout-state DP.
             let solve_cfg = config.solve_config(nprocs);
-            let (phases, sig_pool) = {
-                let _span = trace::span("phases.search");
-                let mut phases = build_phases(atoms, &atom_ranges, &solve_cfg);
-                let sig_pool = build_pool(&phases);
-                price_pool(&mut phases, &sig_pool, &solve_cfg);
-                (phases, sig_pool)
-            };
-
-            let phase_refs: Vec<BTreeSet<ArrayId>> =
-                phases.iter().map(|p| p.referenced()).collect();
+            let DpInputs {
+                phases,
+                sig_pool,
+                phase_refs,
+                layers,
+                phase_caches,
+            } = build_dp_inputs(atoms, nprocs, config);
             let live = build_live(program, &phase_refs);
-
-            // Stage 3: candidate layers (model-capped, favourites retained,
-            // in-phase costs simulated) and the per-array layout-state DP.
             let cap = config.max_candidates_per_phase.max(1);
-            let (layers, phase_caches) = {
-                let _span = trace::span("phases.layers");
-                build_layers(&phases, &sig_pool, cap, &[], config.sim)
-            };
             let mut pricer =
                 MovePricer::new(&phases, &sig_pool, program, config.sim, config.pricer_memo);
-            let plan = solve_layout_dp(&layers, &phase_refs, config.switch_margin, &mut pricer);
+            let plan = solve_layout_dp(&layers, &phase_refs, config.switch_margin, &mut pricer)?;
             let peak_dp_layer_width = plan.states_per_layer.iter().copied().max().unwrap_or(0);
             let chosen_sigs: Vec<SigId> = plan
                 .chosen
@@ -1028,7 +1209,7 @@ pub fn align_then_distribute_dynamic(
                 steps,
                 planned_cost,
             };
-            (
+            Ok((
                 phases,
                 live,
                 sig_pool,
@@ -1036,7 +1217,7 @@ pub fn align_then_distribute_dynamic(
                 phase_caches,
                 dynamic,
                 peak_dp_layer_width,
-            )
+            ))
         },
         || {
             // The static baseline over the whole program, simulated under
@@ -1071,13 +1252,16 @@ pub fn align_then_distribute_dynamic(
         },
     );
 
+    let (phases, live, sig_pool, layers, phase_caches, dynamic, peak_dp_layer_width) =
+        dynamic_side?;
+
     let summary = SolveSummary::from_run(
         &counters_at_entry,
         trace::span_count() - spans_at_entry,
         peak_dp_layer_width,
     );
 
-    DynamicPipelineResult {
+    Ok(DynamicPipelineResult {
         nprocs,
         phases,
         live,
@@ -1089,8 +1273,8 @@ pub fn align_then_distribute_dynamic(
         summary,
         config: config.clone(),
         phase_caches,
-        static_cache: OnceLock::new(),
-    }
+        sim_caches: Arc::new(Mutex::new(SimCacheStore::default())),
+    })
 }
 
 /// Merge adjacent phases across boundaries the chosen path does not use:
@@ -1299,30 +1483,28 @@ impl DynamicSimReport {
 /// total equals `result.dynamic.planned_cost`.
 pub fn simulate_dynamic(result: &DynamicPipelineResult, opts: SimOptions) -> DynamicSimReport {
     let chosen_sigs: Vec<Sig> = result.dynamic.per_phase.iter().map(sig_of).collect();
-    // Same options the plan was priced under: replay each phase through the
-    // placement caches retained from the candidate-layer pass — identical
-    // traffic to `simulate` (the caches were built with these options),
-    // priced by owner lookups instead of re-walking every position.
-    let cached = opts == result.config.sim && result.phase_caches.len() == result.phases.len();
+    // Replay each phase through per-atom placement caches — the ones
+    // retained from the candidate-layer pass when `opts` matches the plan's
+    // own options, otherwise built once per distinct options and shared
+    // across calls. The caches reproduce `simulate` exactly (same sampling,
+    // same traffic), priced by owner-table lookups instead of re-walking
+    // every position per call.
+    let phase_caches = result.phase_caches_for(opts);
     let per_phase: Vec<SimReport> = result
         .phases
         .iter()
         .zip(&chosen_sigs)
         .enumerate()
         .map(|(i, (phase, sig))| {
-            if cached {
-                let dist = instantiate(sig, phase.cover_extents());
-                let mut merged = SimReport {
-                    processors: result.nprocs,
-                    ..SimReport::default()
-                };
-                for cache in result.phase_caches[i].iter() {
-                    merged.merge(cache.price(&dist));
-                }
-                merged
-            } else {
-                simulate_phase(phase, sig, result.nprocs, opts)
+            let dist = instantiate(sig, phase.cover_extents());
+            let mut merged = SimReport {
+                processors: result.nprocs,
+                ..SimReport::default()
+            };
+            for cache in phase_caches[i].iter() {
+                merged.merge(cache.price(&dist));
             }
+            merged
         })
         .collect();
     let redist_elements: Vec<f64> = (0..result.phases.len().saturating_sub(1))
@@ -1357,25 +1539,13 @@ pub fn simulate_dynamic(result: &DynamicPipelineResult, opts: SimOptions) -> Dyn
 /// Simulated element traffic of the best *static* distribution over the
 /// whole program — the baseline [`simulate_dynamic`] is compared against.
 pub fn simulate_static(result: &DynamicPipelineResult, opts: SimOptions) -> SimReport {
-    if opts == result.config.sim {
-        // Repeated same-options calls (benches, dashboards) price through a
-        // lazily-built placement cache of the static ADG — identical traffic
-        // to `simulate`, built once per result.
-        let cache = result.static_cache.get_or_init(|| {
-            Arc::new(commsim::PlacementCache::new(
-                &result.static_result.adg,
-                &result.static_result.alignment.alignment,
-                opts,
-            ))
-        });
-        return cache.price(&result.static_result.best().distribution);
-    }
-    simulate(
-        &result.static_result.adg,
-        &result.static_result.alignment.alignment,
-        &result.static_result.best().distribution,
-        opts,
-    )
+    // Every call prices through a lazily-built placement cache of the
+    // static ADG — one per distinct `SimOptions`, shared across clones —
+    // identical traffic to `simulate`, by owner lookups instead of
+    // re-walking every position per call.
+    result
+        .static_cache_for(opts)
+        .price(&result.static_result.best().distribution)
 }
 
 #[cfg(test)]
@@ -1399,6 +1569,67 @@ mod tests {
         assert_eq!(d.per_phase[0].grid(), vec![8, 1], "{d}");
         assert_eq!(d.per_phase[1].grid(), vec![1, 8], "{d}");
         assert!(d.planned_cost < result.static_planned_cost, "{d}");
+    }
+
+    #[test]
+    fn standalone_simulation_prices_through_caches_unchanged() {
+        // The standalone `simulate_dynamic` / `simulate_static` entry
+        // points replay through placement caches — the set retained from
+        // the candidate-layer pass for the plan's own options, lazily-built
+        // memoised ones for any other options. The reports must equal a
+        // direct cache-free `commsim::simulate` of the same placements, and
+        // repeat calls must price through the existing caches without
+        // building new ones.
+        let result = align_then_distribute_dynamic(
+            &programs::fft_like(32, 40),
+            8,
+            &DynamicConfig::default(),
+        );
+        for opts in [result.config.sim, SimOptions::sampled(64, 256)] {
+            let report = simulate_dynamic(&result, opts);
+            let chosen_sigs: Vec<Sig> = result.dynamic.per_phase.iter().map(sig_of).collect();
+            for (i, (phase, sig)) in result.phases.iter().zip(&chosen_sigs).enumerate() {
+                let dist = instantiate(sig, phase.cover_extents());
+                let mut direct = SimReport {
+                    processors: result.nprocs,
+                    ..SimReport::default()
+                };
+                for atom in &phase.atoms {
+                    direct.merge(simulate(&atom.adg, &atom.alignment.alignment, &dist, opts));
+                }
+                assert_eq!(
+                    format!("{:?}", report.per_phase[i]),
+                    format!("{direct:?}"),
+                    "phase {i} cached replay diverged from direct simulation"
+                );
+            }
+            let static_report = simulate_static(&result, opts);
+            let static_direct = simulate(
+                &result.static_result.adg,
+                &result.static_result.alignment.alignment,
+                &result.static_result.best().distribution,
+                opts,
+            );
+            assert_eq!(
+                format!("{static_report:?}"),
+                format!("{static_direct:?}"),
+                "static cached replay diverged from direct simulation"
+            );
+
+            let builds = trace::counter("commsim.cache.builds");
+            let again = simulate_dynamic(&result, opts);
+            let _ = simulate_static(&result, opts);
+            assert_eq!(
+                trace::counter("commsim.cache.builds"),
+                builds,
+                "repeat calls rebuilt placement caches"
+            );
+            assert_eq!(
+                format!("{:?}", again.per_phase),
+                format!("{:?}", report.per_phase),
+                "repeat cached replay diverged"
+            );
+        }
     }
 
     #[test]
